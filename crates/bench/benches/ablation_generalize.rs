@@ -1,0 +1,58 @@
+//! Ablation A3: the paper's future-work extension — rules generalised
+//! through the subsumption hierarchy, and the coverage they add.
+
+use classilink_bench::paper_learner;
+use classilink_core::{generalize, GeneralizeConfig, RuleLearner};
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_eval::generalization_ablation;
+use classilink_eval::table1::EvaluationItem;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_generalize(c: &mut Criterion) {
+    let scenario = generate(&ScenarioConfig::small());
+    let config = paper_learner();
+    let items: Vec<EvaluationItem> = scenario
+        .training
+        .examples()
+        .iter()
+        .map(|e| (e.classes.first().copied(), e.facts.clone()))
+        .collect();
+
+    let point = generalization_ablation(
+        &scenario.training,
+        &scenario.ontology,
+        &items,
+        &config,
+        &GeneralizeConfig::default(),
+    )
+    .expect("ablation runs");
+    let (base_dec, base_prec, base_rec) = point.base;
+    let (gen_dec, gen_prec, gen_rec) = point.generalized;
+    println!("\n=== Ablation A3: subsumption generalisation (|TS| = {}) ===", items.len());
+    println!("variant                 decisions  precision  recall");
+    println!("leaf rules only         {base_dec:<10} {base_prec:<10.3} {base_rec:<7.3}");
+    println!("with generalised rules  {gen_dec:<10} {gen_prec:<10.3} {gen_rec:<7.3}");
+    println!("generalised rules added: {}", point.generalized_rules);
+
+    let base = RuleLearner::new(config.clone())
+        .learn(&scenario.training, &scenario.ontology)
+        .unwrap();
+    let mut group = c.benchmark_group("ablation_generalize");
+    group.sample_size(10);
+    group.bench_function("generalize_rules", |b| {
+        b.iter(|| {
+            generalize(
+                &scenario.training,
+                &scenario.ontology,
+                &config,
+                &base,
+                &GeneralizeConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generalize);
+criterion_main!(benches);

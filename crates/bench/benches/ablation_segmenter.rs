@@ -1,0 +1,66 @@
+//! Ablation A1: how the choice of segmenter (the expert's `split` function)
+//! affects the learnt rules and their classification quality.
+
+use classilink_bench::paper_learner;
+use classilink_core::RuleLearner;
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_eval::segmenter_ablation;
+use classilink_eval::table1::EvaluationItem;
+use classilink_segment::SegmenterKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let scenario = generate(&ScenarioConfig::small());
+    let items: Vec<EvaluationItem> = scenario
+        .training
+        .examples()
+        .iter()
+        .map(|e| (e.classes.first().copied(), e.facts.clone()))
+        .collect();
+    let segmenters = [
+        SegmenterKind::Separator,
+        SegmenterKind::AlphaNumTransition,
+        SegmenterKind::CharNGram(3),
+        SegmenterKind::PaddedBigram,
+    ];
+
+    // Regenerate the ablation table once.
+    let points = segmenter_ablation(
+        &scenario.training,
+        &scenario.ontology,
+        &items,
+        &paper_learner(),
+        &segmenters,
+    )
+    .expect("ablation runs");
+    println!("\n=== Ablation A1: segmentation strategy (|TS| = {}) ===", items.len());
+    println!("segmenter            segments  rules  precision  recall");
+    for p in &points {
+        println!(
+            "{:<20} {:<9} {:<6} {:<10.3} {:<7.3}",
+            p.segmenter, p.distinct_segments, p.rules, p.precision, p.recall
+        );
+    }
+
+    // Time learning under each segmenter.
+    let mut group = c.benchmark_group("ablation_segmenter");
+    group.sample_size(10);
+    for kind in segmenters {
+        let config = paper_learner().with_segmenter(kind.clone());
+        group.bench_with_input(
+            BenchmarkId::new("learn", kind.name()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    RuleLearner::new(config.clone())
+                        .learn(&scenario.training, &scenario.ontology)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation A2: sweep of the support threshold `th` (the paper fixes
+//! `th = 0.002`; this shows how rule count, precision and recall move around
+//! that choice).
+
+use classilink_bench::paper_learner;
+use classilink_core::RuleLearner;
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_eval::support_sweep;
+use classilink_eval::table1::EvaluationItem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_support(c: &mut Criterion) {
+    let scenario = generate(&ScenarioConfig::small());
+    let items: Vec<EvaluationItem> = scenario
+        .training
+        .examples()
+        .iter()
+        .map(|e| (e.classes.first().copied(), e.facts.clone()))
+        .collect();
+    let thresholds = [0.0005, 0.001, 0.002, 0.005, 0.01, 0.02];
+
+    let points = support_sweep(
+        &scenario.training,
+        &scenario.ontology,
+        &items,
+        &paper_learner(),
+        &thresholds,
+    )
+    .expect("sweep runs");
+    println!("\n=== Ablation A2: support threshold th (|TS| = {}) ===", items.len());
+    println!("th        pairs   rules  precision  recall");
+    for p in &points {
+        println!(
+            "{:<9} {:<7} {:<6} {:<10.3} {:<7.3}",
+            p.support_threshold, p.frequent_pairs, p.rules, p.precision, p.recall
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_support");
+    group.sample_size(10);
+    for th in [0.0005, 0.002, 0.02] {
+        let config = paper_learner().with_support_threshold(th);
+        group.bench_with_input(BenchmarkId::new("learn_th", th), &config, |b, config| {
+            b.iter(|| {
+                RuleLearner::new(config.clone())
+                    .learn(&scenario.training, &scenario.ontology)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_support);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Scalability of the learning algorithm with the training-set size
+//! (the paper's motivation is precisely that naive pairwise comparison does
+//! not scale; learning itself must stay cheap).
+
+use classilink_bench::paper_learner;
+use classilink_core::RuleLearner;
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning_scalability");
+    group.sample_size(10);
+    for links in [250usize, 1000, 4000] {
+        let config = ScenarioConfig {
+            training_links: links,
+            catalog_size: links * 2,
+            extra_external: 0,
+            ..ScenarioConfig::small()
+        };
+        let scenario = generate(&config);
+        group.throughput(Throughput::Elements(links as u64));
+        group.bench_with_input(BenchmarkId::new("learn", links), &scenario, |b, s| {
+            b.iter(|| {
+                RuleLearner::new(paper_learner())
+                    .learn(&s.training, &s.ontology)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmark of the segmentation strategies (the `split(v)` step of
+//! Algorithm 1).
+
+use classilink_bench::part_number_corpus;
+use classilink_segment::{Segmenter, SegmenterKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_segmentation(c: &mut Criterion) {
+    let corpus = part_number_corpus(1000);
+    let kinds = [
+        SegmenterKind::Separator,
+        SegmenterKind::AlphaNumTransition,
+        SegmenterKind::CharNGram(3),
+        SegmenterKind::PaddedBigram,
+        SegmenterKind::WordNGram(1),
+    ];
+    let mut group = c.benchmark_group("segmentation");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    for kind in kinds {
+        let segmenter = kind.build();
+        group.bench_with_input(
+            BenchmarkId::new("split_corpus", kind.name()),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    corpus
+                        .iter()
+                        .map(|v| segmenter.split_distinct(v).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_segmentation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiments E3 / E4: linking-space reduction as a function of the rule
+//! confidence threshold (the paper's in-text claims: average lift > 20 at
+//! every tier, "the linkage space can be divided by 5 for one instance" even
+//! for a class holding 20% of the catalog).
+
+use classilink_bench::paper_learner;
+use classilink_core::{RuleClassifier, RuleLearner, SubspaceBuilder};
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_rdf::Term;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_subspace(c: &mut Criterion) {
+    let scenario = generate(&ScenarioConfig::small());
+    let config = paper_learner();
+    let outcome = RuleLearner::new(config.clone())
+        .learn(&scenario.training, &scenario.ontology)
+        .expect("learning succeeds");
+    let batch: Vec<(Term, Vec<(String, String)>)> = scenario
+        .training
+        .examples()
+        .iter()
+        .map(|e| (e.external_item.clone(), e.facts.clone()))
+        .collect();
+
+    // Regenerate the reduction series once.
+    let points = classilink_eval::reduction_sweep(
+        &outcome,
+        &config,
+        &scenario.instances,
+        &scenario.ontology,
+        &batch,
+        scenario.catalog_size(),
+        &[1.0, 0.8, 0.6, 0.4, 0.2],
+    );
+    println!("\n=== Linking-space reduction vs confidence threshold (|SL| = {}) ===", scenario.catalog_size());
+    println!("conf    rules  classified  remaining  mean-factor  avg-lift");
+    for p in &points {
+        println!(
+            "{:<7} {:<6} {:<11.3} {:<10.3} {:<12.1} {:<8.1}",
+            p.confidence_threshold,
+            p.rules,
+            p.classified_fraction,
+            p.remaining_fraction,
+            p.mean_reduction_factor,
+            p.avg_lift,
+        );
+    }
+
+    // Time the subspace computation with confidence-1 rules on a sample.
+    let classifier = RuleClassifier::from_outcome(&outcome, &config).with_min_confidence(1.0);
+    let builder = SubspaceBuilder::new(&classifier, &scenario.instances, &scenario.ontology);
+    let sample: Vec<_> = batch.iter().take(200).cloned().collect();
+    let mut group = c.benchmark_group("subspace_reduction");
+    group.sample_size(10);
+    group.bench_function("reduction_stats_200_items", |b| {
+        b.iter(|| builder.reduction_stats(&sample, scenario.catalog_size()))
+    });
+    group.bench_function("classify_one_item", |b| {
+        let facts = &batch[0].1;
+        b.iter(|| classifier.classify_facts(facts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subspace);
+criterion_main!(benches);

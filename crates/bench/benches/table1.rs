@@ -1,0 +1,60 @@
+//! Experiment E1 (Table 1): classification rule results by confidence tier.
+//!
+//! Running this bench regenerates Table 1 on the generated catalog (printed
+//! once before timing) and then measures the cost of the learning +
+//! evaluation pipeline that produces it. For the paper-scale table, run
+//! `cargo run --release --example electronics_catalog`.
+
+use classilink_bench::paper_learner;
+use classilink_core::RuleLearner;
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_eval::table1::Table1Experiment;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_table(scale: &str, config: &ScenarioConfig) {
+    let scenario = generate(config);
+    let experiment = Table1Experiment::with_learner(paper_learner());
+    let (_, report) = experiment
+        .run_on_training(&scenario.training, &scenario.ontology)
+        .expect("experiment runs");
+    println!(
+        "\n=== Table 1 ({scale} scale: |TS| = {}) ===",
+        scenario.training.len()
+    );
+    println!(
+        "distinct segments: {} (paper 7842), occurrences: {} (paper 26077), selected: {} (paper 7058)",
+        report.distinct_segments, report.segment_occurrences, report.selected_segment_occurrences
+    );
+    println!(
+        "frequent classes: {} (paper 68), rules: {} (paper 144), classes with rules: {} (paper 16)",
+        report.frequent_classes, report.total_rules, report.classes_with_rules
+    );
+    println!("{}", report.to_table().to_ascii());
+}
+
+fn bench_table1(c: &mut Criterion) {
+    print_table("small", &ScenarioConfig::small());
+
+    let scenario = generate(&ScenarioConfig::small());
+    let experiment = Table1Experiment::with_learner(paper_learner());
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("learn_rules_small", |b| {
+        b.iter(|| {
+            RuleLearner::new(paper_learner())
+                .learn(&scenario.training, &scenario.ontology)
+                .unwrap()
+        })
+    });
+    group.bench_function("learn_and_evaluate_small", |b| {
+        b.iter(|| {
+            experiment
+                .run_on_training(&scenario.training, &scenario.ontology)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

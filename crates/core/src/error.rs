@@ -1,0 +1,80 @@
+//! Error types for the rule-learning core.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while extracting training data or learning rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The training set is empty, so no frequency can be computed.
+    EmptyTrainingSet,
+    /// The support threshold is outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// A class IRI referenced by the training data is not in the ontology.
+    UnknownClass(String),
+    /// A property was selected by configuration but never appears in the
+    /// training data.
+    UnknownProperty(String),
+    /// An error bubbled up from the ontology layer.
+    Ontology(String),
+    /// An error bubbled up from the RDF layer.
+    Rdf(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTrainingSet => write!(f, "the training set is empty"),
+            CoreError::InvalidThreshold(t) => {
+                write!(f, "support threshold {t} must be within (0, 1]")
+            }
+            CoreError::UnknownClass(iri) => write!(f, "unknown class in training data: {iri}"),
+            CoreError::UnknownProperty(iri) => {
+                write!(f, "selected property never observed: {iri}")
+            }
+            CoreError::Ontology(msg) => write!(f, "ontology error: {msg}"),
+            CoreError::Rdf(msg) => write!(f, "rdf error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<classilink_ontology::OntologyError> for CoreError {
+    fn from(e: classilink_ontology::OntologyError) -> Self {
+        CoreError::Ontology(e.to_string())
+    }
+}
+
+impl From<classilink_rdf::RdfError> for CoreError {
+    fn from(e: classilink_rdf::RdfError) -> Self {
+        CoreError::Rdf(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(CoreError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(CoreError::InvalidThreshold(1.5).to_string().contains("1.5"));
+        assert!(CoreError::UnknownClass("c".into()).to_string().contains("class"));
+        assert!(CoreError::UnknownProperty("p".into())
+            .to_string()
+            .contains("property"));
+        assert!(CoreError::Ontology("x".into()).to_string().contains("ontology"));
+        assert!(CoreError::Rdf("y".into()).to_string().contains("rdf"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = classilink_ontology::OntologyError::UnknownClassId(1).into();
+        assert!(matches!(e, CoreError::Ontology(_)));
+        let e: CoreError = classilink_rdf::RdfError::InvalidIri("x".into()).into();
+        assert!(matches!(e, CoreError::Rdf(_)));
+    }
+}

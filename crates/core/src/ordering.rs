@@ -1,0 +1,140 @@
+//! Rule ordering and conclusion deduplication (section 4.4 of the paper).
+//!
+//! "The above quality measures are used to rank the obtained subspaces for
+//! each data item of SE. More precisely, the confidence degree is used first.
+//! In case of the same confidence degree, the lift measure is used in order
+//! to consider first the smaller subspaces. […] the application of two
+//! different rules may lead to the same linking subspace. In this case, we
+//! ignore the one that is obtained by the rule having the worst confidence
+//! degree."
+
+use crate::rule::ClassificationRule;
+use classilink_ontology::ClassId;
+use std::collections::HashMap;
+
+/// Sort rules in ranking order: confidence descending, then lift descending,
+/// then support descending, then a deterministic textual tie-break.
+pub fn rank_rules(rules: &mut [ClassificationRule]) {
+    rules.sort_by(|a, b| a.ranking_cmp(b));
+}
+
+/// Among rules that conclude on the same class (and therefore determine the
+/// same linking subspace), keep only the best-ranked one. The input order is
+/// irrelevant; the output is in ranking order.
+pub fn best_rule_per_class(rules: &[ClassificationRule]) -> Vec<&ClassificationRule> {
+    let mut best: HashMap<ClassId, &ClassificationRule> = HashMap::new();
+    for rule in rules {
+        match best.get(&rule.class) {
+            Some(current) if current.ranking_cmp(rule).is_le() => {}
+            _ => {
+                best.insert(rule.class, rule);
+            }
+        }
+    }
+    let mut out: Vec<&ClassificationRule> = best.into_values().collect();
+    out.sort_by(|a, b| a.ranking_cmp(b));
+    out
+}
+
+/// Group rules by descending confidence tier. `thresholds` must be sorted in
+/// descending order (e.g. `[1.0, 0.8, 0.6, 0.4]` as in Table 1); a rule falls
+/// into the first tier whose threshold it reaches. Rules below every
+/// threshold are dropped. Returns one `(threshold, rules)` entry per tier.
+pub fn group_by_confidence_tiers<'a>(
+    rules: &'a [ClassificationRule],
+    thresholds: &[f64],
+) -> Vec<(f64, Vec<&'a ClassificationRule>)> {
+    let mut tiers: Vec<(f64, Vec<&ClassificationRule>)> =
+        thresholds.iter().map(|t| (*t, Vec::new())).collect();
+    for rule in rules {
+        for (threshold, bucket) in tiers.iter_mut() {
+            if rule.confidence() >= *threshold - 1e-12 {
+                bucket.push(rule);
+                break;
+            }
+        }
+    }
+    tiers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::Contingency;
+
+    fn rule(segment: &str, class: u32, premise: u64, both: u64) -> ClassificationRule {
+        ClassificationRule {
+            property: "http://e.org/v#pn".to_string(),
+            segment: segment.to_string(),
+            class: ClassId(class),
+            class_iri: format!("http://e.org/c#C{class}"),
+            class_label: format!("C{class}"),
+            quality: Contingency::new(1000, premise, 100, both).quality(),
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_confidence_then_lift() {
+        let mut rules = vec![
+            rule("low", 1, 100, 60),  // conf 0.6
+            rule("high", 2, 50, 50),  // conf 1.0
+            rule("mid", 3, 100, 80),  // conf 0.8
+        ];
+        rank_rules(&mut rules);
+        let segments: Vec<&str> = rules.iter().map(|r| r.segment.as_str()).collect();
+        assert_eq!(segments, vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn best_rule_per_class_keeps_highest_confidence() {
+        let rules = vec![
+            rule("weak", 1, 100, 70),   // class 1, conf 0.7
+            rule("strong", 1, 50, 50),  // class 1, conf 1.0
+            rule("only", 2, 80, 40),    // class 2, conf 0.5
+        ];
+        let best = best_rule_per_class(&rules);
+        assert_eq!(best.len(), 2);
+        assert_eq!(best[0].segment, "strong");
+        assert_eq!(best[1].segment, "only");
+    }
+
+    #[test]
+    fn best_rule_per_class_on_empty_input() {
+        assert!(best_rule_per_class(&[]).is_empty());
+    }
+
+    #[test]
+    fn tiers_follow_table_one_structure() {
+        let rules = vec![
+            rule("a", 1, 50, 50),   // 1.0
+            rule("b", 2, 100, 100), // 1.0
+            rule("c", 3, 100, 85),  // 0.85
+            rule("d", 4, 100, 65),  // 0.65
+            rule("e", 5, 100, 45),  // 0.45
+            rule("f", 6, 100, 10),  // 0.1 → dropped
+        ];
+        let tiers = group_by_confidence_tiers(&rules, &[1.0, 0.8, 0.6, 0.4]);
+        assert_eq!(tiers.len(), 4);
+        assert_eq!(tiers[0].0, 1.0);
+        assert_eq!(tiers[0].1.len(), 2);
+        assert_eq!(tiers[1].1.len(), 1);
+        assert_eq!(tiers[2].1.len(), 1);
+        assert_eq!(tiers[3].1.len(), 1);
+        let total: usize = tiers.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn tier_boundaries_are_inclusive() {
+        let rules = vec![rule("exact", 1, 100, 80)]; // exactly 0.8
+        let tiers = group_by_confidence_tiers(&rules, &[1.0, 0.8]);
+        assert!(tiers[0].1.is_empty());
+        assert_eq!(tiers[1].1.len(), 1);
+    }
+
+    #[test]
+    fn empty_thresholds_drop_everything() {
+        let rules = vec![rule("a", 1, 50, 50)];
+        assert!(group_by_confidence_tiers(&rules, &[]).is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Training sets of linked data.
+//!
+//! The input of the learning algorithm is `TS`, "the set of same-as links
+//! between external and local data items that are validated by a domain
+//! expert", stored with provenance. For learning, each link contributes:
+//!
+//! * the data-property facts of the **external** item (the paper's `TSE`,
+//!   "set of property facts of SE that belong to TS") — these provide the
+//!   `p(X, Y)` premises, and
+//! * the classes of the **local** item in the ontology `OL` — these provide
+//!   the `c(X)` conclusions.
+
+use crate::error::{CoreError, Result};
+use classilink_ontology::{ClassId, InstanceStore, Ontology};
+use classilink_rdf::{Dataset, Graph, Source, Term};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One validated `same-as` link, with the features the learner needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// The external data item (subject of the `owl:sameAs` link).
+    pub external_item: Term,
+    /// The local data item it was reconciled with.
+    pub local_item: Term,
+    /// Data-property facts of the external item: `(property IRI, value)`.
+    pub facts: Vec<(String, String)>,
+    /// Classes of the local item (most specific ones when extracted with the
+    /// default configuration).
+    pub classes: Vec<ClassId>,
+}
+
+impl TrainingExample {
+    /// Create an example directly (used by generators and tests).
+    pub fn new(
+        external_item: Term,
+        local_item: Term,
+        facts: Vec<(String, String)>,
+        classes: Vec<ClassId>,
+    ) -> Self {
+        TrainingExample {
+            external_item,
+            local_item,
+            facts,
+            classes,
+        }
+    }
+
+    /// Values of one property on the external item.
+    pub fn values_of(&self, property_iri: &str) -> Vec<&str> {
+        self.facts
+            .iter()
+            .filter(|(p, _)| p == property_iri)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// `true` when the example's local item is an instance of `class`.
+    pub fn has_class(&self, class: ClassId) -> bool {
+        self.classes.contains(&class)
+    }
+}
+
+/// The training set `TS`: a list of validated linked pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSet {
+    examples: Vec<TrainingExample>,
+}
+
+impl TrainingSet {
+    /// An empty training set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a training set from a list of examples.
+    pub fn from_examples(examples: Vec<TrainingExample>) -> Self {
+        TrainingSet { examples }
+    }
+
+    /// Add one example.
+    pub fn push(&mut self, example: TrainingExample) {
+        self.examples.push(example);
+    }
+
+    /// `|TS|`: the number of linked pairs.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// `true` when the training set holds no links.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// The examples in insertion order.
+    pub fn examples(&self) -> &[TrainingExample] {
+        &self.examples
+    }
+
+    /// The distinct property IRIs observed on external items.
+    pub fn properties(&self) -> Vec<String> {
+        let set: BTreeSet<&str> = self
+            .examples
+            .iter()
+            .flat_map(|e| e.facts.iter().map(|(p, _)| p.as_str()))
+            .collect();
+        set.into_iter().map(str::to_string).collect()
+    }
+
+    /// Class frequencies over the training set: how many examples have each
+    /// class among their (most specific) classes.
+    pub fn class_frequencies(&self) -> BTreeMap<ClassId, u64> {
+        let mut freqs: BTreeMap<ClassId, u64> = BTreeMap::new();
+        for e in &self.examples {
+            for c in &e.classes {
+                *freqs.entry(*c).or_insert(0) += 1;
+            }
+        }
+        freqs
+    }
+
+    /// Total number of property facts over all examples.
+    pub fn fact_count(&self) -> usize {
+        self.examples.iter().map(|e| e.facts.len()).sum()
+    }
+
+    /// Split the training set into `(train, test)` parts: the first
+    /// `⌈ratio·|TS|⌉` examples go to train. Use a pre-shuffled set when a
+    /// random split is wanted; keeping this deterministic makes experiments
+    /// reproducible.
+    pub fn split(&self, train_ratio: f64) -> (TrainingSet, TrainingSet) {
+        let ratio = train_ratio.clamp(0.0, 1.0);
+        let cut = (self.examples.len() as f64 * ratio).ceil() as usize;
+        let cut = cut.min(self.examples.len());
+        (
+            TrainingSet::from_examples(self.examples[..cut].to_vec()),
+            TrainingSet::from_examples(self.examples[cut..].to_vec()),
+        )
+    }
+
+    /// Extract a training set from a provenance-aware [`Dataset`]:
+    ///
+    /// * every `owl:sameAs` link `(external, local)` becomes one example,
+    /// * the example's facts are the literal-valued triples of the external
+    ///   item in the external graph,
+    /// * the example's classes are the local item's `rdf:type` assertions in
+    ///   the local graph, reduced to the most specific ones when
+    ///   `most_specific` is set.
+    ///
+    /// Links whose local item has no known class are kept (they still count
+    /// in `|TS|`, exactly as in the paper where every reconciliation
+    /// contributes to the denominator of support).
+    pub fn from_dataset(
+        dataset: &Dataset,
+        ontology: &Ontology,
+        most_specific: bool,
+    ) -> Result<Self> {
+        if dataset.link_count() == 0 {
+            return Err(CoreError::EmptyTrainingSet);
+        }
+        let (instances, _unknown) = InstanceStore::from_graph(dataset.local(), ontology);
+        let mut examples = Vec::with_capacity(dataset.link_count());
+        for (external_item, local_item) in dataset.link_pairs() {
+            let facts = literal_facts(dataset.graph(Source::External), &external_item);
+            let classes = if most_specific {
+                instances.most_specific_types(&local_item, ontology)
+            } else {
+                instances.types_of(&local_item)
+            };
+            examples.push(TrainingExample::new(
+                external_item,
+                local_item,
+                facts,
+                classes,
+            ));
+        }
+        Ok(TrainingSet::from_examples(examples))
+    }
+}
+
+/// The literal-valued facts of one item in a graph, as `(property IRI, value)`.
+pub fn literal_facts(graph: &Graph, item: &Term) -> Vec<(String, String)> {
+    graph
+        .triples_matching(Some(item), None, None)
+        .filter_map(|t| {
+            let p = t.predicate.as_iri()?.to_string();
+            let v = t.object.as_literal()?.value.clone();
+            Some((p, v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classilink_ontology::OntologyBuilder;
+    use classilink_rdf::namespace::vocab;
+    use classilink_rdf::Triple;
+
+    fn ontology() -> (Ontology, ClassId, ClassId, ClassId) {
+        let mut b = OntologyBuilder::new("http://e.org/c#");
+        let component = b.class("Component", None);
+        let resistor = b.class("Resistor", Some(component));
+        let capacitor = b.class("Capacitor", Some(component));
+        (b.build(), component, resistor, capacitor)
+    }
+
+    fn dataset(ontology: &Ontology) -> Dataset {
+        let _ = ontology;
+        let mut ds = Dataset::new();
+        // Local catalog items with types and part numbers.
+        for (n, class) in [(1, "Resistor"), (2, "Resistor"), (3, "Capacitor")] {
+            let item = format!("http://local.e.org/prod/{n}");
+            ds.insert(
+                Source::Local,
+                Triple::iris(&item, vocab::RDF_TYPE, format!("http://e.org/c#{class}")),
+            );
+            ds.insert(
+                Source::Local,
+                Triple::iris(&item, vocab::RDF_TYPE, "http://e.org/c#Component"),
+            );
+            ds.insert(
+                Source::Local,
+                Triple::literal(&item, "http://local.e.org/v#pn", format!("LOCAL-{n}")),
+            );
+        }
+        // External provider items with their own vocabulary.
+        for (n, pn) in [(1, "CRCW0805-10K-ohm"), (2, "CRCW0805-22K-ohm"), (3, "T83-A225")] {
+            let item = format!("http://provider.e.org/item/{n}");
+            ds.insert(
+                Source::External,
+                Triple::literal(&item, "http://provider.e.org/v#ref", pn),
+            );
+            ds.insert(
+                Source::External,
+                Triple::literal(&item, "http://provider.e.org/v#maker", "ACME"),
+            );
+            // An IRI-valued triple that must be ignored by literal_facts.
+            ds.insert(
+                Source::External,
+                Triple::iris(&item, "http://provider.e.org/v#seeAlso", "http://x.org/a"),
+            );
+        }
+        for n in 1..=3 {
+            ds.link(
+                &Term::iri(format!("http://provider.e.org/item/{n}")),
+                &Term::iri(format!("http://local.e.org/prod/{n}")),
+            );
+        }
+        ds
+    }
+
+    #[test]
+    fn from_dataset_extracts_facts_and_classes() {
+        let (onto, component, resistor, capacitor) = ontology();
+        let ds = dataset(&onto);
+        let ts = TrainingSet::from_dataset(&ds, &onto, true).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.fact_count(), 6);
+        let props = ts.properties();
+        assert_eq!(
+            props,
+            vec![
+                "http://provider.e.org/v#maker".to_string(),
+                "http://provider.e.org/v#ref".to_string()
+            ]
+        );
+        // Most specific classes only (Component is dropped).
+        let freqs = ts.class_frequencies();
+        assert_eq!(freqs.get(&resistor), Some(&2));
+        assert_eq!(freqs.get(&capacitor), Some(&1));
+        assert_eq!(freqs.get(&component), None);
+    }
+
+    #[test]
+    fn from_dataset_without_most_specific_keeps_all_types() {
+        let (onto, component, ..) = ontology();
+        let ds = dataset(&onto);
+        let ts = TrainingSet::from_dataset(&ds, &onto, false).unwrap();
+        let freqs = ts.class_frequencies();
+        assert_eq!(freqs.get(&component), Some(&3));
+    }
+
+    #[test]
+    fn from_dataset_with_no_links_is_an_error() {
+        let (onto, ..) = ontology();
+        let ds = Dataset::new();
+        assert!(matches!(
+            TrainingSet::from_dataset(&ds, &onto, true),
+            Err(CoreError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn example_accessors() {
+        let (onto, _, resistor, _) = ontology();
+        let ds = dataset(&onto);
+        let ts = TrainingSet::from_dataset(&ds, &onto, true).unwrap();
+        let ex = ts
+            .examples()
+            .iter()
+            .find(|e| e.external_item == Term::iri("http://provider.e.org/item/1"))
+            .unwrap();
+        assert_eq!(ex.local_item, Term::iri("http://local.e.org/prod/1"));
+        assert_eq!(
+            ex.values_of("http://provider.e.org/v#ref"),
+            vec!["CRCW0805-10K-ohm"]
+        );
+        assert_eq!(ex.values_of("http://provider.e.org/v#maker"), vec!["ACME"]);
+        assert!(ex.values_of("http://provider.e.org/v#nope").is_empty());
+        assert!(ex.has_class(resistor));
+        assert!(!ex.has_class(ClassId(99)));
+    }
+
+    #[test]
+    fn links_to_untyped_local_items_are_kept() {
+        let (onto, ..) = ontology();
+        let mut ds = dataset(&onto);
+        ds.insert(
+            Source::External,
+            Triple::literal("http://provider.e.org/item/9", "http://provider.e.org/v#ref", "X"),
+        );
+        ds.link(
+            &Term::iri("http://provider.e.org/item/9"),
+            &Term::iri("http://local.e.org/prod/9"),
+        );
+        let ts = TrainingSet::from_dataset(&ds, &onto, true).unwrap();
+        assert_eq!(ts.len(), 4);
+        let ex = ts
+            .examples()
+            .iter()
+            .find(|e| e.external_item == Term::iri("http://provider.e.org/item/9"))
+            .unwrap();
+        assert!(ex.classes.is_empty());
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let (onto, ..) = ontology();
+        let ds = dataset(&onto);
+        let ts = TrainingSet::from_dataset(&ds, &onto, true).unwrap();
+        let (train, test) = ts.split(0.67);
+        assert_eq!(train.len() + test.len(), ts.len());
+        assert_eq!(train.len(), 3); // ceil(3 * 0.67) = 3
+        let (all, none) = ts.split(1.5);
+        assert_eq!(all.len(), 3);
+        assert!(none.is_empty());
+        let (zero, rest) = ts.split(0.0);
+        assert!(zero.is_empty());
+        assert_eq!(rest.len(), 3);
+    }
+
+    #[test]
+    fn manual_construction() {
+        let mut ts = TrainingSet::new();
+        assert!(ts.is_empty());
+        ts.push(TrainingExample::new(
+            Term::iri("http://p.e.org/1"),
+            Term::iri("http://l.e.org/1"),
+            vec![("http://p.e.org/v#pn".to_string(), "ohm-10".to_string())],
+            vec![ClassId(0)],
+        ));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.properties(), vec!["http://p.e.org/v#pn".to_string()]);
+        assert_eq!(ts.class_frequencies().get(&ClassId(0)), Some(&1));
+    }
+}

@@ -1,0 +1,373 @@
+//! End-to-end scenario generation: catalog, provider documents, expert links.
+//!
+//! A [`GeneratedScenario`] bundles everything one of the paper's experiments
+//! needs: the local catalog `SL` (RDF graph + ontology + instance store), the
+//! external provider items `SE` (different vocabulary, perturbed part
+//! numbers), the validated `same-as` links `TS`, and the gold classes of the
+//! external items for evaluation.
+//!
+//! The `paper()` preset reproduces the scale of the paper's evaluation:
+//! an ontology of 566 classes (226 leaves), 10 265 expert reconciliations and
+//! a catalog an order of magnitude larger, with part numbers whose segments
+//! span the whole confidence spectrum of Table 1.
+
+use crate::partnumber::{PartNumberConfig, PartNumberGenerator};
+use crate::perturb::PerturbationConfig;
+use crate::taxonomy::{generate_taxonomy, LeafProfile, TaxonomyConfig};
+use crate::vocab;
+use classilink_core::TrainingSet;
+use classilink_ontology::{ClassId, InstanceStore, Ontology};
+use classilink_rdf::namespace::vocab as rdf_vocab;
+use classilink_rdf::{Dataset, Source, Term, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Manufacturers shared across all classes (the paper notes the manufacturer
+/// is *not* discriminative: "almost all manufacturers provide products that
+/// belong to distinct classes").
+pub const MANUFACTURERS: &[&str] = &[
+    "Vishay",
+    "Murata",
+    "Kemet",
+    "TDK",
+    "Yageo",
+    "Panasonic",
+    "AVX",
+    "Bourns",
+    "Omron",
+    "NXP",
+    "onsemi",
+    "STMicro",
+];
+
+/// Configuration of a full scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Shape of the catalog ontology.
+    pub taxonomy: TaxonomyConfig,
+    /// Number of products in the local catalog (`|SL|`).
+    pub catalog_size: usize,
+    /// Number of expert-validated links (`|TS|`).
+    pub training_links: usize,
+    /// Additional external items that are *not* part of the training set
+    /// (used as held-out items to classify).
+    pub extra_external: usize,
+    /// Zipf exponent of the class-popularity distribution (larger = more
+    /// skewed; the paper's data is clearly skewed: 68 of 226 leaf classes
+    /// hold more than 20 of the 10 265 linked products).
+    pub zipf_exponent: f64,
+    /// Part-number segment probabilities.
+    pub part_numbers: PartNumberConfig,
+    /// Provider-side perturbation of part numbers.
+    pub perturbation: PerturbationConfig,
+    /// RNG seed (every run with the same config is identical).
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The paper-scale scenario: 566/226 ontology, 10 265 links.
+    pub fn paper() -> Self {
+        ScenarioConfig {
+            taxonomy: TaxonomyConfig::default(),
+            catalog_size: 30_000,
+            training_links: 10_265,
+            extra_external: 0,
+            zipf_exponent: 1.0,
+            part_numbers: PartNumberConfig::default(),
+            perturbation: PerturbationConfig::default(),
+            seed: 20_120_326, // the workshop date
+        }
+    }
+
+    /// A medium scenario for integration tests and quick experiments.
+    pub fn small() -> Self {
+        ScenarioConfig {
+            taxonomy: TaxonomyConfig {
+                total_classes: 120,
+                leaf_classes: 60,
+            },
+            catalog_size: 2_000,
+            training_links: 800,
+            extra_external: 200,
+            zipf_exponent: 1.0,
+            part_numbers: PartNumberConfig::default(),
+            perturbation: PerturbationConfig::default(),
+            seed: 7,
+        }
+    }
+
+    /// A tiny scenario for unit tests.
+    pub fn tiny() -> Self {
+        ScenarioConfig {
+            taxonomy: TaxonomyConfig {
+                total_classes: 40,
+                leaf_classes: 20,
+            },
+            catalog_size: 200,
+            training_links: 120,
+            extra_external: 30,
+            zipf_exponent: 1.0,
+            part_numbers: PartNumberConfig::default(),
+            perturbation: PerturbationConfig::default(),
+            seed: 3,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything an experiment needs about one generated world.
+pub struct GeneratedScenario {
+    /// The configuration the scenario was generated from.
+    pub config: ScenarioConfig,
+    /// The catalog ontology `OL`.
+    pub ontology: Ontology,
+    /// Per-leaf part-number profiles.
+    pub profiles: Vec<LeafProfile>,
+    /// The RDF dataset: local graph, external graph and `same-as` links.
+    pub dataset: Dataset,
+    /// Class assertions of the local catalog.
+    pub instances: InstanceStore,
+    /// The training set extracted from the dataset.
+    pub training: TrainingSet,
+    /// Gold classes of every external item (training and held-out), for
+    /// evaluation.
+    pub gold_classes: BTreeMap<Term, ClassId>,
+    /// Held-out external items (not in `TS`) as `(item, facts)` pairs.
+    pub heldout: Vec<(Term, Vec<(String, String)>)>,
+}
+
+impl GeneratedScenario {
+    /// Convenience: the number of local catalog items.
+    pub fn catalog_size(&self) -> usize {
+        self.config.catalog_size
+    }
+
+    /// The gold (most specific) class of an external item, if known.
+    pub fn gold_class(&self, item: &Term) -> Option<ClassId> {
+        self.gold_classes.get(item).copied()
+    }
+}
+
+/// Generate a full scenario from a configuration.
+pub fn generate(config: &ScenarioConfig) -> GeneratedScenario {
+    let (ontology, profiles) = generate_taxonomy(&config.taxonomy);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let part_gen = PartNumberGenerator::new(config.part_numbers);
+
+    let catalog_size = config
+        .catalog_size
+        .max(config.training_links + config.extra_external);
+
+    // Precompute the Zipf CDF once (leaf popularity).
+    let leaf_count = profiles.len().max(1);
+    let weights: Vec<f64> = (0..leaf_count)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf_exponent))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut dataset = Dataset::new();
+    let mut gold_classes: BTreeMap<Term, ClassId> = BTreeMap::new();
+    let mut catalog_part_numbers: Vec<String> = Vec::with_capacity(catalog_size);
+    let mut catalog_classes: Vec<usize> = Vec::with_capacity(catalog_size);
+
+    // ------------------------------------------------------------------
+    // Local catalog SL.
+    // ------------------------------------------------------------------
+    for n in 0..catalog_size {
+        let leaf_idx = {
+            let mut target = rng.gen_range(0.0..total_weight);
+            let mut chosen = leaf_count - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if target < *w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        let profile = &profiles[leaf_idx];
+        let item_iri = vocab::local_item(n);
+        let part_number = part_gen.generate(profile, n, &mut rng);
+        let manufacturer = MANUFACTURERS[rng.gen_range(0..MANUFACTURERS.len())];
+        dataset.insert(
+            Source::Local,
+            Triple::iris(&item_iri, rdf_vocab::RDF_TYPE, ontology.iri(profile.class)),
+        );
+        dataset.insert(
+            Source::Local,
+            Triple::literal(&item_iri, vocab::LOCAL_PART_NUMBER, &part_number),
+        );
+        dataset.insert(
+            Source::Local,
+            Triple::literal(&item_iri, vocab::LOCAL_MANUFACTURER, manufacturer),
+        );
+        dataset.insert(
+            Source::Local,
+            Triple::literal(&item_iri, vocab::LOCAL_LABEL, format!("{} #{n}", profile.label)),
+        );
+        catalog_part_numbers.push(part_number);
+        catalog_classes.push(leaf_idx);
+    }
+
+    // ------------------------------------------------------------------
+    // External provider items SE: one per training link plus held-out items,
+    // each derived from a distinct catalog product.
+    // ------------------------------------------------------------------
+    let external_total = config.training_links + config.extra_external;
+    let mut heldout: Vec<(Term, Vec<(String, String)>)> = Vec::new();
+    for e in 0..external_total {
+        let catalog_index = e; // distinct by construction (catalog_size ≥ external_total)
+        let profile = &profiles[catalog_classes[catalog_index]];
+        let ext_iri = vocab::provider_item(e);
+        let ext_item = Term::iri(&ext_iri);
+        let provider_ref = config
+            .perturbation
+            .apply(&catalog_part_numbers[catalog_index], &mut rng);
+        let manufacturer = MANUFACTURERS[rng.gen_range(0..MANUFACTURERS.len())];
+        dataset.insert(
+            Source::External,
+            Triple::literal(&ext_iri, vocab::PROVIDER_PART_NUMBER, &provider_ref),
+        );
+        dataset.insert(
+            Source::External,
+            Triple::literal(&ext_iri, vocab::PROVIDER_MANUFACTURER, manufacturer),
+        );
+        gold_classes.insert(ext_item.clone(), profile.class);
+        if e < config.training_links {
+            dataset.link(&ext_item, &Term::iri(vocab::local_item(catalog_index)));
+        } else {
+            heldout.push((
+                ext_item,
+                vec![
+                    (vocab::PROVIDER_PART_NUMBER.to_string(), provider_ref),
+                    (vocab::PROVIDER_MANUFACTURER.to_string(), manufacturer.to_string()),
+                ],
+            ));
+        }
+    }
+
+    let (instances, unknown) = InstanceStore::from_graph(dataset.local(), &ontology);
+    debug_assert!(unknown.is_empty(), "catalog uses only declared classes");
+    let training = TrainingSet::from_dataset(&dataset, &ontology, true)
+        .expect("scenario always has at least one link");
+
+    GeneratedScenario {
+        config: ScenarioConfig {
+            catalog_size,
+            ..config.clone()
+        },
+        ontology,
+        profiles,
+        dataset,
+        instances,
+        training,
+        gold_classes,
+        heldout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scenario_has_consistent_shapes() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let cfg = &scenario.config;
+        assert_eq!(scenario.training.len(), cfg.training_links);
+        assert_eq!(scenario.heldout.len(), cfg.extra_external);
+        assert_eq!(scenario.dataset.link_count(), cfg.training_links);
+        assert_eq!(
+            scenario.dataset.item_count(classilink_rdf::Source::Local),
+            cfg.catalog_size
+        );
+        assert_eq!(
+            scenario.dataset.item_count(classilink_rdf::Source::External),
+            cfg.training_links + cfg.extra_external
+        );
+        assert_eq!(scenario.instances.item_count(), cfg.catalog_size);
+        assert_eq!(
+            scenario.gold_classes.len(),
+            cfg.training_links + cfg.extra_external
+        );
+        assert_eq!(scenario.catalog_size(), cfg.catalog_size);
+    }
+
+    #[test]
+    fn training_examples_have_provider_facts_and_leaf_classes() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        for example in scenario.training.examples() {
+            assert!(!example.facts.is_empty());
+            assert!(example
+                .facts
+                .iter()
+                .any(|(p, _)| p == vocab::PROVIDER_PART_NUMBER));
+            assert_eq!(example.classes.len(), 1);
+            assert!(scenario.ontology.is_leaf(example.classes[0]));
+            // The example's class matches the gold class of the external item.
+            assert_eq!(
+                scenario.gold_class(&example.external_item),
+                Some(example.classes[0])
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&ScenarioConfig::tiny());
+        let b = generate(&ScenarioConfig::tiny());
+        assert_eq!(a.training, b.training);
+        assert_eq!(a.gold_classes, b.gold_classes);
+        assert_eq!(a.dataset.local().len(), b.dataset.local().len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = generate(&ScenarioConfig::tiny());
+        let b = generate(&ScenarioConfig::tiny().with_seed(99));
+        assert_ne!(a.training, b.training);
+    }
+
+    #[test]
+    fn class_distribution_is_skewed() {
+        let scenario = generate(&ScenarioConfig::small());
+        let freqs = scenario.training.class_frequencies();
+        let max = freqs.values().copied().max().unwrap_or(0);
+        let min = freqs.values().copied().min().unwrap_or(0);
+        assert!(max >= 5 * min.max(1), "distribution not skewed: max {max}, min {min}");
+        // Not every leaf class necessarily appears, but many do.
+        assert!(freqs.len() > scenario.profiles.len() / 3);
+    }
+
+    #[test]
+    fn catalog_size_is_clamped_to_fit_external_items() {
+        let mut cfg = ScenarioConfig::tiny();
+        cfg.catalog_size = 10; // smaller than links + heldout
+        let scenario = generate(&cfg);
+        assert!(scenario.config.catalog_size >= cfg.training_links + cfg.extra_external);
+    }
+
+    #[test]
+    fn local_items_carry_part_number_manufacturer_and_label() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let item = Term::iri(vocab::local_item(0));
+        let graph = scenario.dataset.local();
+        assert!(graph
+            .object_of(&item, &Term::iri(vocab::LOCAL_PART_NUMBER))
+            .is_some());
+        assert!(graph
+            .object_of(&item, &Term::iri(vocab::LOCAL_MANUFACTURER))
+            .is_some());
+        assert!(graph
+            .object_of(&item, &Term::iri(vocab::LOCAL_LABEL))
+            .is_some());
+    }
+}

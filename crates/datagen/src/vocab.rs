@@ -1,0 +1,59 @@
+//! Namespaces and property IRIs used by the synthetic data.
+//!
+//! The local catalog mimics the Thales product catalog of the paper (its own
+//! ontology and vocabulary); the provider documents use a *different*
+//! vocabulary, reflecting the paper's setting where the external schema is
+//! unknown and unaligned.
+
+/// Namespace of the catalog ontology classes.
+pub const CLASS_NS: &str = "http://classilink.example.org/catalog/classes#";
+/// Namespace of the local catalog items.
+pub const LOCAL_ITEM_NS: &str = "http://classilink.example.org/catalog/product/";
+/// Namespace of the local catalog vocabulary (data properties).
+pub const LOCAL_VOCAB_NS: &str = "http://classilink.example.org/catalog/vocab#";
+/// Namespace of the external provider items.
+pub const PROVIDER_ITEM_NS: &str = "http://provider.example.com/item/";
+/// Namespace of the external provider vocabulary.
+pub const PROVIDER_VOCAB_NS: &str = "http://provider.example.com/vocab#";
+
+/// Local catalog: part-number property.
+pub const LOCAL_PART_NUMBER: &str = "http://classilink.example.org/catalog/vocab#partNumber";
+/// Local catalog: manufacturer property.
+pub const LOCAL_MANUFACTURER: &str = "http://classilink.example.org/catalog/vocab#manufacturer";
+/// Local catalog: label property.
+pub const LOCAL_LABEL: &str = "http://classilink.example.org/catalog/vocab#label";
+
+/// Provider vocabulary: the provider's identifier for the product
+/// ("a provider identifier (a part-number)" in the paper).
+pub const PROVIDER_PART_NUMBER: &str = "http://provider.example.com/vocab#reference";
+/// Provider vocabulary: the manufacturer name.
+pub const PROVIDER_MANUFACTURER: &str = "http://provider.example.com/vocab#maker";
+
+/// IRI of a local catalog item.
+pub fn local_item(n: usize) -> String {
+    format!("{LOCAL_ITEM_NS}{n}")
+}
+
+/// IRI of an external provider item.
+pub fn provider_item(n: usize) -> String {
+    format!("{PROVIDER_ITEM_NS}{n}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_iris_are_namespaced() {
+        assert!(local_item(42).starts_with(LOCAL_ITEM_NS));
+        assert!(provider_item(7).starts_with(PROVIDER_ITEM_NS));
+        assert_ne!(local_item(1), provider_item(1));
+    }
+
+    #[test]
+    fn vocabularies_differ_between_sources() {
+        assert!(LOCAL_PART_NUMBER.starts_with(LOCAL_VOCAB_NS));
+        assert!(PROVIDER_PART_NUMBER.starts_with(PROVIDER_VOCAB_NS));
+        assert_ne!(LOCAL_PART_NUMBER, PROVIDER_PART_NUMBER);
+    }
+}

@@ -1,0 +1,55 @@
+//! # classilink-eval
+//!
+//! The evaluation harness of the `classilink` workspace (reproduction of
+//! *"Classification Rule Learning for Data Linking"*, Pernelle & Saïs,
+//! LWDM @ EDBT 2012).
+//!
+//! Every table and figure of the paper's evaluation (and the additional
+//! experiments listed in DESIGN.md) is regenerated through this crate:
+//!
+//! * [`metrics`] — decisions, precision, recall, F1 for rule-based
+//!   classification.
+//! * [`table1`] — the Table 1 experiment: rules grouped by confidence tier,
+//!   with #rules / #decisions / precision / recall / lift per row.
+//! * [`sweeps`] — the linking-space reduction sweep (E3/E4), the support
+//!   threshold sweep (A2), the segmenter ablation (A1) and the
+//!   subsumption-generalisation ablation (A3).
+//! * [`blocking_eval`] — the comparison with the related-work blocking
+//!   baselines (E5).
+//! * [`report`] — ASCII and CSV table rendering.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use classilink_datagen::scenario::{generate, ScenarioConfig};
+//! use classilink_eval::table1::Table1Experiment;
+//! use classilink_core::{LearnerConfig, PropertySelection};
+//! use classilink_datagen::vocab;
+//!
+//! let scenario = generate(&ScenarioConfig::tiny());
+//! let experiment = Table1Experiment::with_learner(
+//!     LearnerConfig::default()
+//!         .with_support_threshold(0.01)
+//!         .with_properties(PropertySelection::single(vocab::PROVIDER_PART_NUMBER)),
+//! );
+//! let (_outcome, report) = experiment
+//!     .run_on_training(&scenario.training, &scenario.ontology)
+//!     .unwrap();
+//! assert_eq!(report.rows.len(), 4);
+//! println!("{}", report.to_table().to_ascii());
+//! ```
+
+pub mod blocking_eval;
+pub mod metrics;
+pub mod report;
+pub mod sweeps;
+pub mod table1;
+
+pub use blocking_eval::{compare_blockers, BlockingComparisonRow};
+pub use metrics::ClassificationOutcome;
+pub use report::Table;
+pub use sweeps::{
+    generalization_ablation, reduction_sweep, segmenter_ablation, support_sweep,
+    GeneralizationPoint, ReductionPoint, SegmenterPoint, SupportPoint,
+};
+pub use table1::{Table1Experiment, Table1Report, Table1Row};

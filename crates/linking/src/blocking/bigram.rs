@@ -1,0 +1,154 @@
+//! Bi-gram indexing.
+//!
+//! Related work of the paper: "In Bi-gram methods, attribute values are
+//! converted into sub-strings of two characters (bi-gram) and sub-lists of
+//! all possible permutations are built using a threshold (between 0.0 and
+//! 1.0). The resulting bigram lists are sorted and inserted into an inverted
+//! index, which will be used to retrieve the corresponding record numbers in
+//! a block."
+//!
+//! This implementation follows the practical variant used by record-linkage
+//! toolkits: each record's key value is converted into padded bigrams and
+//! indexed in an inverted index; an (external, local) pair becomes a
+//! candidate when the two records share at least
+//! `ceil(threshold · min(|bigrams_e|, |bigrams_l|))` bigrams.
+
+use super::key::BlockingKey;
+use super::{Blocker, CandidatePair};
+use crate::index::InvertedIndex;
+use crate::record::Record;
+use classilink_segment::{CharNGramSegmenter, Segmenter};
+use std::collections::HashMap;
+
+/// Bi-gram inverted-index blocking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BigramBlocker {
+    /// The key recipe selecting which value is indexed.
+    pub key: BlockingKey,
+    /// Fraction of the smaller record's bigrams that must be shared,
+    /// in `[0, 1]`. Lower thresholds produce more candidates.
+    pub threshold: f64,
+}
+
+impl BigramBlocker {
+    /// A bigram blocker with the given key and sharing threshold.
+    pub fn new(key: BlockingKey, threshold: f64) -> Self {
+        BigramBlocker {
+            key,
+            threshold: threshold.clamp(0.0, 1.0),
+        }
+    }
+
+    fn bigrams(value: &str) -> Vec<String> {
+        CharNGramSegmenter::padded_bigrams().split_distinct(value)
+    }
+}
+
+impl Blocker for BigramBlocker {
+    fn name(&self) -> &'static str {
+        "bigram-indexing"
+    }
+
+    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+        // Inverted index over the local records' bigrams.
+        let mut index: InvertedIndex<usize> = InvertedIndex::new();
+        let mut local_sizes: Vec<usize> = Vec::with_capacity(local.len());
+        for (l, record) in local.iter().enumerate() {
+            let grams = Self::bigrams(&self.key.local_key(record));
+            local_sizes.push(grams.len());
+            for g in grams {
+                index.insert(g, l);
+            }
+        }
+        let mut pairs: Vec<CandidatePair> = Vec::new();
+        for (e, record) in external.iter().enumerate() {
+            let grams = Self::bigrams(&self.key.external_key(record));
+            if grams.is_empty() {
+                continue;
+            }
+            // Count shared bigrams per local candidate.
+            let mut shared: HashMap<usize, usize> = HashMap::new();
+            for g in &grams {
+                for &l in index.get(g) {
+                    *shared.entry(l).or_insert(0) += 1;
+                }
+            }
+            for (l, count) in shared {
+                let smaller = grams.len().min(local_sizes[l]).max(1);
+                let required = (self.threshold * smaller as f64).ceil() as usize;
+                if count >= required.max(1) {
+                    pairs.push((e, l));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::test_support::*;
+    use crate::blocking::BlockingStats;
+    use std::collections::HashSet;
+
+    fn key() -> BlockingKey {
+        BlockingKey::per_side(EXT_PN, LOC_PN, 0)
+    }
+
+    #[test]
+    fn identical_values_are_always_candidates() {
+        let (external, local) = small_dataset();
+        let pairs = BigramBlocker::new(key(), 1.0).candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        for i in 0..4 {
+            assert!(set.contains(&(i, i)));
+        }
+    }
+
+    #[test]
+    fn lower_threshold_yields_more_candidates() {
+        let (external, local) = small_dataset();
+        let strict = BigramBlocker::new(key(), 0.9).candidate_pairs(&external, &local);
+        let loose = BigramBlocker::new(key(), 0.2).candidate_pairs(&external, &local);
+        assert!(loose.len() >= strict.len());
+        let strict_set: HashSet<_> = strict.into_iter().collect();
+        let loose_set: HashSet<_> = loose.into_iter().collect();
+        assert!(strict_set.is_subset(&loose_set));
+    }
+
+    #[test]
+    fn typo_in_part_number_still_blocks_together() {
+        let external = vec![ext_record(0, "CRCW0805-10J")]; // one char off
+        let local = vec![loc_record(0, "CRCW0805-10K"), loc_record(1, "LM317-TO220")];
+        let pairs = BigramBlocker::new(key(), 0.6).candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.into_iter().collect();
+        assert!(set.contains(&(0, 0)));
+        assert!(!set.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn completeness_and_reduction_on_small_dataset() {
+        let (external, local) = small_dataset();
+        let pairs = BigramBlocker::new(key(), 0.8).candidate_pairs(&external, &local);
+        let true_pairs: HashSet<_> = (0..4).map(|i| (i, i)).collect();
+        let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert!(stats.reduction_ratio > 0.0);
+    }
+
+    #[test]
+    fn threshold_is_clamped_and_empty_inputs_ok() {
+        let blocker = BigramBlocker::new(key(), 7.0);
+        assert_eq!(blocker.threshold, 1.0);
+        assert_eq!(blocker.name(), "bigram-indexing");
+        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+        // Record without the key property produces no candidates.
+        let external = vec![crate::record::Record::new(classilink_rdf::Term::iri(
+            "http://provider.e.org/item/9",
+        ))];
+        let (_, local) = small_dataset();
+        assert!(blocker.candidate_pairs(&external, &local).is_empty());
+    }
+}

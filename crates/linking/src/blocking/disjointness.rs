@@ -1,0 +1,116 @@
+//! Class-disjointness filtering.
+//!
+//! Related work of the paper: "In [Saïs et al. 2009], class disjunctions are
+//! used to reduce the reconciliation space but such approaches cannot be used
+//! when the data that will be integrated are not described using the ontology
+//! vocabulary." The filter below implements that idea for completeness: given
+//! class assignments on both sides, candidate pairs whose classes are
+//! declared disjoint are removed. In the paper's setting the external classes
+//! are unknown, which is exactly the gap the classification rules fill — the
+//! benchmarks use this filter only in the oracle ablation.
+
+use super::CandidatePair;
+use classilink_ontology::{ClassId, Ontology};
+
+/// Removes candidate pairs whose two sides belong to disjoint classes.
+#[derive(Debug, Clone)]
+pub struct DisjointnessFilter<'a> {
+    ontology: &'a Ontology,
+}
+
+impl<'a> DisjointnessFilter<'a> {
+    /// A filter over the given ontology.
+    pub fn new(ontology: &'a Ontology) -> Self {
+        DisjointnessFilter { ontology }
+    }
+
+    /// `true` when the pair of class sets is compatible (no declared
+    /// disjointness between any external class and any local class). Items
+    /// with unknown classes (empty slices) are always compatible — without
+    /// schema knowledge nothing can be pruned.
+    pub fn compatible(&self, external_classes: &[ClassId], local_classes: &[ClassId]) -> bool {
+        for e in external_classes {
+            for l in local_classes {
+                if self.ontology.are_disjoint(*e, *l) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Filter a candidate-pair list given per-record class assignments.
+    /// `external_classes[e]` / `local_classes[l]` give the classes of the
+    /// records at those indexes.
+    pub fn filter(
+        &self,
+        candidates: &[CandidatePair],
+        external_classes: &[Vec<ClassId>],
+        local_classes: &[Vec<ClassId>],
+    ) -> Vec<CandidatePair> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|(e, l)| {
+                let ext = external_classes.get(*e).map(Vec::as_slice).unwrap_or(&[]);
+                let loc = local_classes.get(*l).map(Vec::as_slice).unwrap_or(&[]);
+                self.compatible(ext, loc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classilink_ontology::OntologyBuilder;
+
+    fn ontology() -> (Ontology, ClassId, ClassId, ClassId) {
+        let mut b = OntologyBuilder::new("http://e.org/c#");
+        let component = b.class("Component", None);
+        let resistor = b.class("Resistor", Some(component));
+        let capacitor = b.class("Capacitor", Some(component));
+        b.disjoint(resistor, capacitor);
+        (b.build(), component, resistor, capacitor)
+    }
+
+    #[test]
+    fn disjoint_pairs_are_removed() {
+        let (onto, _, resistor, capacitor) = ontology();
+        let filter = DisjointnessFilter::new(&onto);
+        let candidates = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+        let external_classes = vec![vec![resistor], vec![capacitor]];
+        let local_classes = vec![vec![resistor], vec![capacitor]];
+        let kept = filter.filter(&candidates, &external_classes, &local_classes);
+        assert_eq!(kept, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn unknown_classes_are_never_pruned() {
+        let (onto, _, resistor, _) = ontology();
+        let filter = DisjointnessFilter::new(&onto);
+        let candidates = vec![(0, 0), (0, 1)];
+        let external_classes = vec![vec![]];
+        let local_classes = vec![vec![resistor], vec![]];
+        let kept = filter.filter(&candidates, &external_classes, &local_classes);
+        assert_eq!(kept, candidates);
+        assert!(filter.compatible(&[], &[resistor]));
+    }
+
+    #[test]
+    fn compatible_classes_pass() {
+        let (onto, component, resistor, _) = ontology();
+        let filter = DisjointnessFilter::new(&onto);
+        assert!(filter.compatible(&[resistor], &[component]));
+        assert!(filter.compatible(&[resistor], &[resistor]));
+    }
+
+    #[test]
+    fn out_of_range_indexes_default_to_unknown() {
+        let (onto, _, resistor, capacitor) = ontology();
+        let filter = DisjointnessFilter::new(&onto);
+        let candidates = vec![(5, 7)];
+        let kept = filter.filter(&candidates, &[vec![resistor]], &[vec![capacitor]]);
+        assert_eq!(kept, candidates);
+    }
+}

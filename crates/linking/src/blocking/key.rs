@@ -1,0 +1,134 @@
+//! Blocking keys: how one record is reduced to a short comparable key.
+//!
+//! The related work describes keys such as "persons that share the same
+//! first five characters of their last name belong to the same block" and
+//! sorted-neighbourhood sorting keys. [`BlockingKey`] captures these
+//! variants.
+
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// A recipe for turning a record into a blocking/sorting key string.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingKey {
+    /// Property IRI used on external records.
+    pub external_property: String,
+    /// Property IRI used on local records (schemas differ, so the two sides
+    /// may use different property names for the same information).
+    pub local_property: String,
+    /// Keep only the first `prefix_length` characters of the normalised
+    /// value; `0` keeps the whole value.
+    pub prefix_length: usize,
+    /// Strip every non-alphanumeric character before truncating.
+    pub alphanumeric_only: bool,
+}
+
+impl BlockingKey {
+    /// A key over the same property IRI on both sides.
+    pub fn shared(property: impl Into<String>, prefix_length: usize) -> Self {
+        let p = property.into();
+        BlockingKey {
+            external_property: p.clone(),
+            local_property: p,
+            prefix_length,
+            alphanumeric_only: true,
+        }
+    }
+
+    /// A key with different property IRIs per side.
+    pub fn per_side(
+        external_property: impl Into<String>,
+        local_property: impl Into<String>,
+        prefix_length: usize,
+    ) -> Self {
+        BlockingKey {
+            external_property: external_property.into(),
+            local_property: local_property.into(),
+            prefix_length,
+            alphanumeric_only: true,
+        }
+    }
+
+    fn normalise(&self, value: &str) -> String {
+        let lowered = value.to_lowercase();
+        let filtered: String = if self.alphanumeric_only {
+            lowered.chars().filter(|c| c.is_alphanumeric()).collect()
+        } else {
+            lowered
+        };
+        if self.prefix_length == 0 {
+            filtered
+        } else {
+            filtered.chars().take(self.prefix_length).collect()
+        }
+    }
+
+    /// The key of an external record (empty string when the property is
+    /// missing).
+    pub fn external_key(&self, record: &Record) -> String {
+        self.normalise(record.first(&self.external_property).unwrap_or(""))
+    }
+
+    /// The key of a local record.
+    pub fn local_key(&self, record: &Record) -> String {
+        self.normalise(record.first(&self.local_property).unwrap_or(""))
+    }
+
+    /// The full (untruncated) normalised value of the relevant property, used
+    /// as a sorting key by the sorted-neighbourhood method.
+    pub fn sort_value(&self, record: &Record, is_external: bool) -> String {
+        let property = if is_external {
+            &self.external_property
+        } else {
+            &self.local_property
+        };
+        let lowered = record.first(property).unwrap_or("").to_lowercase();
+        if self.alphanumeric_only {
+            lowered.chars().filter(|c| c.is_alphanumeric()).collect()
+        } else {
+            lowered
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::test_support::{ext_record, loc_record, EXT_PN, LOC_PN};
+
+    #[test]
+    fn shared_key_truncates_and_normalises() {
+        let key = BlockingKey::shared(EXT_PN, 5);
+        let r = ext_record(0, "CRCW-0805 10K");
+        assert_eq!(key.external_key(&r), "crcw0");
+        let full = BlockingKey::shared(EXT_PN, 0);
+        assert_eq!(full.external_key(&r), "crcw080510k");
+    }
+
+    #[test]
+    fn per_side_keys_use_their_property() {
+        let key = BlockingKey::per_side(EXT_PN, LOC_PN, 4);
+        let e = ext_record(0, "T83-A225");
+        let l = loc_record(0, "T83-A225");
+        assert_eq!(key.external_key(&e), "t83a");
+        assert_eq!(key.local_key(&l), "t83a");
+        // Missing property → empty key.
+        assert_eq!(key.local_key(&e), "");
+    }
+
+    #[test]
+    fn sort_value_keeps_full_length() {
+        let key = BlockingKey::per_side(EXT_PN, LOC_PN, 3);
+        let e = ext_record(0, "CRCW0805-10K");
+        assert_eq!(key.sort_value(&e, true), "crcw080510k");
+        assert_eq!(key.sort_value(&e, false), "");
+    }
+
+    #[test]
+    fn non_alphanumeric_preserved_when_configured() {
+        let mut key = BlockingKey::shared(EXT_PN, 0);
+        key.alphanumeric_only = false;
+        let r = ext_record(0, "CRCW-0805 10K");
+        assert_eq!(key.external_key(&r), "crcw-0805 10k");
+    }
+}

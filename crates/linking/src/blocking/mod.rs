@@ -1,0 +1,218 @@
+//! Blocking: generating candidate pairs without comparing everything.
+//!
+//! The related-work section of the paper surveys the classic families of
+//! methods for reducing the number of comparisons — blocking on a key,
+//! sorted neighbourhood, bi-gram indexing — and the paper's own contribution
+//! is an alternative based on learnt classification rules. This module
+//! implements all of them behind one [`Blocker`] trait so that the
+//! benchmarks can compare them on the same data (experiment E5 of
+//! DESIGN.md).
+
+pub mod bigram;
+pub mod disjointness;
+pub mod key;
+pub mod rule_based;
+pub mod sorted_neighborhood;
+pub mod standard;
+
+pub use bigram::BigramBlocker;
+pub use disjointness::DisjointnessFilter;
+pub use key::BlockingKey;
+pub use rule_based::RuleBasedBlocker;
+pub use sorted_neighborhood::SortedNeighborhoodBlocker;
+pub use standard::StandardBlocker;
+
+use crate::record::Record;
+
+/// A candidate pair, given as indexes into the external and local record
+/// slices handed to the blocker.
+pub type CandidatePair = (usize, usize);
+
+/// A strategy that selects which (external, local) record pairs are worth
+/// comparing.
+pub trait Blocker {
+    /// A short stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Produce candidate pairs as indexes into `external` and `local`.
+    /// Implementations must not return duplicates.
+    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair>;
+}
+
+/// The exhaustive baseline: every external record is compared with every
+/// local record (`|SE| × |SL|` pairs). This is the naive linking space the
+/// paper sets out to reduce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CartesianBlocker;
+
+impl Blocker for CartesianBlocker {
+    fn name(&self) -> &'static str {
+        "cartesian"
+    }
+
+    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+        let mut pairs = Vec::with_capacity(external.len() * local.len());
+        for e in 0..external.len() {
+            for l in 0..local.len() {
+                pairs.push((e, l));
+            }
+        }
+        pairs
+    }
+}
+
+/// Summary statistics of one blocking run, evaluated against a gold standard
+/// of true pairs.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct BlockingStats {
+    /// Number of candidate pairs produced.
+    pub candidate_pairs: u64,
+    /// Size of the cartesian product.
+    pub total_pairs: u64,
+    /// Number of true pairs covered by the candidates.
+    pub true_pairs_found: u64,
+    /// Number of true pairs in the gold standard.
+    pub true_pairs_total: u64,
+    /// `1 − candidates / total`: fraction of comparisons avoided.
+    pub reduction_ratio: f64,
+    /// `found / total true pairs` (recall of the blocking step).
+    pub pairs_completeness: f64,
+    /// `found / candidates` (precision of the blocking step).
+    pub pairs_quality: f64,
+}
+
+impl BlockingStats {
+    /// Evaluate a candidate set against a gold standard of true index pairs.
+    pub fn evaluate(
+        candidates: &[CandidatePair],
+        true_pairs: &std::collections::HashSet<CandidatePair>,
+        external_count: usize,
+        local_count: usize,
+    ) -> Self {
+        let candidate_pairs = candidates.len() as u64;
+        let total_pairs = external_count as u64 * local_count as u64;
+        let found = candidates
+            .iter()
+            .filter(|p| true_pairs.contains(p))
+            .count() as u64;
+        let reduction_ratio = if total_pairs == 0 {
+            0.0
+        } else {
+            1.0 - candidate_pairs as f64 / total_pairs as f64
+        };
+        let pairs_completeness = if true_pairs.is_empty() {
+            1.0
+        } else {
+            found as f64 / true_pairs.len() as f64
+        };
+        let pairs_quality = if candidate_pairs == 0 {
+            0.0
+        } else {
+            found as f64 / candidate_pairs as f64
+        };
+        BlockingStats {
+            candidate_pairs,
+            total_pairs,
+            true_pairs_found: found,
+            true_pairs_total: true_pairs.len() as u64,
+            reduction_ratio,
+            pairs_completeness,
+            pairs_quality,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use classilink_rdf::Term;
+
+    pub const EXT_PN: &str = "http://provider.e.org/v#ref";
+    pub const LOC_PN: &str = "http://local.e.org/v#partNumber";
+
+    pub fn ext_record(i: usize, pn: &str) -> Record {
+        let mut r = Record::new(Term::iri(format!("http://provider.e.org/item/{i}")));
+        r.add(EXT_PN, pn);
+        r
+    }
+
+    pub fn loc_record(i: usize, pn: &str) -> Record {
+        let mut r = Record::new(Term::iri(format!("http://local.e.org/prod/{i}")));
+        r.add(LOC_PN, pn);
+        r
+    }
+
+    /// 4 external and 5 local records; externals 0..4 truly match locals 0..4.
+    pub fn small_dataset() -> (Vec<Record>, Vec<Record>) {
+        let external = vec![
+            ext_record(0, "CRCW0805-10K"),
+            ext_record(1, "CRCW0603-22K"),
+            ext_record(2, "T83-A225"),
+            ext_record(3, "LM317-TO220"),
+        ];
+        let local = vec![
+            loc_record(0, "CRCW0805-10K"),
+            loc_record(1, "CRCW0603-22K"),
+            loc_record(2, "T83-A225"),
+            loc_record(3, "LM317-TO220"),
+            loc_record(4, "1N4148-DO35"),
+        ];
+        (external, local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cartesian_produces_all_pairs() {
+        let (external, local) = small_dataset();
+        let pairs = CartesianBlocker.candidate_pairs(&external, &local);
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(CartesianBlocker.name(), "cartesian");
+        let unique: HashSet<_> = pairs.iter().collect();
+        assert_eq!(unique.len(), 20);
+    }
+
+    #[test]
+    fn cartesian_with_empty_sides() {
+        let (external, _) = small_dataset();
+        assert!(CartesianBlocker.candidate_pairs(&external, &[]).is_empty());
+        assert!(CartesianBlocker.candidate_pairs(&[], &external).is_empty());
+    }
+
+    #[test]
+    fn stats_for_perfect_blocking() {
+        let true_pairs: HashSet<CandidatePair> = (0..4).map(|i| (i, i)).collect();
+        let candidates: Vec<CandidatePair> = (0..4).map(|i| (i, i)).collect();
+        let stats = BlockingStats::evaluate(&candidates, &true_pairs, 4, 5);
+        assert_eq!(stats.candidate_pairs, 4);
+        assert_eq!(stats.total_pairs, 20);
+        assert_eq!(stats.true_pairs_found, 4);
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert_eq!(stats.pairs_quality, 1.0);
+        assert!((stats.reduction_ratio - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_for_cartesian_blocking() {
+        let (external, local) = small_dataset();
+        let true_pairs: HashSet<CandidatePair> = (0..4).map(|i| (i, i)).collect();
+        let candidates = CartesianBlocker.candidate_pairs(&external, &local);
+        let stats = BlockingStats::evaluate(&candidates, &true_pairs, 4, 5);
+        assert_eq!(stats.reduction_ratio, 0.0);
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert!((stats.pairs_quality - 4.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_degenerate_cases() {
+        let stats = BlockingStats::evaluate(&[], &HashSet::new(), 0, 0);
+        assert_eq!(stats.reduction_ratio, 0.0);
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert_eq!(stats.pairs_quality, 0.0);
+    }
+}

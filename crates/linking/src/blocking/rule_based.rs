@@ -1,0 +1,218 @@
+//! Rule-based blocking: the paper's contribution cast as a [`Blocker`].
+//!
+//! The learnt classification rules predict, for each external record, the
+//! classes of the local ontology it should be compared with; the candidate
+//! pairs are then the record's pairs with the instances of those classes.
+//! This adapter lets the paper's approach be compared head-to-head with the
+//! classic blocking baselines on exactly the same interface (experiment E5).
+
+use super::{Blocker, CandidatePair};
+use crate::record::Record;
+use classilink_core::RuleClassifier;
+use classilink_ontology::{InstanceStore, Ontology};
+use std::collections::HashMap;
+
+/// Blocking through learnt classification rules.
+pub struct RuleBasedBlocker<'a> {
+    classifier: &'a RuleClassifier,
+    instances: &'a InstanceStore,
+    ontology: &'a Ontology,
+    /// When `true`, an external record for which no rule fires is paired with
+    /// every local record (guaranteeing completeness at the cost of
+    /// comparisons); when `false`, such records produce no candidates (what
+    /// the paper's reduction argument assumes).
+    pub fallback_to_all: bool,
+}
+
+impl<'a> RuleBasedBlocker<'a> {
+    /// A rule-based blocker over the given classifier and local instances.
+    pub fn new(
+        classifier: &'a RuleClassifier,
+        instances: &'a InstanceStore,
+        ontology: &'a Ontology,
+    ) -> Self {
+        RuleBasedBlocker {
+            classifier,
+            instances,
+            ontology,
+            fallback_to_all: false,
+        }
+    }
+
+    /// Enable pairing unclassified external records with the whole catalog.
+    pub fn with_fallback(mut self, fallback_to_all: bool) -> Self {
+        self.fallback_to_all = fallback_to_all;
+        self
+    }
+}
+
+impl Blocker for RuleBasedBlocker<'_> {
+    fn name(&self) -> &'static str {
+        "classification-rules"
+    }
+
+    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+        // Map local item terms to their index in `local`.
+        let local_index: HashMap<&classilink_rdf::Term, usize> = local
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (&r.id, i))
+            .collect();
+        let mut pairs: Vec<CandidatePair> = Vec::new();
+        for (e, record) in external.iter().enumerate() {
+            let facts: Vec<(String, String)> = record
+                .attributes
+                .iter()
+                .flat_map(|(p, vs)| vs.iter().map(move |v| (p.clone(), v.clone())))
+                .collect();
+            let predictions = self.classifier.classify_facts(&facts);
+            if predictions.is_empty() {
+                if self.fallback_to_all {
+                    for l in 0..local.len() {
+                        pairs.push((e, l));
+                    }
+                }
+                continue;
+            }
+            let mut seen = vec![false; local.len()];
+            for prediction in predictions {
+                for item in self.instances.extent(prediction.class, self.ontology) {
+                    if let Some(&l) = local_index.get(&item) {
+                        if !seen[l] {
+                            seen[l] = true;
+                            pairs.push((e, l));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::test_support::*;
+    use crate::blocking::BlockingStats;
+    use classilink_core::{Contingency, ClassificationRule};
+    use classilink_ontology::{ClassId, OntologyBuilder};
+    use classilink_rdf::Term;
+    use classilink_segment::SegmenterKind;
+    use std::collections::HashSet;
+
+    fn setup() -> (Ontology, InstanceStore, RuleClassifier) {
+        let mut b = OntologyBuilder::new("http://e.org/c#");
+        let root = b.class("Component", None);
+        let resistor = b.class("FixedFilmResistor", Some(root));
+        let capacitor = b.class("TantalumCapacitor", Some(root));
+        let onto = b.build();
+
+        // Locals 0 and 1 are resistors, 2 is a capacitor, 3 and 4 untyped.
+        let mut store = InstanceStore::new();
+        store.assert_type(&Term::iri("http://local.e.org/prod/0"), resistor);
+        store.assert_type(&Term::iri("http://local.e.org/prod/1"), resistor);
+        store.assert_type(&Term::iri("http://local.e.org/prod/2"), capacitor);
+
+        let rule = |segment: &str, class: ClassId, name: &str| ClassificationRule {
+            property: EXT_PN.to_string(),
+            segment: segment.to_string(),
+            class,
+            class_iri: format!("http://e.org/c#{name}"),
+            class_label: name.to_string(),
+            quality: Contingency::new(100, 10, 20, 10).quality(),
+        };
+        let classifier = RuleClassifier::new(
+            vec![
+                rule("crcw0805", resistor, "FixedFilmResistor"),
+                rule("crcw0603", resistor, "FixedFilmResistor"),
+                rule("t83", capacitor, "TantalumCapacitor"),
+            ],
+            SegmenterKind::Separator,
+            true,
+        );
+        (onto, store, classifier)
+    }
+
+    #[test]
+    fn pairs_follow_predicted_class_extents() {
+        let (onto, store, classifier) = setup();
+        let (external, local) = small_dataset();
+        let blocker = RuleBasedBlocker::new(&classifier, &store, &onto);
+        let pairs = blocker.candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        // External 0 and 1 are classified as resistors → locals 0 and 1.
+        assert!(set.contains(&(0, 0)) && set.contains(&(0, 1)));
+        assert!(set.contains(&(1, 0)) && set.contains(&(1, 1)));
+        // External 2 is a capacitor → local 2 only.
+        assert!(set.contains(&(2, 2)));
+        assert!(!set.contains(&(2, 0)));
+        // External 3 (LM317…) triggers no rule → no pairs without fallback.
+        assert!(pairs.iter().all(|(e, _)| *e != 3));
+        assert_eq!(blocker.name(), "classification-rules");
+    }
+
+    #[test]
+    fn true_pairs_covered_for_classified_records() {
+        let (onto, store, classifier) = setup();
+        let (external, local) = small_dataset();
+        let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
+            .candidate_pairs(&external, &local);
+        // True pairs for the classified externals (0,0), (1,1), (2,2).
+        let true_pairs: HashSet<_> = (0..3).map(|i| (i, i)).collect();
+        let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert!(stats.reduction_ratio > 0.5);
+    }
+
+    #[test]
+    fn fallback_pairs_unclassified_records_with_everything() {
+        let (onto, store, classifier) = setup();
+        let (external, local) = small_dataset();
+        let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
+            .with_fallback(true)
+            .candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        for l in 0..local.len() {
+            assert!(set.contains(&(3, l)));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_pairs_even_with_overlapping_predictions() {
+        let (onto, store, _) = setup();
+        let resistor = onto.class("http://e.org/c#FixedFilmResistor").unwrap();
+        let root = onto.class("http://e.org/c#Component").unwrap();
+        // Two rules firing on the same record, one concluding the subclass and
+        // one the superclass → extents overlap.
+        let rule = |segment: &str, class: ClassId, name: &str| ClassificationRule {
+            property: EXT_PN.to_string(),
+            segment: segment.to_string(),
+            class,
+            class_iri: format!("http://e.org/c#{name}"),
+            class_label: name.to_string(),
+            quality: Contingency::new(100, 10, 20, 10).quality(),
+        };
+        let classifier = RuleClassifier::new(
+            vec![
+                rule("crcw0805", resistor, "FixedFilmResistor"),
+                rule("10k", root, "Component"),
+            ],
+            SegmenterKind::Separator,
+            true,
+        );
+        let (external, local) = small_dataset();
+        let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
+            .candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), pairs.len());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let (onto, store, classifier) = setup();
+        let blocker = RuleBasedBlocker::new(&classifier, &store, &onto);
+        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Sorted neighbourhood blocking.
+//!
+//! Related work of the paper: "Sorted Neighbourhood (SN) method sorts the
+//! data items using a sorting key. A window of a given size is moved on the
+//! list of sorted data items and those belonging to the window are compared."
+//!
+//! Both sources are merged into one list, sorted by the sorting key; a
+//! sliding window of size `w` moves over the sorted list, and every
+//! (external, local) pair inside the window becomes a candidate.
+
+use super::key::BlockingKey;
+use super::{Blocker, CandidatePair};
+use crate::record::Record;
+use std::collections::HashSet;
+
+/// Sorted-neighbourhood blocking over a merged, key-sorted list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedNeighborhoodBlocker {
+    /// The sorting key recipe.
+    pub key: BlockingKey,
+    /// The window size (≥ 2); a window of `w` covers `w` consecutive records
+    /// of the sorted merged list.
+    pub window: usize,
+}
+
+impl SortedNeighborhoodBlocker {
+    /// A sorted-neighbourhood blocker with the given key and window size.
+    pub fn new(key: BlockingKey, window: usize) -> Self {
+        SortedNeighborhoodBlocker {
+            key,
+            window: window.max(2),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    sort_key: String,
+    /// Index into the external (true) or local (false) slice.
+    index: usize,
+    is_external: bool,
+}
+
+impl Blocker for SortedNeighborhoodBlocker {
+    fn name(&self) -> &'static str {
+        "sorted-neighborhood"
+    }
+
+    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
+        for (i, r) in external.iter().enumerate() {
+            entries.push(Entry {
+                sort_key: self.key.sort_value(r, true),
+                index: i,
+                is_external: true,
+            });
+        }
+        for (i, r) in local.iter().enumerate() {
+            entries.push(Entry {
+                sort_key: self.key.sort_value(r, false),
+                index: i,
+                is_external: false,
+            });
+        }
+        entries.sort_by(|a, b| {
+            a.sort_key
+                .cmp(&b.sort_key)
+                .then_with(|| a.is_external.cmp(&b.is_external))
+                .then_with(|| a.index.cmp(&b.index))
+        });
+
+        let mut pairs: HashSet<CandidatePair> = HashSet::new();
+        if entries.is_empty() {
+            return Vec::new();
+        }
+        for start in 0..entries.len() {
+            let end = (start + self.window).min(entries.len());
+            let window = &entries[start..end];
+            for (i, a) in window.iter().enumerate() {
+                for b in &window[i + 1..] {
+                    match (a.is_external, b.is_external) {
+                        (true, false) => {
+                            pairs.insert((a.index, b.index));
+                        }
+                        (false, true) => {
+                            pairs.insert((b.index, a.index));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let mut out: Vec<CandidatePair> = pairs.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::test_support::*;
+    use crate::blocking::{BlockingStats, CartesianBlocker};
+    use std::collections::HashSet;
+
+    fn key() -> BlockingKey {
+        BlockingKey::per_side(EXT_PN, LOC_PN, 0)
+    }
+
+    #[test]
+    fn window_covers_adjacent_records() {
+        let (external, local) = small_dataset();
+        let blocker = SortedNeighborhoodBlocker::new(key(), 3);
+        let pairs = blocker.candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        // Identical part numbers sort adjacently, so every true pair is found.
+        for i in 0..4 {
+            assert!(set.contains(&(i, i)), "missing true pair ({i},{i})");
+        }
+        assert_eq!(blocker.name(), "sorted-neighborhood");
+    }
+
+    #[test]
+    fn larger_window_finds_superset_of_pairs() {
+        let (external, local) = small_dataset();
+        let small: HashSet<_> = SortedNeighborhoodBlocker::new(key(), 2)
+            .candidate_pairs(&external, &local)
+            .into_iter()
+            .collect();
+        let large: HashSet<_> = SortedNeighborhoodBlocker::new(key(), 5)
+            .candidate_pairs(&external, &local)
+            .into_iter()
+            .collect();
+        assert!(small.is_subset(&large));
+        assert!(large.len() >= small.len());
+    }
+
+    #[test]
+    fn full_window_equals_cartesian_coverage() {
+        let (external, local) = small_dataset();
+        let total = external.len() + local.len();
+        let all: HashSet<_> = SortedNeighborhoodBlocker::new(key(), total)
+            .candidate_pairs(&external, &local)
+            .into_iter()
+            .collect();
+        let cartesian: HashSet<_> = CartesianBlocker
+            .candidate_pairs(&external, &local)
+            .into_iter()
+            .collect();
+        assert_eq!(all, cartesian);
+    }
+
+    #[test]
+    fn produces_fewer_pairs_than_cartesian_but_complete() {
+        let (external, local) = small_dataset();
+        let pairs = SortedNeighborhoodBlocker::new(key(), 3).candidate_pairs(&external, &local);
+        let true_pairs: HashSet<_> = (0..4).map(|i| (i, i)).collect();
+        let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
+        assert_eq!(stats.pairs_completeness, 1.0);
+        assert!(stats.reduction_ratio > 0.0);
+    }
+
+    #[test]
+    fn window_is_clamped_to_two_and_empty_input_is_fine() {
+        let blocker = SortedNeighborhoodBlocker::new(key(), 0);
+        assert_eq!(blocker.window, 2);
+        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let (external, local) = small_dataset();
+        let pairs = SortedNeighborhoodBlocker::new(key(), 4).candidate_pairs(&external, &local);
+        let set: HashSet<_> = pairs.iter().copied().collect();
+        assert_eq!(set.len(), pairs.len());
+    }
+}

@@ -1,0 +1,257 @@
+//! Record-pair comparison and match decisions.
+//!
+//! Once blocking (or the paper's classification rules) has produced candidate
+//! pairs, a linking method compares the two descriptions and decides whether
+//! they refer to the same real-world object. [`RecordComparator`] implements
+//! the standard weighted-average scheme: per-attribute similarities combined
+//! with weights, then thresholded into Match / Possible / NonMatch.
+
+use crate::record::Record;
+use crate::similarity::SimilarityMeasure;
+use serde::{Deserialize, Serialize};
+
+/// How one attribute pair contributes to the overall record similarity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeRule {
+    /// Property IRI on the left (external) record.
+    pub left_property: String,
+    /// Property IRI on the right (local) record.
+    pub right_property: String,
+    /// Similarity measure for this attribute pair.
+    pub measure: SimilarityMeasure,
+    /// Relative weight (will be normalised over the rules that fired).
+    pub weight: f64,
+}
+
+/// The outcome of comparing one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchDecision {
+    /// The similarity exceeds the match threshold.
+    Match,
+    /// The similarity lies between the two thresholds.
+    Possible,
+    /// The similarity is below the non-match threshold.
+    NonMatch,
+}
+
+/// The detailed result of one comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// The aggregated weighted similarity in `[0, 1]`.
+    pub score: f64,
+    /// The decision implied by the thresholds.
+    pub decision: MatchDecision,
+    /// Per-attribute-rule similarities (same order as the configured rules);
+    /// `None` when one side had no value for the attribute.
+    pub details: Vec<Option<f64>>,
+}
+
+/// Compares two records attribute by attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordComparator {
+    /// The attribute comparison rules.
+    pub rules: Vec<AttributeRule>,
+    /// Score at or above which a pair is a [`MatchDecision::Match`].
+    pub match_threshold: f64,
+    /// Score below which a pair is a [`MatchDecision::NonMatch`].
+    pub non_match_threshold: f64,
+    /// When no configured attribute pair has values on both sides, fall back
+    /// to comparing the records' full text with this measure.
+    pub fallback: Option<SimilarityMeasure>,
+}
+
+impl RecordComparator {
+    /// A comparator with the given attribute rules and default thresholds
+    /// (match ≥ 0.85, non-match < 0.6).
+    pub fn new(rules: Vec<AttributeRule>) -> Self {
+        RecordComparator {
+            rules,
+            match_threshold: 0.85,
+            non_match_threshold: 0.6,
+            fallback: Some(SimilarityMeasure::MongeElkan),
+        }
+    }
+
+    /// A single-attribute comparator (the common case for part numbers).
+    pub fn single(
+        left_property: impl Into<String>,
+        right_property: impl Into<String>,
+        measure: SimilarityMeasure,
+    ) -> Self {
+        Self::new(vec![AttributeRule {
+            left_property: left_property.into(),
+            right_property: right_property.into(),
+            measure,
+            weight: 1.0,
+        }])
+    }
+
+    /// Set the decision thresholds (clamped so that `non_match ≤ match`).
+    pub fn with_thresholds(mut self, match_threshold: f64, non_match_threshold: f64) -> Self {
+        self.match_threshold = match_threshold.clamp(0.0, 1.0);
+        self.non_match_threshold = non_match_threshold.clamp(0.0, self.match_threshold);
+        self
+    }
+
+    /// Compare two records.
+    pub fn compare(&self, left: &Record, right: &Record) -> Comparison {
+        let mut details = Vec::with_capacity(self.rules.len());
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for rule in &self.rules {
+            let left_values = left.values(&rule.left_property);
+            let right_values = right.values(&rule.right_property);
+            if left_values.is_empty() || right_values.is_empty() {
+                details.push(None);
+                continue;
+            }
+            // Best pairing across multi-valued attributes.
+            let best = left_values
+                .iter()
+                .flat_map(|lv| {
+                    right_values
+                        .iter()
+                        .map(move |rv| rule.measure.compare(lv, rv))
+                })
+                .fold(0.0f64, f64::max);
+            details.push(Some(best));
+            weighted_sum += best * rule.weight;
+            weight_total += rule.weight;
+        }
+        let score = if weight_total > 0.0 {
+            weighted_sum / weight_total
+        } else if let Some(fallback) = self.fallback {
+            fallback.compare(&left.full_text(), &right.full_text())
+        } else {
+            0.0
+        };
+        let decision = if score >= self.match_threshold {
+            MatchDecision::Match
+        } else if score < self.non_match_threshold {
+            MatchDecision::NonMatch
+        } else {
+            MatchDecision::Possible
+        };
+        Comparison {
+            score,
+            decision,
+            details,
+        }
+    }
+
+    /// `true` when the pair is decided as a match.
+    pub fn is_match(&self, left: &Record, right: &Record) -> bool {
+        self.compare(left, right).decision == MatchDecision::Match
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classilink_rdf::Term;
+
+    const EXT_PN: &str = "http://provider.e.org/v#ref";
+    const LOC_PN: &str = "http://local.e.org/v#partNumber";
+    const LOC_LABEL: &str = "http://local.e.org/v#label";
+
+    fn ext(pn: &str) -> Record {
+        let mut r = Record::new(Term::iri("http://provider.e.org/item/1"));
+        r.add(EXT_PN, pn);
+        r
+    }
+
+    fn loc(pn: &str, label: &str) -> Record {
+        let mut r = Record::new(Term::iri("http://local.e.org/prod/1"));
+        r.add(LOC_PN, pn);
+        r.add(LOC_LABEL, label);
+        r
+    }
+
+    #[test]
+    fn identical_part_numbers_match() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler);
+        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        assert_eq!(c.decision, MatchDecision::Match);
+        assert_eq!(c.score, 1.0);
+        assert_eq!(c.details, vec![Some(1.0)]);
+        assert!(cmp.is_match(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "r")));
+    }
+
+    #[test]
+    fn small_typo_is_still_a_match_large_difference_is_not() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler);
+        let typo = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0806-10K", "resistor"));
+        assert_eq!(typo.decision, MatchDecision::Match);
+        let different = cmp.compare(&ext("CRCW0805-10K"), &loc("T83A225K", "capacitor"));
+        assert_eq!(different.decision, MatchDecision::NonMatch);
+    }
+
+    #[test]
+    fn thresholds_partition_scores() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
+            .with_thresholds(0.9, 0.5);
+        let possible = cmp.compare(&ext("CRCW0805"), &loc("CRCW0899", "x"));
+        assert_eq!(possible.decision, MatchDecision::Possible);
+        assert!(possible.score < 0.9 && possible.score >= 0.5);
+    }
+
+    #[test]
+    fn threshold_clamping() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Jaro)
+            .with_thresholds(0.7, 0.9);
+        assert!(cmp.non_match_threshold <= cmp.match_threshold);
+        let cmp2 = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Jaro)
+            .with_thresholds(5.0, -1.0);
+        assert_eq!(cmp2.match_threshold, 1.0);
+        assert_eq!(cmp2.non_match_threshold, 0.0);
+    }
+
+    #[test]
+    fn multi_attribute_weighting() {
+        let cmp = RecordComparator::new(vec![
+            AttributeRule {
+                left_property: EXT_PN.to_string(),
+                right_property: LOC_PN.to_string(),
+                measure: SimilarityMeasure::JaroWinkler,
+                weight: 3.0,
+            },
+            AttributeRule {
+                left_property: EXT_PN.to_string(),
+                right_property: LOC_LABEL.to_string(),
+                measure: SimilarityMeasure::JaccardTokens,
+                weight: 1.0,
+            },
+        ]);
+        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "unrelated text"));
+        // pn similarity 1.0 (weight 3), label similarity 0 (weight 1) → 0.75.
+        assert!((c.score - 0.75).abs() < 1e-9);
+        assert_eq!(c.details.len(), 2);
+    }
+
+    #[test]
+    fn missing_attributes_use_fallback() {
+        let cmp = RecordComparator::single("http://nowhere.org/v#x", LOC_PN, SimilarityMeasure::Jaro);
+        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        assert_eq!(c.details, vec![None]);
+        // Fallback Monge-Elkan over full text still sees the identical part number.
+        assert!(c.score > 0.5);
+        let strict = RecordComparator {
+            fallback: None,
+            ..cmp
+        };
+        let c2 = strict.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        assert_eq!(c2.score, 0.0);
+        assert_eq!(c2.decision, MatchDecision::NonMatch);
+    }
+
+    #[test]
+    fn multi_valued_attributes_take_best_pairing() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein);
+        let mut left = Record::new(Term::iri("http://provider.e.org/item/2"));
+        left.add(EXT_PN, "completely different");
+        left.add(EXT_PN, "CRCW0805-10K");
+        let right = loc("CRCW0805-10K", "resistor");
+        let c = cmp.compare(&left, &right);
+        assert_eq!(c.score, 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! A small generic inverted index used by the blocking methods.
+
+use std::collections::HashMap;
+
+/// Maps string keys to posting lists of values (e.g. bigram → record ids).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex<T> {
+    postings: HashMap<String, Vec<T>>,
+}
+
+impl<T: PartialEq + Clone> InvertedIndex<T> {
+    /// An empty index.
+    pub fn new() -> Self {
+        InvertedIndex {
+            postings: HashMap::new(),
+        }
+    }
+
+    /// Add `value` to the posting list of `key` (duplicates within one key
+    /// are ignored).
+    pub fn insert(&mut self, key: impl Into<String>, value: T) {
+        let list = self.postings.entry(key.into()).or_default();
+        if !list.contains(&value) {
+            list.push(value);
+        }
+    }
+
+    /// The posting list of `key` (empty slice when absent).
+    pub fn get(&self, key: &str) -> &[T] {
+        self.postings.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total number of postings.
+    pub fn posting_count(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
+    }
+
+    /// `true` when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Iterate over `(key, posting list)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[T])> {
+        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx: InvertedIndex<usize> = InvertedIndex::new();
+        assert!(idx.is_empty());
+        idx.insert("cr", 0);
+        idx.insert("cr", 1);
+        idx.insert("cr", 0); // duplicate ignored
+        idx.insert("t8", 2);
+        assert_eq!(idx.get("cr"), &[0, 1]);
+        assert_eq!(idx.get("t8"), &[2]);
+        assert!(idx.get("zz").is_empty());
+        assert_eq!(idx.key_count(), 2);
+        assert_eq!(idx.posting_count(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn iteration_covers_all_keys() {
+        let mut idx: InvertedIndex<&'static str> = InvertedIndex::new();
+        idx.insert("a", "x");
+        idx.insert("b", "y");
+        let keys: std::collections::HashSet<&str> = idx.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 2);
+    }
+}

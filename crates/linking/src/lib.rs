@@ -1,0 +1,63 @@
+//! # classilink-linking
+//!
+//! The data-linking substrate of the `classilink` workspace (reproduction of
+//! *"Classification Rule Learning for Data Linking"*, Pernelle & Saïs,
+//! LWDM @ EDBT 2012).
+//!
+//! The paper's contribution is a way to *reduce the linking space*; this
+//! crate provides the rest of the pipeline a linking system needs, and the
+//! baselines from the related-work section so the reduction can be compared
+//! head-to-head:
+//!
+//! * [`similarity`] — string similarity measures (Levenshtein,
+//!   Damerau-Levenshtein, Jaro, Jaro-Winkler, Jaccard, Dice, Monge-Elkan,
+//!   TF-IDF cosine).
+//! * [`record`] — flat attribute/value records extracted from RDF items.
+//! * [`comparator`] — weighted record comparison with Match / Possible /
+//!   NonMatch decisions.
+//! * [`blocking`] — the candidate-pair generation strategies: cartesian,
+//!   standard key blocking, sorted neighbourhood, bi-gram indexing,
+//!   class-disjointness filtering and the rule-based blocker that wraps the
+//!   paper's classifier.
+//! * [`index`] — a small inverted index used by bigram blocking.
+//! * [`pipeline`] — blocking → comparison → links, with comparison
+//!   accounting (optionally multi-threaded).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use classilink_linking::blocking::{Blocker, BlockingKey, StandardBlocker};
+//! use classilink_linking::comparator::RecordComparator;
+//! use classilink_linking::pipeline::LinkagePipeline;
+//! use classilink_linking::record::Record;
+//! use classilink_linking::similarity::SimilarityMeasure;
+//! use classilink_rdf::Term;
+//!
+//! let pn = "http://example.org/vocab#partNumber";
+//! let mut external = Record::new(Term::iri("http://provider.example.org/item/1"));
+//! external.add(pn, "CRCW0805-10K");
+//! let mut local = Record::new(Term::iri("http://local.example.org/prod/1"));
+//! local.add(pn, "CRCW0805-10K");
+//!
+//! let blocker = StandardBlocker::new(BlockingKey::shared(pn, 4));
+//! let comparator = RecordComparator::single(pn, pn, SimilarityMeasure::JaroWinkler);
+//! let result = LinkagePipeline::new(&blocker, &comparator).run(&[external], &[local]);
+//! assert_eq!(result.matches.len(), 1);
+//! ```
+
+pub mod blocking;
+pub mod comparator;
+pub mod index;
+pub mod pipeline;
+pub mod record;
+pub mod similarity;
+
+pub use blocking::{
+    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CartesianBlocker,
+    DisjointnessFilter, RuleBasedBlocker, SortedNeighborhoodBlocker, StandardBlocker,
+};
+pub use comparator::{AttributeRule, Comparison, MatchDecision, RecordComparator};
+pub use index::InvertedIndex;
+pub use pipeline::{Link, LinkagePipeline, LinkageResult};
+pub use record::Record;
+pub use similarity::SimilarityMeasure;

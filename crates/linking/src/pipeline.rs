@@ -1,0 +1,280 @@
+//! The end-to-end linkage pipeline: blocking → pairwise comparison → links.
+//!
+//! This is the "linking method" the paper assumes downstream of its
+//! classification rules: once the linking space has been reduced (by a
+//! blocker or by the rules), every remaining candidate pair is compared and
+//! decided. The pipeline counts comparisons so that experiments can report
+//! exactly how much work each reduction strategy saves.
+
+use crate::blocking::{Blocker, CandidatePair};
+use crate::comparator::{MatchDecision, RecordComparator};
+use crate::record::Record;
+use classilink_rdf::Term;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One discovered link (or possible link) between an external and a local
+/// record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// The external item.
+    pub external: Term,
+    /// The local item.
+    pub local: Term,
+    /// The aggregated similarity score.
+    pub score: f64,
+}
+
+/// The outcome of running the pipeline on a pair of record sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LinkageResult {
+    /// Pairs decided as matches.
+    pub matches: Vec<Link>,
+    /// Pairs decided as possible matches (for clerical review).
+    pub possible: Vec<Link>,
+    /// Number of candidate pairs produced by the blocker.
+    pub candidate_pairs: u64,
+    /// Number of pairwise comparisons performed (equals `candidate_pairs`).
+    pub comparisons: u64,
+    /// Size of the naive linking space `|SE| × |SL|`.
+    pub naive_pairs: u64,
+    /// `1 − comparisons / naive_pairs`.
+    pub reduction_ratio: f64,
+}
+
+impl LinkageResult {
+    /// `(external, local)` pairs decided as matches.
+    pub fn matched_pairs(&self) -> Vec<(Term, Term)> {
+        self.matches
+            .iter()
+            .map(|l| (l.external.clone(), l.local.clone()))
+            .collect()
+    }
+}
+
+/// A blocking strategy plus a record comparator, with optional multi-threaded
+/// comparison.
+pub struct LinkagePipeline<'a> {
+    blocker: &'a dyn Blocker,
+    comparator: &'a RecordComparator,
+    /// Number of worker threads used for the comparison phase (1 = serial).
+    pub threads: usize,
+}
+
+impl<'a> LinkagePipeline<'a> {
+    /// A serial pipeline.
+    pub fn new(blocker: &'a dyn Blocker, comparator: &'a RecordComparator) -> Self {
+        LinkagePipeline {
+            blocker,
+            comparator,
+            threads: 1,
+        }
+    }
+
+    /// Use up to `threads` worker threads for the comparison phase.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Run blocking and comparison over the two record sets.
+    pub fn run(&self, external: &[Record], local: &[Record]) -> LinkageResult {
+        let candidates = self.blocker.candidate_pairs(external, local);
+        let naive_pairs = external.len() as u64 * local.len() as u64;
+        let (matches, possible) = if self.threads <= 1 || candidates.len() < 1024 {
+            self.compare_serial(&candidates, external, local)
+        } else {
+            self.compare_parallel(&candidates, external, local)
+        };
+        let comparisons = candidates.len() as u64;
+        let reduction_ratio = if naive_pairs == 0 {
+            0.0
+        } else {
+            1.0 - comparisons as f64 / naive_pairs as f64
+        };
+        LinkageResult {
+            matches,
+            possible,
+            candidate_pairs: comparisons,
+            comparisons,
+            naive_pairs,
+            reduction_ratio,
+        }
+    }
+
+    fn classify_pair(
+        &self,
+        pair: &CandidatePair,
+        external: &[Record],
+        local: &[Record],
+    ) -> Option<(MatchDecision, Link)> {
+        classify_pair(self.comparator, pair, external, local)
+    }
+
+    fn compare_serial(
+        &self,
+        candidates: &[CandidatePair],
+        external: &[Record],
+        local: &[Record],
+    ) -> (Vec<Link>, Vec<Link>) {
+        let mut matches = Vec::new();
+        let mut possible = Vec::new();
+        for pair in candidates {
+            if let Some((decision, link)) = self.classify_pair(pair, external, local) {
+                match decision {
+                    MatchDecision::Match => matches.push(link),
+                    MatchDecision::Possible => possible.push(link),
+                    MatchDecision::NonMatch => {}
+                }
+            }
+        }
+        (matches, possible)
+    }
+
+    fn compare_parallel(
+        &self,
+        candidates: &[CandidatePair],
+        external: &[Record],
+        local: &[Record],
+    ) -> (Vec<Link>, Vec<Link>) {
+        let matches: Mutex<Vec<Link>> = Mutex::new(Vec::new());
+        let possible: Mutex<Vec<Link>> = Mutex::new(Vec::new());
+        let matches_ref = &matches;
+        let possible_ref = &possible;
+        let comparator = self.comparator;
+        let chunk_size = candidates.len().div_ceil(self.threads).max(1);
+        crossbeam::scope(|scope| {
+            for chunk in candidates.chunks(chunk_size) {
+                scope.spawn(move |_| {
+                    let mut local_matches = Vec::new();
+                    let mut local_possible = Vec::new();
+                    for pair in chunk {
+                        if let Some((decision, link)) = classify_pair(comparator, pair, external, local)
+                        {
+                            match decision {
+                                MatchDecision::Match => local_matches.push(link),
+                                MatchDecision::Possible => local_possible.push(link),
+                                MatchDecision::NonMatch => {}
+                            }
+                        }
+                    }
+                    matches_ref.lock().extend(local_matches);
+                    possible_ref.lock().extend(local_possible);
+                });
+            }
+        })
+        .expect("comparison worker panicked");
+        let mut matches = matches.into_inner();
+        let mut possible = possible.into_inner();
+        // Deterministic output regardless of thread interleaving.
+        let sort_key = |l: &Link| (l.external.clone(), l.local.clone());
+        matches.sort_by_key(sort_key);
+        possible.sort_by_key(sort_key);
+        (matches, possible)
+    }
+}
+
+/// Compare one candidate pair and build its [`Link`].
+fn classify_pair(
+    comparator: &RecordComparator,
+    pair: &CandidatePair,
+    external: &[Record],
+    local: &[Record],
+) -> Option<(MatchDecision, Link)> {
+    let (e, l) = *pair;
+    let left = external.get(e)?;
+    let right = local.get(l)?;
+    let comparison = comparator.compare(left, right);
+    let link = Link {
+        external: left.id.clone(),
+        local: right.id.clone(),
+        score: comparison.score,
+    };
+    Some((comparison.decision, link))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::test_support::*;
+    use crate::blocking::{BlockingKey, CartesianBlocker, StandardBlocker};
+    use crate::similarity::SimilarityMeasure;
+
+    fn comparator() -> RecordComparator {
+        RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler)
+            .with_thresholds(0.95, 0.7)
+    }
+
+    #[test]
+    fn cartesian_pipeline_finds_all_true_links() {
+        let (external, local) = small_dataset();
+        let cmp = comparator();
+        let result = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&external, &local);
+        assert_eq!(result.comparisons, 20);
+        assert_eq!(result.naive_pairs, 20);
+        assert_eq!(result.reduction_ratio, 0.0);
+        assert_eq!(result.matches.len(), 4);
+        let pairs = result.matched_pairs();
+        assert!(pairs
+            .iter()
+            .all(|(e, l)| e.as_iri().unwrap().ends_with(&l.as_iri().unwrap()[l.as_iri().unwrap().len() - 1..])));
+    }
+
+    #[test]
+    fn blocking_reduces_comparisons_without_losing_links() {
+        let (external, local) = small_dataset();
+        let cmp = comparator();
+        let blocker = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
+        let result = LinkagePipeline::new(&blocker, &cmp).run(&external, &local);
+        assert!(result.comparisons < 20);
+        assert!(result.reduction_ratio > 0.0);
+        assert_eq!(result.matches.len(), 4);
+    }
+
+    #[test]
+    fn possible_matches_are_reported_separately() {
+        let (mut external, local) = small_dataset();
+        external.push(ext_record(4, "CRCW0805-10X")); // near-miss of local 0
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler)
+            .with_thresholds(0.99, 0.9);
+        let result = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&external, &local);
+        assert!(!result.possible.is_empty());
+        assert!(result.possible.iter().all(|l| l.score < 0.99 && l.score >= 0.9));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        // Build a dataset large enough to trigger the parallel path.
+        let external: Vec<Record> = (0..40).map(|i| ext_record(i, &format!("PN-{i:04}"))).collect();
+        let local: Vec<Record> = (0..40).map(|i| loc_record(i, &format!("PN-{i:04}"))).collect();
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
+            .with_thresholds(0.99, 0.5);
+        let serial = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&external, &local);
+        let parallel = LinkagePipeline::new(&CartesianBlocker, &cmp)
+            .with_threads(4)
+            .run(&external, &local);
+        assert_eq!(serial.matches.len(), parallel.matches.len());
+        assert_eq!(serial.comparisons, parallel.comparisons);
+        let serial_pairs: std::collections::HashSet<_> =
+            serial.matched_pairs().into_iter().collect();
+        let parallel_pairs: std::collections::HashSet<_> =
+            parallel.matched_pairs().into_iter().collect();
+        assert_eq!(serial_pairs, parallel_pairs);
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_result() {
+        let cmp = comparator();
+        let result = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&[], &[]);
+        assert_eq!(result.comparisons, 0);
+        assert!(result.matches.is_empty());
+        assert_eq!(result.reduction_ratio, 0.0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let cmp = comparator();
+        let p = LinkagePipeline::new(&CartesianBlocker, &cmp).with_threads(0);
+        assert_eq!(p.threads, 1);
+    }
+}

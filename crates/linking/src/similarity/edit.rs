@@ -1,0 +1,148 @@
+//! Edit-distance based similarities (Levenshtein, Damerau-Levenshtein).
+
+/// The Levenshtein edit distance between two strings (insertions, deletions,
+/// substitutions each cost 1), computed over Unicode scalar values.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row dynamic programming.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut current = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        current[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution_cost = if ca == cb { 0 } else { 1 };
+            current[j + 1] = (prev[j + 1] + 1)
+                .min(current[j] + 1)
+                .min(prev[j] + substitution_cost);
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein distance normalised into a similarity in `[0, 1]`:
+/// `1 − distance / max(|a|, |b|)`. Two empty strings are fully similar.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// The Damerau-Levenshtein distance (restricted / "optimal string alignment"
+/// variant): like Levenshtein but a transposition of two adjacent characters
+/// counts as a single edit.
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let width = b.len() + 1;
+    let mut d = vec![0usize; (a.len() + 1) * width];
+    for i in 0..=a.len() {
+        d[i * width] = i;
+    }
+    for j in 0..=b.len() {
+        d[j] = j;
+    }
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut best = (d[(i - 1) * width + j] + 1)
+                .min(d[i * width + j - 1] + 1)
+                .min(d[(i - 1) * width + j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[(i - 2) * width + j - 2] + 1);
+            }
+            d[i * width + j] = best;
+        }
+    }
+    d[a.len() * width + b.len()]
+}
+
+/// Damerau-Levenshtein distance normalised into a similarity in `[0, 1]`.
+pub fn damerau_levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_levenshtein_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn part_number_typo_distance() {
+        assert_eq!(levenshtein("CRCW0805", "CRCW0806"), 1);
+        assert_eq!(levenshtein("T83A225K", "T83A225"), 1);
+        assert!(levenshtein_similarity("CRCW0805", "CRCW0806") > 0.85);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        assert_eq!(damerau_levenshtein_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("CRCW0850", "CRCW0805"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("", "ab"), 2);
+    }
+
+    #[test]
+    fn unicode_is_counted_per_scalar() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("résistance", "resistance"), 1);
+    }
+
+    proptest! {
+        /// Distance axioms on random strings: identity, symmetry, triangle
+        /// inequality, and the Damerau distance never exceeds Levenshtein.
+        #[test]
+        fn prop_distance_axioms(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        /// The distance is bounded by the length of the longer string.
+        #[test]
+        fn prop_distance_bounded(a in "[a-z]{0,15}", b in "[a-z]{0,15}") {
+            let d = levenshtein(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+}

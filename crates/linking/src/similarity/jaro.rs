@@ -1,0 +1,137 @@
+//! Jaro and Jaro-Winkler similarities.
+//!
+//! Jaro similarity is the classic record-linkage measure introduced by Jaro
+//! for the 1985 Tampa census matching (reference [5] of the paper); the
+//! Winkler variant boosts strings sharing a common prefix.
+
+/// The Jaro similarity between two strings, in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                b_matched[j] = true;
+                matches.push(*ca);
+                break;
+            }
+        }
+    }
+    if matches.is_empty() {
+        return 0.0;
+    }
+    // Count transpositions: compare matched characters in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter_map(|(c, m)| m.then_some(*c))
+        .collect();
+    let transpositions = matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = matches.len() as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// The Jaro-Winkler similarity: Jaro boosted by the length of the common
+/// prefix (up to 4 characters) with the standard scaling factor 0.1.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, 0.1, 4)
+}
+
+/// Jaro-Winkler with an explicit prefix scaling factor and maximum prefix
+/// length. The scaling factor is clamped to `[0, 0.25]` so the result stays
+/// within `[0, 1]`.
+pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
+    let base = jaro(a, b);
+    let scale = prefix_scale.clamp(0.0, 0.25);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(max_prefix)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    base + prefix * scale * (1.0 - base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Classic examples from the record-linkage literature.
+        assert!(close(jaro("MARTHA", "MARHTA"), 0.944));
+        assert!(close(jaro("DIXON", "DICKSONX"), 0.767));
+        assert!(close(jaro("JELLYFISH", "SMELLYFISH"), 0.896));
+        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961));
+        assert!(close(jaro_winkler("DIXON", "DICKSONX"), 0.813));
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("CRCW0805", "CRCW0805"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro_winkler("", ""), 1.0);
+    }
+
+    #[test]
+    fn winkler_boosts_shared_prefix() {
+        let j = jaro("CRCW0805", "CRCW0812");
+        let jw = jaro_winkler("CRCW0805", "CRCW0812");
+        assert!(jw > j);
+        // No shared prefix → no boost.
+        assert_eq!(jaro("XDELTA", "DELTAX"), jaro_winkler("XDELTA", "DELTAX"));
+    }
+
+    #[test]
+    fn custom_prefix_scale_is_clamped() {
+        let huge = jaro_winkler_with("prefix-match", "prefix-xxxxx", 5.0, 4);
+        assert!(huge <= 1.0);
+        let none = jaro_winkler_with("prefix-match", "prefix-xxxxx", 0.0, 4);
+        assert!(close(none, jaro("prefix-match", "prefix-xxxxx")));
+    }
+
+    #[test]
+    fn single_char_strings() {
+        assert_eq!(jaro("a", "a"), 1.0);
+        assert_eq!(jaro("a", "b"), 0.0);
+    }
+
+    proptest! {
+        /// Jaro and Jaro-Winkler stay within [0, 1], are symmetric, and
+        /// Winkler never decreases the Jaro score.
+        #[test]
+        fn prop_jaro_properties(a in "[a-zA-Z0-9]{0,15}", b in "[a-zA-Z0-9]{0,15}") {
+            let j_ab = jaro(&a, &b);
+            let j_ba = jaro(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&j_ab));
+            prop_assert!((j_ab - j_ba).abs() < 1e-9);
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&jw));
+            prop_assert!(jw + 1e-9 >= j_ab);
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-9 || a.is_empty());
+        }
+    }
+}

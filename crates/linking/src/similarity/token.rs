@@ -1,0 +1,260 @@
+//! Token- and set-based similarities: Jaccard, Dice, overlap, Monge-Elkan and
+//! TF-IDF cosine.
+
+use super::jaro::jaro_winkler;
+use std::collections::{HashMap, HashSet};
+
+fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect()
+}
+
+fn char_bigrams(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.to_lowercase().chars().collect();
+    if chars.len() < 2 {
+        return chars.iter().map(|c| c.to_string()).collect();
+    }
+    chars.windows(2).map(|w| w.iter().collect()).collect()
+}
+
+fn jaccard_of_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    if union == 0.0 {
+        1.0
+    } else {
+        intersection / union
+    }
+}
+
+/// Jaccard similarity over lower-cased alphanumeric tokens.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokens(a).into_iter().collect();
+    let sb: HashSet<String> = tokens(b).into_iter().collect();
+    jaccard_of_sets(&sa, &sb)
+}
+
+/// Jaccard similarity over character bigrams.
+pub fn jaccard_chars(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = char_bigrams(a).into_iter().collect();
+    let sb: HashSet<String> = char_bigrams(b).into_iter().collect();
+    jaccard_of_sets(&sa, &sb)
+}
+
+/// Dice coefficient over character bigrams: `2·|A∩B| / (|A| + |B|)`.
+pub fn dice_bigrams(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = char_bigrams(a).into_iter().collect();
+    let sb: HashSet<String> = char_bigrams(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let intersection = sa.intersection(&sb).count() as f64;
+    let denom = (sa.len() + sb.len()) as f64;
+    if denom == 0.0 {
+        1.0
+    } else {
+        2.0 * intersection / denom
+    }
+}
+
+/// Overlap coefficient over tokens: `|A∩B| / min(|A|, |B|)`.
+pub fn overlap_tokens(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = tokens(a).into_iter().collect();
+    let sb: HashSet<String> = tokens(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let min = sa.len().min(sb.len()) as f64;
+    if min == 0.0 {
+        return 0.0;
+    }
+    sa.intersection(&sb).count() as f64 / min
+}
+
+/// Monge-Elkan similarity: for each token of `a`, take its best
+/// Jaro-Winkler match among the tokens of `b`, then average; symmetrised by
+/// taking the mean of both directions.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let directed = |xs: &[String], ys: &[String]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaro_winkler(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+}
+
+/// A TF-IDF vector-space model built over a corpus of strings, used to
+/// compute soft cosine similarities that down-weight ubiquitous tokens
+/// (e.g. a manufacturer name appearing in every part description).
+#[derive(Debug, Clone, Default)]
+pub struct TfIdfModel {
+    document_count: usize,
+    document_frequency: HashMap<String, usize>,
+}
+
+impl TfIdfModel {
+    /// Build the model from a corpus of documents.
+    pub fn fit<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut document_frequency: HashMap<String, usize> = HashMap::new();
+        let mut document_count = 0usize;
+        for doc in corpus {
+            document_count += 1;
+            let unique: HashSet<String> = tokens(doc).into_iter().collect();
+            for t in unique {
+                *document_frequency.entry(t).or_insert(0) += 1;
+            }
+        }
+        TfIdfModel {
+            document_count,
+            document_frequency,
+        }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn document_count(&self) -> usize {
+        self.document_count
+    }
+
+    /// The smoothed inverse document frequency of a token.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.document_frequency.get(token).copied().unwrap_or(0);
+        (((self.document_count + 1) as f64) / ((df + 1) as f64)).ln() + 1.0
+    }
+
+    fn vector(&self, s: &str) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in tokens(s) {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        for (token, value) in tf.iter_mut() {
+            *value *= self.idf(token);
+        }
+        tf
+    }
+
+    /// TF-IDF cosine similarity between two strings under this model.
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        if va.is_empty() && vb.is_empty() {
+            return 1.0;
+        }
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(t, x)| vb.get(t).map(|y| x * y))
+            .sum();
+        let norm_a: f64 = va.values().map(|x| x * x).sum::<f64>().sqrt();
+        let norm_b: f64 = vb.values().map(|x| x * x).sum::<f64>().sqrt();
+        if norm_a == 0.0 || norm_b == 0.0 {
+            return 0.0;
+        }
+        (dot / (norm_a * norm_b)).clamp(0.0, 1.0)
+    }
+}
+
+/// TF-IDF cosine with a degenerate model (every token has equal weight).
+/// Convenient when no corpus is available; equivalent to plain cosine over
+/// token counts.
+pub fn cosine_tfidf(a: &str, b: &str) -> f64 {
+    TfIdfModel::default().cosine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_tokens_basic() {
+        assert_eq!(jaccard_tokens("fixed film resistor", "fixed film resistor"), 1.0);
+        assert_eq!(jaccard_tokens("fixed film", "film fixed"), 1.0);
+        assert!((jaccard_tokens("fixed film resistor", "film capacitor") - 0.25).abs() < 1e-12);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_and_dice_chars() {
+        assert_eq!(jaccard_chars("night", "night"), 1.0);
+        assert!(jaccard_chars("night", "nacht") < 1.0);
+        assert!(jaccard_chars("night", "nacht") > 0.0);
+        assert!(dice_bigrams("night", "nacht") >= jaccard_chars("night", "nacht"));
+        assert_eq!(dice_bigrams("", ""), 1.0);
+        assert_eq!(dice_bigrams("a", "a"), 1.0);
+    }
+
+    #[test]
+    fn overlap_is_one_for_subset() {
+        assert_eq!(overlap_tokens("fixed film resistor 10k", "fixed film"), 1.0);
+        assert_eq!(overlap_tokens("abc", "xyz"), 0.0);
+        assert_eq!(overlap_tokens("", ""), 1.0);
+        assert_eq!(overlap_tokens("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_token_typos() {
+        let a = "vishay fixed film resistor";
+        let b = "vishai fixd film resistor";
+        assert!(monge_elkan(a, b) > 0.9);
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("a", ""), 0.0);
+        assert!(monge_elkan("abc def", "abc def") > 0.999);
+    }
+
+    #[test]
+    fn tfidf_downweights_common_tokens() {
+        let corpus = [
+            "ACME fixed film resistor 10k",
+            "ACME tantalum capacitor 22uF",
+            "ACME wirewound resistor 5W",
+            "ACME ceramic capacitor 100nF",
+        ];
+        let model = TfIdfModel::fit(corpus.iter().copied());
+        assert_eq!(model.document_count(), 4);
+        // "acme" appears everywhere → low idf; "tantalum" is rare → high idf.
+        assert!(model.idf("acme") < model.idf("tantalum"));
+        // Sharing only the ubiquitous token scores lower than sharing a rare one.
+        let common_only = model.cosine("ACME bolt", "ACME nut");
+        let rare_shared = model.cosine("tantalum capacitor", "tantalum 22uF");
+        assert!(rare_shared > common_only);
+    }
+
+    #[test]
+    fn plain_cosine_behaviour() {
+        assert_eq!(cosine_tfidf("a b c", "a b c"), 1.0);
+        assert_eq!(cosine_tfidf("", ""), 1.0);
+        assert_eq!(cosine_tfidf("abc", ""), 0.0);
+        assert!(cosine_tfidf("a b", "b c") > 0.0);
+    }
+
+    proptest! {
+        /// Set-based measures stay within [0,1], are symmetric and reflexive.
+        #[test]
+        fn prop_token_measures(a in "[a-z0-9 ]{0,25}", b in "[a-z0-9 ]{0,25}") {
+            for f in [jaccard_tokens, jaccard_chars, dice_bigrams, overlap_tokens, monge_elkan, cosine_tfidf] {
+                let ab = f(&a, &b);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+                prop_assert!((ab - f(&b, &a)).abs() < 1e-9);
+                prop_assert!((f(&a, &a) - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

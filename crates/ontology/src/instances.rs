@@ -1,0 +1,269 @@
+//! Class-membership assertions for data items.
+//!
+//! The paper needs, for the local source `SL`, the set of instances of each
+//! class appearing in the training set (to compute class frequencies and the
+//! linking subspaces). [`InstanceStore`] records `rdf:type` assertions and
+//! answers extent queries both directly and under subsumption.
+
+use crate::model::ClassId;
+use crate::ontology::Ontology;
+use classilink_rdf::Term;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A store of `item rdf:type class` assertions.
+#[derive(Debug, Clone, Default)]
+pub struct InstanceStore {
+    /// item → asserted (direct) classes.
+    types_of: BTreeMap<Term, BTreeSet<ClassId>>,
+    /// class → directly asserted instances.
+    extent: BTreeMap<ClassId, BTreeSet<Term>>,
+}
+
+impl InstanceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assert that `item` is an instance of `class`. Returns `true` if new.
+    pub fn assert_type(&mut self, item: &Term, class: ClassId) -> bool {
+        let inserted = self
+            .types_of
+            .entry(item.clone())
+            .or_default()
+            .insert(class);
+        if inserted {
+            self.extent.entry(class).or_default().insert(item.clone());
+        }
+        inserted
+    }
+
+    /// The classes directly asserted for `item`.
+    pub fn types_of(&self, item: &Term) -> Vec<ClassId> {
+        self.types_of
+            .get(item)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The most specific asserted classes of `item` according to `ontology`.
+    pub fn most_specific_types(&self, item: &Term, ontology: &Ontology) -> Vec<ClassId> {
+        let direct = self.types_of(item);
+        ontology.most_specific(&direct)
+    }
+
+    /// All classes of `item`, closed under subsumption.
+    pub fn inferred_types_of(&self, item: &Term, ontology: &Ontology) -> Vec<ClassId> {
+        let mut all: BTreeSet<ClassId> = BTreeSet::new();
+        for c in self.types_of(item) {
+            all.insert(c);
+            all.extend(ontology.ancestors(c));
+        }
+        all.into_iter().collect()
+    }
+
+    /// `true` when `item` is an instance of `class`, directly or through a
+    /// subclass.
+    pub fn is_instance_of(&self, item: &Term, class: ClassId, ontology: &Ontology) -> bool {
+        self.types_of(item)
+            .iter()
+            .any(|c| ontology.is_subclass_of(*c, class))
+    }
+
+    /// Directly asserted instances of `class`.
+    pub fn direct_extent(&self, class: ClassId) -> Vec<Term> {
+        self.extent
+            .get(&class)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Instances of `class` including those of its subclasses.
+    pub fn extent(&self, class: ClassId, ontology: &Ontology) -> Vec<Term> {
+        let mut out: BTreeSet<Term> = self
+            .extent
+            .get(&class)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        for sub in ontology.descendants(class) {
+            if let Some(items) = self.extent.get(&sub) {
+                out.extend(items.iter().cloned());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Size of the inferred extent of `class` (instances of it or any
+    /// subclass) without materialising the term list.
+    pub fn extent_size(&self, class: ClassId, ontology: &Ontology) -> usize {
+        // Items may be asserted in several subclasses, so a set is needed.
+        let mut seen: BTreeSet<&Term> = self
+            .extent
+            .get(&class)
+            .map(|s| s.iter().collect())
+            .unwrap_or_default();
+        for sub in ontology.descendants(class) {
+            if let Some(items) = self.extent.get(&sub) {
+                seen.extend(items.iter());
+            }
+        }
+        seen.len()
+    }
+
+    /// Number of items with at least one type assertion.
+    pub fn item_count(&self) -> usize {
+        self.types_of.len()
+    }
+
+    /// Total number of type assertions.
+    pub fn assertion_count(&self) -> usize {
+        self.types_of.values().map(BTreeSet::len).sum()
+    }
+
+    /// Iterate over all items with assertions.
+    pub fn items(&self) -> impl Iterator<Item = &Term> {
+        self.types_of.keys()
+    }
+
+    /// Iterate over `(class, direct extent size)` pairs.
+    pub fn class_frequencies(&self) -> impl Iterator<Item = (ClassId, usize)> + '_ {
+        self.extent.iter().map(|(c, items)| (*c, items.len()))
+    }
+
+    /// Populate the store from the `rdf:type` triples of a graph, resolving
+    /// class IRIs against `ontology`. Unknown classes are skipped and
+    /// returned in the second component.
+    pub fn from_graph(graph: &classilink_rdf::Graph, ontology: &Ontology) -> (Self, Vec<String>) {
+        use classilink_rdf::namespace::vocab;
+        let mut store = InstanceStore::new();
+        let mut unknown = Vec::new();
+        let rdf_type = Term::iri(vocab::RDF_TYPE);
+        for triple in graph.triples_matching(None, Some(&rdf_type), None) {
+            let Some(class_iri) = triple.object.as_iri() else {
+                continue;
+            };
+            match ontology.class(class_iri) {
+                Some(class) => {
+                    store.assert_type(&triple.subject, class);
+                }
+                None => unknown.push(class_iri.to_string()),
+            }
+        }
+        unknown.sort();
+        unknown.dedup();
+        (store, unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+    use classilink_rdf::{Graph, Triple};
+
+    fn setup() -> (Ontology, [ClassId; 4]) {
+        let mut b = OntologyBuilder::new("http://e.org/c#");
+        let component = b.class("Component", None);
+        let resistor = b.class("Resistor", Some(component));
+        let fixed = b.class("FixedFilmResistor", Some(resistor));
+        let capacitor = b.class("Capacitor", Some(component));
+        (b.build(), [component, resistor, fixed, capacitor])
+    }
+
+    fn item(n: u32) -> Term {
+        Term::iri(format!("http://e.org/prod/{n}"))
+    }
+
+    #[test]
+    fn assert_and_query_types() {
+        let (onto, [component, resistor, fixed, _]) = setup();
+        let mut store = InstanceStore::new();
+        assert!(store.assert_type(&item(1), fixed));
+        assert!(!store.assert_type(&item(1), fixed));
+        store.assert_type(&item(1), component);
+        assert_eq!(store.types_of(&item(1)).len(), 2);
+        assert_eq!(store.types_of(&item(9)).len(), 0);
+        assert_eq!(store.most_specific_types(&item(1), &onto), vec![fixed]);
+        let inferred = store.inferred_types_of(&item(1), &onto);
+        assert!(inferred.contains(&resistor));
+        assert!(inferred.contains(&component));
+        assert_eq!(store.item_count(), 1);
+        assert_eq!(store.assertion_count(), 2);
+    }
+
+    #[test]
+    fn extents_respect_subsumption() {
+        let (onto, [component, resistor, fixed, capacitor]) = setup();
+        let mut store = InstanceStore::new();
+        store.assert_type(&item(1), fixed);
+        store.assert_type(&item(2), resistor);
+        store.assert_type(&item(3), capacitor);
+        assert_eq!(store.direct_extent(resistor).len(), 1);
+        assert_eq!(store.extent(resistor, &onto).len(), 2);
+        assert_eq!(store.extent(component, &onto).len(), 3);
+        assert_eq!(store.extent_size(component, &onto), 3);
+        assert_eq!(store.extent_size(fixed, &onto), 1);
+        assert!(store.is_instance_of(&item(1), component, &onto));
+        assert!(store.is_instance_of(&item(1), resistor, &onto));
+        assert!(!store.is_instance_of(&item(3), resistor, &onto));
+    }
+
+    #[test]
+    fn extent_size_deduplicates_multi_asserted_items() {
+        let (onto, [component, resistor, fixed, _]) = setup();
+        let mut store = InstanceStore::new();
+        store.assert_type(&item(1), fixed);
+        store.assert_type(&item(1), resistor);
+        assert_eq!(store.extent_size(component, &onto), 1);
+        assert_eq!(store.extent(component, &onto).len(), 1);
+    }
+
+    #[test]
+    fn class_frequencies_are_direct_counts() {
+        let (_, [_, resistor, fixed, _]) = setup();
+        let mut store = InstanceStore::new();
+        store.assert_type(&item(1), fixed);
+        store.assert_type(&item(2), fixed);
+        store.assert_type(&item(3), resistor);
+        let freqs: std::collections::BTreeMap<ClassId, usize> =
+            store.class_frequencies().collect();
+        assert_eq!(freqs[&fixed], 2);
+        assert_eq!(freqs[&resistor], 1);
+    }
+
+    #[test]
+    fn from_graph_reads_rdf_type_triples() {
+        let (onto, [_, _, fixed, _]) = setup();
+        let mut g = Graph::new();
+        g.insert(Triple::iris(
+            "http://e.org/prod/1",
+            classilink_rdf::namespace::vocab::RDF_TYPE,
+            "http://e.org/c#FixedFilmResistor",
+        ));
+        g.insert(Triple::iris(
+            "http://e.org/prod/2",
+            classilink_rdf::namespace::vocab::RDF_TYPE,
+            "http://e.org/c#UnknownClass",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/prod/1",
+            "http://e.org/v#pn",
+            "CRCW0805",
+        ));
+        let (store, unknown) = InstanceStore::from_graph(&g, &onto);
+        assert_eq!(store.item_count(), 1);
+        assert_eq!(store.types_of(&item(1)), vec![fixed]);
+        assert_eq!(unknown, vec!["http://e.org/c#UnknownClass".to_string()]);
+    }
+
+    #[test]
+    fn empty_store_queries() {
+        let (onto, [component, ..]) = setup();
+        let store = InstanceStore::new();
+        assert_eq!(store.item_count(), 0);
+        assert_eq!(store.assertion_count(), 0);
+        assert!(store.direct_extent(component).is_empty());
+        assert!(store.extent(component, &onto).is_empty());
+        assert_eq!(store.items().count(), 0);
+    }
+}

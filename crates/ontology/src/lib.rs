@@ -1,0 +1,58 @@
+//! # classilink-ontology
+//!
+//! An OWL-lite ontology substrate for the `classilink` workspace
+//! (reproduction of *"Classification Rule Learning for Data Linking"*,
+//! Pernelle & Saïs, LWDM @ EDBT 2012).
+//!
+//! The paper assumes the local data source `SL` is described by an OWL
+//! ontology `OL`; the learnt classification rules conclude on classes of
+//! `OL`, frequencies are computed "only for the most specific classes of the
+//! ontology", and the future-work extension generalises rules by exploiting
+//! "the semantics of the subsumption between classes". This crate provides
+//! exactly those capabilities:
+//!
+//! * [`model`] — classes, data/object properties and their ids.
+//! * [`ontology`] — the ontology itself: subsumption hierarchy with
+//!   ancestor/descendant closure, leaves, depth, least common ancestors and
+//!   disjointness axioms.
+//! * [`instances`] — class-membership assertions for data items, direct and
+//!   inferred extents, most-specific-class computation.
+//! * [`builder`] — ergonomic construction.
+//! * [`rdf_io`] — import/export from/to RDF graphs (`rdfs:subClassOf`,
+//!   `owl:Class`, `owl:disjointWith`, `rdf:type`, …).
+//! * [`stats`] — summary statistics (class counts, leaf counts, depth
+//!   histograms) matching the numbers the paper reports about its ontology
+//!   (566 classes, 226 leaves).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use classilink_ontology::builder::OntologyBuilder;
+//!
+//! let mut b = OntologyBuilder::new("http://example.org/classes#");
+//! let component = b.class("Component", None);
+//! let resistor = b.class("Resistor", Some(component));
+//! let fixed_film = b.class("FixedFilmResistor", Some(resistor));
+//! let capacitor = b.class("Capacitor", Some(component));
+//! b.disjoint(resistor, capacitor);
+//! let onto = b.build();
+//!
+//! assert!(onto.is_subclass_of(fixed_film, component));
+//! assert!(onto.are_disjoint(fixed_film, capacitor));
+//! assert_eq!(onto.leaves().len(), 2);
+//! ```
+
+pub mod builder;
+pub mod error;
+pub mod instances;
+pub mod model;
+pub mod ontology;
+pub mod rdf_io;
+pub mod stats;
+
+pub use builder::OntologyBuilder;
+pub use error::{OntologyError, Result};
+pub use instances::InstanceStore;
+pub use model::{ClassId, DataProperty, ObjectProperty, OntClass, PropertyId};
+pub use ontology::Ontology;
+pub use stats::OntologyStats;

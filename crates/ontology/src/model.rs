@@ -1,0 +1,154 @@
+//! Core ontology entities: classes and properties.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact identifier for a class within one [`crate::Ontology`].
+///
+/// Ids are dense (assignable as vector indexes) and stable for the lifetime
+/// of the ontology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ClassId(pub u32);
+
+impl ClassId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A compact identifier for a property within one [`crate::Ontology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PropertyId(pub u32);
+
+impl PropertyId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An ontology class (`owl:Class`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OntClass {
+    /// The class id within its ontology.
+    pub id: ClassId,
+    /// The full IRI of the class.
+    pub iri: String,
+    /// A human-readable label (`rdfs:label`), falling back to the IRI local
+    /// name when absent.
+    pub label: String,
+    /// Direct superclasses (not the transitive closure).
+    pub parents: Vec<ClassId>,
+}
+
+impl OntClass {
+    /// `true` when the class has no declared superclass (a hierarchy root).
+    pub fn is_root(&self) -> bool {
+        self.parents.is_empty()
+    }
+}
+
+/// The kind of value a data-type property carries. Only informative; the
+/// learner treats all values as strings to segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DataKind {
+    /// Free text or alphanumeric codes (part numbers, labels).
+    #[default]
+    Text,
+    /// Numeric values.
+    Numeric,
+    /// Boolean flags.
+    Boolean,
+}
+
+/// A data-type property (`owl:DatatypeProperty`): links an item to a literal.
+///
+/// These are the properties `p` of the paper's rules
+/// `p(X, Y) ∧ subsegment(Y, a) ⇒ c(X)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataProperty {
+    /// The property id within its ontology.
+    pub id: PropertyId,
+    /// The full IRI of the property.
+    pub iri: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Optional domain class.
+    pub domain: Option<ClassId>,
+    /// The kind of literal the property carries.
+    pub kind: DataKind,
+}
+
+/// An object property (`owl:ObjectProperty`): links an item to another item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectProperty {
+    /// The property id within its ontology.
+    pub id: PropertyId,
+    /// The full IRI of the property.
+    pub iri: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Optional domain class.
+    pub domain: Option<ClassId>,
+    /// Optional range class.
+    pub range: Option<ClassId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(ClassId(4).to_string(), "c4");
+        assert_eq!(ClassId(4).index(), 4);
+        assert_eq!(PropertyId(2).to_string(), "p2");
+        assert_eq!(PropertyId(2).index(), 2);
+    }
+
+    #[test]
+    fn root_detection() {
+        let root = OntClass {
+            id: ClassId(0),
+            iri: "http://e.org/c#Component".into(),
+            label: "Component".into(),
+            parents: vec![],
+        };
+        let child = OntClass {
+            id: ClassId(1),
+            iri: "http://e.org/c#Resistor".into(),
+            label: "Resistor".into(),
+            parents: vec![ClassId(0)],
+        };
+        assert!(root.is_root());
+        assert!(!child.is_root());
+    }
+
+    #[test]
+    fn data_kind_default_is_text() {
+        assert_eq!(DataKind::default(), DataKind::Text);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ClassId(1) < ClassId(2));
+        assert!(PropertyId(0) < PropertyId(9));
+    }
+}

@@ -1,0 +1,491 @@
+//! An indexed in-memory triple store.
+//!
+//! [`Graph`] interns terms through a [`Dictionary`] and maintains three
+//! B-tree indexes (SPO, POS, OSP) so that any triple pattern with a bound
+//! prefix can be answered with a range scan:
+//!
+//! * `(s, ?, ?)`, `(s, p, ?)`, `(s, p, o)` → SPO index,
+//! * `(?, p, ?)`, `(?, p, o)` → POS index,
+//! * `(?, ?, o)`, `(s, ?, o)` → OSP index (with a post-filter for `s`).
+//!
+//! This is the storage substrate for both the local catalog `SL` and the
+//! external source `SE` of the paper.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+use crate::triple::Triple;
+use std::collections::BTreeSet;
+
+type Key = (TermId, TermId, TermId);
+
+/// An in-memory RDF graph with SPO / POS / OSP indexes.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    dict: Dictionary,
+    spo: BTreeSet<Key>,
+    pos: BTreeSet<Key>,
+    osp: BTreeSet<Key>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// `true` when the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct terms interned by this graph.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Access the underlying dictionary (read-only).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Insert a triple. Returns `true` if the triple was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.dict.intern_owned(triple.subject);
+        let p = self.dict.intern_owned(triple.predicate);
+        let o = self.dict.intern_owned(triple.object);
+        self.insert_ids(s, p, o)
+    }
+
+    /// Insert a triple given by references (clones only when the term is new).
+    pub fn insert_ref(&mut self, subject: &Term, predicate: &Term, object: &Term) -> bool {
+        let s = self.dict.intern(subject);
+        let p = self.dict.intern(predicate);
+        let o = self.dict.intern(object);
+        self.insert_ids(s, p, o)
+    }
+
+    fn insert_ids(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        let newly = self.spo.insert((s, p, o));
+        if newly {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        newly
+    }
+
+    /// Remove a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.get(&triple.subject),
+            self.dict.get(&triple.predicate),
+            self.dict.get(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// `true` if the exact triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.dict.get(&triple.subject),
+            self.dict.get(&triple.predicate),
+            self.dict.get(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Remove every triple (the dictionary is kept).
+    pub fn clear(&mut self) {
+        self.spo.clear();
+        self.pos.clear();
+        self.osp.clear();
+    }
+
+    fn resolve(&self, key: Key, order: IndexOrder) -> Triple {
+        let (a, b, c) = key;
+        let (s, p, o) = match order {
+            IndexOrder::Spo => (a, b, c),
+            IndexOrder::Pos => (c, a, b),
+            IndexOrder::Osp => (b, c, a),
+        };
+        Triple::new(
+            self.dict.resolve(s).expect("dangling subject id").clone(),
+            self.dict.resolve(p).expect("dangling predicate id").clone(),
+            self.dict.resolve(o).expect("dangling object id").clone(),
+        )
+    }
+
+    /// Iterate over every triple in the graph (SPO order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|k| self.resolve(*k, IndexOrder::Spo))
+    }
+
+    /// Iterate over triples matching the given pattern. `None` components act
+    /// as wildcards.
+    ///
+    /// Unknown terms (never interned by this graph) simply yield an empty
+    /// iterator.
+    pub fn triples_matching<'a>(
+        &'a self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        // Resolve bound terms to ids; a bound term that is unknown means no match.
+        let s = match subject {
+            Some(t) => match self.dict.get(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let p = match predicate {
+            Some(t) => match self.dict.get(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        let o = match object {
+            Some(t) => match self.dict.get(t) {
+                Some(id) => Some(id),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        self.triples_matching_ids(s, p, o)
+    }
+
+    fn triples_matching_ids<'a>(
+        &'a self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        const MIN: TermId = TermId(0);
+        const MAX: TermId = TermId(u64::MAX);
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let key = (s, p, o);
+                let present = self.spo.contains(&key);
+                Box::new(
+                    present
+                        .then(|| self.resolve(key, IndexOrder::Spo))
+                        .into_iter(),
+                )
+            }
+            (Some(s), Some(p), None) => Box::new(
+                self.spo
+                    .range((s, p, MIN)..=(s, p, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Spo)),
+            ),
+            (Some(s), None, None) => Box::new(
+                self.spo
+                    .range((s, MIN, MIN)..=(s, MAX, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Spo)),
+            ),
+            (None, Some(p), Some(o)) => Box::new(
+                self.pos
+                    .range((p, o, MIN)..=(p, o, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Pos)),
+            ),
+            (None, Some(p), None) => Box::new(
+                self.pos
+                    .range((p, MIN, MIN)..=(p, MAX, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Pos)),
+            ),
+            (None, None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, MIN, MIN)..=(o, MAX, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Osp)),
+            ),
+            (Some(s), None, Some(o)) => Box::new(
+                self.osp
+                    .range((o, s, MIN)..=(o, s, MAX))
+                    .map(move |k| self.resolve(*k, IndexOrder::Osp)),
+            ),
+            (None, None, None) => Box::new(self.iter()),
+        }
+    }
+
+    /// All subjects that have `predicate` → `object`.
+    pub fn subjects_with(&self, predicate: &Term, object: &Term) -> Vec<Term> {
+        self.triples_matching(None, Some(predicate), Some(object))
+            .map(|t| t.subject)
+            .collect()
+    }
+
+    /// All objects of `subject` → `predicate`.
+    pub fn objects_of(&self, subject: &Term, predicate: &Term) -> Vec<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// The first object of `subject` → `predicate`, if any.
+    pub fn object_of(&self, subject: &Term, predicate: &Term) -> Option<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .map(|t| t.object)
+            .next()
+    }
+
+    /// The set of distinct subjects in the graph.
+    pub fn subjects(&self) -> Vec<Term> {
+        let mut last: Option<TermId> = None;
+        let mut out = Vec::new();
+        for (s, _, _) in self.spo.iter() {
+            if last != Some(*s) {
+                out.push(self.dict.resolve(*s).expect("dangling subject id").clone());
+                last = Some(*s);
+            }
+        }
+        out
+    }
+
+    /// The set of distinct predicates in the graph.
+    pub fn predicates(&self) -> Vec<Term> {
+        let mut seen = BTreeSet::new();
+        for (p, _, _) in self.pos.iter() {
+            seen.insert(*p);
+        }
+        seen.iter()
+            .map(|p| self.dict.resolve(*p).expect("dangling predicate id").clone())
+            .collect()
+    }
+
+    /// Merge all triples of `other` into `self`, returning how many were new.
+    pub fn extend_from(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<T: IntoIterator<Item = Triple>>(&mut self, iter: T) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+#[derive(Clone, Copy)]
+enum IndexOrder {
+    Spo,
+    Pos,
+    Osp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#pn", "CRCW0805-10K"));
+        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#mfr", "Vishay"));
+        g.insert(Triple::literal("http://e.org/p2", "http://e.org/v#pn", "T83-22uF"));
+        g.insert(Triple::iris(
+            "http://e.org/p1",
+            crate::namespace::vocab::RDF_TYPE,
+            "http://e.org/cls#FixedFilmResistor",
+        ));
+        g
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        let t = Triple::literal("http://e.org/a", "http://e.org/p", "v");
+        assert!(g.insert(t.clone()));
+        assert!(!g.insert(t.clone()));
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&t));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut g = sample();
+        let t = Triple::literal("http://e.org/p1", "http://e.org/v#mfr", "Vishay");
+        assert!(g.contains(&t));
+        assert!(g.remove(&t));
+        assert!(!g.contains(&t));
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn remove_unknown_term_is_noop() {
+        let mut g = sample();
+        let t = Triple::literal("http://nowhere.org/x", "http://e.org/v#pn", "zzz");
+        assert!(!g.remove(&t));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn pattern_sp_wildcard_object() {
+        let g = sample();
+        let found: Vec<_> = g
+            .triples_matching(
+                Some(&Term::iri("http://e.org/p1")),
+                Some(&Term::iri("http://e.org/v#pn")),
+                None,
+            )
+            .collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].object.value_str(), "CRCW0805-10K");
+    }
+
+    #[test]
+    fn pattern_p_only() {
+        let g = sample();
+        let found: Vec<_> = g
+            .triples_matching(None, Some(&Term::iri("http://e.org/v#pn")), None)
+            .collect();
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn pattern_object_only() {
+        let g = sample();
+        let found: Vec<_> = g
+            .triples_matching(None, None, Some(&Term::literal("Vishay")))
+            .collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].subject.as_iri(), Some("http://e.org/p1"));
+    }
+
+    #[test]
+    fn pattern_subject_object() {
+        let g = sample();
+        let found: Vec<_> = g
+            .triples_matching(
+                Some(&Term::iri("http://e.org/p1")),
+                None,
+                Some(&Term::literal("Vishay")),
+            )
+            .collect();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].predicate.as_iri(), Some("http://e.org/v#mfr"));
+    }
+
+    #[test]
+    fn pattern_with_unknown_term_is_empty() {
+        let g = sample();
+        let found: Vec<_> = g
+            .triples_matching(Some(&Term::iri("http://unknown.org/x")), None, None)
+            .collect();
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn fully_bound_pattern() {
+        let g = sample();
+        let t = Triple::literal("http://e.org/p2", "http://e.org/v#pn", "T83-22uF");
+        let found: Vec<_> = g
+            .triples_matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
+            .collect();
+        assert_eq!(found.len(), 1);
+        let missing: Vec<_> = g
+            .triples_matching(
+                Some(&t.subject),
+                Some(&t.predicate),
+                Some(&Term::literal("nope")),
+            )
+            .collect();
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn subjects_and_predicates_are_distinct() {
+        let g = sample();
+        let subjects = g.subjects();
+        assert_eq!(subjects.len(), 2);
+        let predicates = g.predicates();
+        assert_eq!(predicates.len(), 3);
+    }
+
+    #[test]
+    fn helper_accessors() {
+        let g = sample();
+        let subs = g.subjects_with(
+            &Term::iri("http://e.org/v#pn"),
+            &Term::literal("T83-22uF"),
+        );
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].as_iri(), Some("http://e.org/p2"));
+        let objs = g.objects_of(
+            &Term::iri("http://e.org/p1"),
+            &Term::iri("http://e.org/v#pn"),
+        );
+        assert_eq!(objs.len(), 1);
+        assert!(g
+            .object_of(
+                &Term::iri("http://e.org/p1"),
+                &Term::iri("http://e.org/v#mfr")
+            )
+            .is_some());
+        assert!(g
+            .object_of(
+                &Term::iri("http://e.org/p2"),
+                &Term::iri("http://e.org/v#mfr")
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn clear_keeps_dictionary() {
+        let mut g = sample();
+        let terms_before = g.term_count();
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.term_count(), terms_before);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let triples = vec![
+            Triple::literal("http://e.org/a", "http://e.org/p", "1"),
+            Triple::literal("http://e.org/b", "http://e.org/p", "2"),
+        ];
+        let g: Graph = triples.clone().into_iter().collect();
+        assert_eq!(g.len(), 2);
+        let mut g2 = Graph::new();
+        g2.extend(triples);
+        assert_eq!(g2.len(), 2);
+        let mut g3 = Graph::new();
+        assert_eq!(g3.extend_from(&g), 2);
+        assert_eq!(g3.extend_from(&g), 0);
+    }
+
+    #[test]
+    fn iter_returns_all_triples() {
+        let g = sample();
+        assert_eq!(g.iter().count(), 4);
+    }
+}

@@ -1,0 +1,379 @@
+//! N-Triples parsing and serialisation.
+//!
+//! N-Triples is the line-oriented RDF exchange syntax: one triple per line,
+//! terms written in full. It is the format the synthetic catalog generator
+//! emits and the format examples read back, so round-tripping must be exact.
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::term::{escape_literal, unescape_literal, Literal, Term};
+use crate::triple::Triple;
+
+/// Parse a complete N-Triples document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph> {
+    let mut graph = Graph::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(trimmed, line_no)?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+/// Parse a single N-Triples statement (without the trailing newline).
+pub fn parse_line(line: &str, line_no: usize) -> Result<Triple> {
+    let mut cursor = Cursor::new(line, line_no);
+    cursor.skip_ws();
+    let subject = cursor.parse_term()?;
+    cursor.skip_ws();
+    let predicate = cursor.parse_term()?;
+    cursor.skip_ws();
+    let object = cursor.parse_term()?;
+    cursor.skip_ws();
+    cursor.expect('.')?;
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(RdfError::parse(
+            line_no,
+            format!("trailing content after '.': {}", cursor.rest()),
+        ));
+    }
+    Ok(Triple::new(subject, predicate, object))
+}
+
+/// Serialise a single triple as an N-Triples line (without trailing newline).
+pub fn write_triple(triple: &Triple) -> String {
+    format!(
+        "{} {} {} .",
+        write_term(&triple.subject),
+        write_term(&triple.predicate),
+        write_term(&triple.object)
+    )
+}
+
+/// Serialise a term in N-Triples syntax.
+pub fn write_term(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("<{iri}>"),
+        Term::Blank(b) => format!("_:{b}"),
+        Term::Literal(lit) => {
+            let mut out = format!("\"{}\"", escape_literal(&lit.value));
+            if let Some(lang) = &lit.language {
+                out.push('@');
+                out.push_str(lang);
+            } else if let Some(dt) = &lit.datatype {
+                out.push_str("^^<");
+                out.push_str(dt);
+                out.push('>');
+            }
+            out
+        }
+    }
+}
+
+/// Serialise a whole graph as an N-Triples document (sorted, deterministic).
+pub fn write(graph: &Graph) -> String {
+    let mut lines: Vec<String> = graph.iter().map(|t| write_triple(&t)).collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// A small character cursor over one statement.
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line_no: usize,
+    raw: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(raw: &'a str, line_no: usize) -> Self {
+        Cursor {
+            chars: raw.chars().collect(),
+            pos: 0,
+            line_no,
+            raw,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn rest(&self) -> String {
+        self.chars[self.pos.min(self.chars.len())..].iter().collect()
+    }
+
+    fn expect(&mut self, expected: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(RdfError::parse(
+                self.line_no,
+                format!("expected '{expected}' but found '{c}' in: {}", self.raw),
+            )),
+            None => Err(RdfError::parse(
+                self.line_no,
+                format!("expected '{expected}' but reached end of line: {}", self.raw),
+            )),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some('<') => self.parse_iri(),
+            Some('_') => self.parse_blank(),
+            Some('"') => self.parse_literal(),
+            Some(c) => Err(RdfError::parse(
+                self.line_no,
+                format!("unexpected character '{c}' at start of term in: {}", self.raw),
+            )),
+            None => Err(RdfError::parse(
+                self.line_no,
+                format!("unexpected end of line, expected a term in: {}", self.raw),
+            )),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Term> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some(c) => iri.push(c),
+                None => {
+                    return Err(RdfError::parse(
+                        self.line_no,
+                        format!("unterminated IRI in: {}", self.raw),
+                    ))
+                }
+            }
+        }
+        if iri.is_empty() {
+            return Err(RdfError::InvalidIri("<>".to_string()));
+        }
+        Ok(Term::Iri(iri))
+    }
+
+    fn parse_blank(&mut self) -> Result<Term> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if !c.is_whitespace()) {
+            label.push(self.bump().unwrap());
+        }
+        if label.is_empty() {
+            return Err(RdfError::parse(
+                self.line_no,
+                format!("empty blank node label in: {}", self.raw),
+            ));
+        }
+        Ok(Term::Blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term> {
+        self.expect('"')?;
+        let mut raw = String::new();
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    raw.push('\\');
+                    match self.bump() {
+                        Some(c) => raw.push(c),
+                        None => {
+                            return Err(RdfError::InvalidLiteral(format!(
+                                "dangling escape in: {}",
+                                self.raw
+                            )))
+                        }
+                    }
+                }
+                Some('"') => break,
+                Some(c) => raw.push(c),
+                None => {
+                    return Err(RdfError::InvalidLiteral(format!(
+                        "unterminated literal in: {}",
+                        self.raw
+                    )))
+                }
+            }
+        }
+        let value = unescape_literal(&raw);
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '-') {
+                    lang.push(self.bump().unwrap());
+                }
+                if lang.is_empty() {
+                    return Err(RdfError::InvalidLiteral(format!(
+                        "empty language tag in: {}",
+                        self.raw
+                    )));
+                }
+                Ok(Term::Literal(Literal::lang(value, lang)))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let dt = self.parse_iri()?;
+                let dt_iri = dt.as_iri().expect("parse_iri returns IRIs").to_string();
+                Ok(Term::Literal(Literal::typed(value, dt_iri)))
+            }
+            _ => Ok(Term::Literal(Literal::plain(value))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_simple_document() {
+        let doc = r#"
+# a comment
+<http://e.org/p1> <http://e.org/v#pn> "CRCW0805-10K" .
+<http://e.org/p1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e.org/cls#Resistor> .
+
+<http://e.org/p2> <http://e.org/v#label> "10 kΩ resistor"@en .
+<http://e.org/p2> <http://e.org/v#value> "10000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://e.org/v#note> "blank subject" .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn parse_literal_with_escapes() {
+        let line = r#"<http://e.org/a> <http://e.org/p> "line1\nline2 \"quoted\"" ."#;
+        let t = parse_line(line, 1).unwrap();
+        assert_eq!(t.object.value_str(), "line1\nline2 \"quoted\"");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_line() {
+        let doc = "<http://e.org/a> <http://e.org/p> \"v\" .\nnot a triple";
+        let err = parse(doc).unwrap_err();
+        match err {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        assert!(parse_line("<http://a> <http://p> \"v\"", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_line("<http://a> <http://p> \"v\" . junk", 1).is_err());
+    }
+
+    #[test]
+    fn unterminated_iri_and_literal() {
+        assert!(parse_line("<http://a <http://p> \"v\" .", 1).is_err());
+        assert!(parse_line("<http://a> <http://p> \"v .", 1).is_err());
+        assert!(parse_line("<http://a> <http://p> \"v\"@ .", 1).is_err());
+        assert!(parse_line("<> <http://p> \"v\" .", 1).is_err());
+        assert!(parse_line("_: <http://p> \"v\" .", 1).is_err());
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let mut g = Graph::new();
+        g.insert(Triple::literal("http://e.org/a", "http://e.org/p", "plain"));
+        g.insert(Triple::new(
+            Term::iri("http://e.org/a"),
+            Term::iri("http://e.org/q"),
+            Term::lang_literal("étiquette", "fr"),
+        ));
+        g.insert(Triple::new(
+            Term::iri("http://e.org/a"),
+            Term::iri("http://e.org/r"),
+            Term::typed_literal("3.5", crate::namespace::vocab::XSD_DECIMAL),
+        ));
+        g.insert(Triple::new(
+            Term::blank("b1"),
+            Term::iri("http://e.org/p"),
+            Term::literal("with \"quotes\" and \\slashes\\"),
+        ));
+        let doc = write(&g);
+        let g2 = parse(&doc).unwrap();
+        assert_eq!(g2.len(), g.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t), "missing after roundtrip: {t}");
+        }
+    }
+
+    #[test]
+    fn write_is_deterministic_and_sorted() {
+        let mut g = Graph::new();
+        g.insert(Triple::literal("http://e.org/b", "http://e.org/p", "2"));
+        g.insert(Triple::literal("http://e.org/a", "http://e.org/p", "1"));
+        let out = write(&g);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0] < lines[1]);
+        assert_eq!(out, write(&g));
+    }
+
+    #[test]
+    fn empty_graph_writes_empty_string() {
+        assert_eq!(write(&Graph::new()), "");
+        assert_eq!(parse("").unwrap().len(), 0);
+    }
+
+    proptest! {
+        /// Any plain-literal triple with printable content must round-trip
+        /// through write → parse unchanged.
+        #[test]
+        fn prop_literal_roundtrip(value in "[ -~]{0,40}", local in "[a-zA-Z][a-zA-Z0-9]{0,10}") {
+            let t = Triple::new(
+                Term::iri(format!("http://e.org/{local}")),
+                Term::iri("http://e.org/p"),
+                Term::literal(value.clone()),
+            );
+            let line = write_triple(&t);
+            let back = parse_line(&line, 1).unwrap();
+            prop_assert_eq!(back, t);
+        }
+
+        /// Escaping never loses information for arbitrary unicode strings.
+        #[test]
+        fn prop_escape_roundtrip(value in "\\PC{0,60}") {
+            let escaped = escape_literal(&value);
+            let back = unescape_literal(&escaped);
+            prop_assert_eq!(back, value);
+        }
+    }
+}

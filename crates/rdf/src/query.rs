@@ -1,0 +1,363 @@
+//! Basic graph pattern (BGP) matching with variable bindings.
+//!
+//! The rule premises of the paper (`p(X, Y) ∧ subsegment(Y, a)`) need only a
+//! tiny query capability over RDF data: conjunctive triple patterns with
+//! shared variables. [`Query`] evaluates such patterns against a [`Graph`]
+//! with a straightforward nested-loop join, iterating patterns in the order
+//! given and substituting bindings as it goes.
+
+use crate::graph::Graph;
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A query variable, identified by name (without the leading `?`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Variable(pub String);
+
+impl Variable {
+    /// Create a variable from a name; a leading `?` is stripped if present.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        Variable(name.strip_prefix('?').unwrap_or(&name).to_string())
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One position of a triple pattern: either a constant term or a variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternTerm {
+    /// A constant RDF term that must match exactly.
+    Const(Term),
+    /// A variable to be bound by matching.
+    Var(Variable),
+}
+
+impl PatternTerm {
+    /// A constant pattern term.
+    pub fn term(t: Term) -> Self {
+        PatternTerm::Const(t)
+    }
+
+    /// A variable pattern term.
+    pub fn var(name: impl Into<String>) -> Self {
+        PatternTerm::Var(Variable::new(name))
+    }
+
+    fn resolve<'a>(&'a self, binding: &'a Binding) -> Option<&'a Term> {
+        match self {
+            PatternTerm::Const(t) => Some(t),
+            PatternTerm::Var(v) => binding.get(v),
+        }
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Const(t) => write!(f, "{t}"),
+            PatternTerm::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A triple pattern `(s, p, o)` whose positions may be variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Subject position.
+    pub subject: PatternTerm,
+    /// Predicate position.
+    pub predicate: PatternTerm,
+    /// Object position.
+    pub object: PatternTerm,
+}
+
+impl Pattern {
+    /// Create a pattern from three pattern terms.
+    pub fn new(subject: PatternTerm, predicate: PatternTerm, object: PatternTerm) -> Self {
+        Pattern {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Shorthand: `?s <predicate> ?o` with a constant predicate IRI.
+    pub fn property(subject_var: &str, predicate_iri: &str, object_var: &str) -> Self {
+        Pattern::new(
+            PatternTerm::var(subject_var),
+            PatternTerm::term(Term::iri(predicate_iri)),
+            PatternTerm::var(object_var),
+        )
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A set of variable bindings produced by query evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    map: BTreeMap<Variable, Term>,
+}
+
+impl Binding {
+    /// An empty binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &Variable) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// The term bound to the variable with this name, if any.
+    pub fn get_name(&self, name: &str) -> Option<&Term> {
+        self.map.get(&Variable::new(name))
+    }
+
+    /// Bind `var` to `term`, returning `false` (and leaving the binding
+    /// unchanged) if `var` is already bound to a different term.
+    pub fn bind(&mut self, var: Variable, term: Term) -> bool {
+        match self.map.get(&var) {
+            Some(existing) => *existing == term,
+            None => {
+                self.map.insert(var, term);
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &Term)> {
+        self.map.iter()
+    }
+}
+
+/// A conjunctive query: an ordered list of triple patterns.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    patterns: Vec<Pattern>,
+}
+
+impl Query {
+    /// An empty query (matches exactly one empty binding).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pattern to the conjunction (builder style).
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.patterns.push(pattern);
+        self
+    }
+
+    /// The patterns of this query.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Evaluate the query against `graph`, returning all bindings.
+    ///
+    /// Evaluation is a nested-loop join in pattern order: for each partial
+    /// binding, the next pattern is instantiated (bound variables become
+    /// constants) and matched against the graph indexes.
+    pub fn execute(&self, graph: &Graph) -> Vec<Binding> {
+        let mut bindings = vec![Binding::new()];
+        for pattern in &self.patterns {
+            let mut next = Vec::new();
+            for binding in &bindings {
+                let s = pattern.subject.resolve(binding).cloned();
+                let p = pattern.predicate.resolve(binding).cloned();
+                let o = pattern.object.resolve(binding).cloned();
+                for triple in graph.triples_matching(s.as_ref(), p.as_ref(), o.as_ref()) {
+                    let mut extended = binding.clone();
+                    let ok_s = match &pattern.subject {
+                        PatternTerm::Var(v) => extended.bind(v.clone(), triple.subject.clone()),
+                        PatternTerm::Const(_) => true,
+                    };
+                    let ok_p = match &pattern.predicate {
+                        PatternTerm::Var(v) => extended.bind(v.clone(), triple.predicate.clone()),
+                        PatternTerm::Const(_) => true,
+                    };
+                    let ok_o = match &pattern.object {
+                        PatternTerm::Var(v) => extended.bind(v.clone(), triple.object.clone()),
+                        PatternTerm::Const(_) => true,
+                    };
+                    if ok_s && ok_p && ok_o {
+                        next.push(extended);
+                    }
+                }
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        bindings
+    }
+
+    /// Evaluate and return only the distinct terms bound to `var`.
+    pub fn select(&self, graph: &Graph, var: &str) -> Vec<Term> {
+        let v = Variable::new(var);
+        let mut out: Vec<Term> = self
+            .execute(graph)
+            .into_iter()
+            .filter_map(|b| b.get(&v).cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::vocab;
+    use crate::triple::Triple;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        for (item, pn, class) in [
+            ("http://e.org/p1", "CRCW0805-10K", "http://e.org/c#Resistor"),
+            ("http://e.org/p2", "CRCW0805-22K", "http://e.org/c#Resistor"),
+            ("http://e.org/p3", "T83A225K", "http://e.org/c#TantalumCapacitor"),
+        ] {
+            g.insert(Triple::literal(item, "http://e.org/v#pn", pn));
+            g.insert(Triple::iris(item, vocab::RDF_TYPE, class));
+        }
+        g
+    }
+
+    #[test]
+    fn variable_name_strips_question_mark() {
+        assert_eq!(Variable::new("?x"), Variable::new("x"));
+        assert_eq!(Variable::new("x").to_string(), "?x");
+    }
+
+    #[test]
+    fn empty_query_yields_one_empty_binding() {
+        let g = sample();
+        let results = Query::new().execute(&g);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_empty());
+    }
+
+    #[test]
+    fn single_pattern_all_variables() {
+        let g = sample();
+        let q = Query::new().pattern(Pattern::new(
+            PatternTerm::var("s"),
+            PatternTerm::var("p"),
+            PatternTerm::var("o"),
+        ));
+        assert_eq!(q.execute(&g).len(), 6);
+    }
+
+    #[test]
+    fn property_pattern_binds_subject_and_value() {
+        let g = sample();
+        let q = Query::new().pattern(Pattern::property("x", "http://e.org/v#pn", "y"));
+        let results = q.execute(&g);
+        assert_eq!(results.len(), 3);
+        for b in &results {
+            assert!(b.get_name("x").unwrap().is_iri());
+            assert!(b.get_name("y").unwrap().is_literal());
+        }
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let g = sample();
+        // x has part number AND x is a Resistor.
+        let q = Query::new()
+            .pattern(Pattern::property("x", "http://e.org/v#pn", "y"))
+            .pattern(Pattern::new(
+                PatternTerm::var("x"),
+                PatternTerm::term(Term::iri(vocab::RDF_TYPE)),
+                PatternTerm::term(Term::iri("http://e.org/c#Resistor")),
+            ));
+        let results = q.execute(&g);
+        assert_eq!(results.len(), 2);
+        let subjects = q.select(&g, "x");
+        assert_eq!(subjects.len(), 2);
+        assert!(subjects.iter().all(|s| s.as_iri().unwrap() != "http://e.org/p3"));
+    }
+
+    #[test]
+    fn join_with_no_result_short_circuits() {
+        let g = sample();
+        let q = Query::new()
+            .pattern(Pattern::property("x", "http://e.org/v#unknown", "y"))
+            .pattern(Pattern::property("x", "http://e.org/v#pn", "z"));
+        assert!(q.execute(&g).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        let mut g = Graph::new();
+        g.insert(Triple::iris("http://e.org/a", "http://e.org/p", "http://e.org/a"));
+        g.insert(Triple::iris("http://e.org/a", "http://e.org/p", "http://e.org/b"));
+        // ?x p ?x — only the self-loop matches.
+        let q = Query::new().pattern(Pattern::new(
+            PatternTerm::var("x"),
+            PatternTerm::term(Term::iri("http://e.org/p")),
+            PatternTerm::var("x"),
+        ));
+        let results = q.execute(&g);
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get_name("x").unwrap().as_iri(),
+            Some("http://e.org/a")
+        );
+    }
+
+    #[test]
+    fn select_deduplicates() {
+        let g = sample();
+        let q = Query::new().pattern(Pattern::new(
+            PatternTerm::var("s"),
+            PatternTerm::term(Term::iri(vocab::RDF_TYPE)),
+            PatternTerm::var("class"),
+        ));
+        let classes = q.select(&g, "class");
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn binding_rejects_conflicting_rebind() {
+        let mut b = Binding::new();
+        assert!(b.bind(Variable::new("x"), Term::literal("a")));
+        assert!(b.bind(Variable::new("x"), Term::literal("a")));
+        assert!(!b.bind(Variable::new("x"), Term::literal("b")));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.iter().count(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Pattern::property("x", "http://e.org/v#pn", "y");
+        assert_eq!(p.to_string(), "?x <http://e.org/v#pn> ?y");
+    }
+}

@@ -1,0 +1,507 @@
+//! A pragmatic Turtle subset: enough to read and write the catalogs, provider
+//! documents and ontologies used by the workspace.
+//!
+//! Supported syntax:
+//!
+//! * `@prefix p: <iri> .` directives,
+//! * full IRIs `<...>`, prefixed names `p:local`, the `a` keyword,
+//! * blank node labels `_:b0`,
+//! * plain, language-tagged and typed string literals (single-line),
+//! * predicate lists with `;` and object lists with `,`.
+//!
+//! Not supported (not needed by the workspace): multi-line literals, nested
+//! blank node property lists `[...]`, RDF collections `(...)`, numeric or
+//! boolean literal shorthand, `@base`.
+
+use crate::error::{RdfError, Result};
+use crate::graph::Graph;
+use crate::namespace::Namespaces;
+use crate::term::{escape_literal, unescape_literal, Literal, Term};
+use crate::triple::Triple;
+
+/// Parse a Turtle document (subset, see module docs) into a graph.
+pub fn parse(input: &str) -> Result<(Graph, Namespaces)> {
+    Parser::new(input).parse()
+}
+
+/// Serialise a graph as Turtle, grouping triples by subject and shrinking
+/// IRIs through the given namespaces. Deterministic output.
+pub fn write(graph: &Graph, namespaces: &Namespaces) -> String {
+    let mut out = String::new();
+    for (prefix, ns) in namespaces.iter() {
+        out.push_str(&format!("@prefix {prefix}: <{ns}> .\n"));
+    }
+    if !namespaces.is_empty() {
+        out.push('\n');
+    }
+
+    let mut triples: Vec<Triple> = graph.iter().collect();
+    triples.sort();
+    let mut current_subject: Option<Term> = None;
+    for (i, t) in triples.iter().enumerate() {
+        let is_new_subject = current_subject.as_ref() != Some(&t.subject);
+        if is_new_subject {
+            if current_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            out.push_str(&write_term(&t.subject, namespaces));
+            out.push_str("\n    ");
+            current_subject = Some(t.subject.clone());
+        } else {
+            out.push_str(" ;\n    ");
+        }
+        out.push_str(&write_term(&t.predicate, namespaces));
+        out.push(' ');
+        out.push_str(&write_term(&t.object, namespaces));
+        if i == triples.len() - 1 {
+            out.push_str(" .\n");
+        }
+    }
+    out
+}
+
+/// Serialise one term in Turtle syntax, shrinking IRIs when possible.
+pub fn write_term(term: &Term, namespaces: &Namespaces) -> String {
+    match term {
+        Term::Iri(iri) => {
+            if iri == crate::namespace::vocab::RDF_TYPE {
+                "a".to_string()
+            } else {
+                match namespaces.shrink(iri) {
+                    Some(curie) if is_safe_curie(&curie) => curie,
+                    _ => format!("<{iri}>"),
+                }
+            }
+        }
+        Term::Blank(b) => format!("_:{b}"),
+        Term::Literal(lit) => {
+            let mut s = format!("\"{}\"", escape_literal(&lit.value));
+            if let Some(lang) = &lit.language {
+                s.push('@');
+                s.push_str(lang);
+            } else if let Some(dt) = &lit.datatype {
+                s.push_str("^^");
+                s.push_str(&match namespaces.shrink(dt) {
+                    Some(curie) if is_safe_curie(&curie) => curie,
+                    _ => format!("<{dt}>"),
+                });
+            }
+            s
+        }
+    }
+}
+
+fn is_safe_curie(curie: &str) -> bool {
+    curie
+        .chars()
+        .all(|c| c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.'))
+        && !curie.ends_with('.')
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    namespaces: Namespaces,
+    graph: Graph,
+    _input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            namespaces: Namespaces::new(),
+            graph: Graph::new(),
+            _input: input,
+        }
+    }
+
+    fn parse(mut self) -> Result<(Graph, Namespaces)> {
+        loop {
+            self.skip_ws_and_comments();
+            if self.at_end() {
+                break;
+            }
+            if self.peek_str("@prefix") {
+                self.parse_prefix()?;
+            } else {
+                self.parse_statement()?;
+            }
+        }
+        Ok((self.graph, self.namespaces))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.chars[self.pos..]
+            .iter()
+            .take(s.chars().count())
+            .copied()
+            .eq(s.chars())
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.bump();
+            }
+            if self.peek() == Some('#') {
+                while !matches!(self.peek(), None | Some('\n')) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RdfError {
+        RdfError::parse(self.line, msg.into())
+    }
+
+    fn expect(&mut self, expected: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.err(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.err(format!("expected '{expected}', found end of input"))),
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<()> {
+        for _ in 0.."@prefix".len() {
+            self.bump();
+        }
+        self.skip_ws_and_comments();
+        let mut prefix = String::new();
+        while matches!(self.peek(), Some(c) if c != ':' && !c.is_whitespace()) {
+            prefix.push(self.bump().unwrap());
+        }
+        self.expect(':')?;
+        self.skip_ws_and_comments();
+        let iri = self.parse_iri_ref()?;
+        self.skip_ws_and_comments();
+        self.expect('.')?;
+        self.namespaces.declare(prefix, iri);
+        Ok(())
+    }
+
+    fn parse_statement(&mut self) -> Result<()> {
+        let subject = self.parse_term()?;
+        loop {
+            self.skip_ws_and_comments();
+            let predicate = self.parse_verb()?;
+            loop {
+                self.skip_ws_and_comments();
+                let object = self.parse_term()?;
+                self.graph
+                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws_and_comments();
+                match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.skip_ws_and_comments();
+            match self.peek() {
+                Some(';') => {
+                    self.bump();
+                    self.skip_ws_and_comments();
+                    // A dangling ';' directly before '.' is tolerated.
+                    if self.peek() == Some('.') {
+                        self.bump();
+                        return Ok(());
+                    }
+                }
+                Some('.') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(c) => return Err(self.err(format!("expected ';' or '.', found '{c}'"))),
+                None => return Err(self.err("unexpected end of input inside statement")),
+            }
+        }
+    }
+
+    fn parse_verb(&mut self) -> Result<Term> {
+        if self.peek() == Some('a') {
+            // `a` is only the rdf:type keyword when followed by whitespace.
+            let next = self.chars.get(self.pos + 1).copied();
+            if next.is_none() || next.is_some_and(|c| c.is_whitespace()) {
+                self.bump();
+                return Ok(Term::iri(crate::namespace::vocab::RDF_TYPE));
+            }
+        }
+        self.parse_term()
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some(c) => iri.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        if iri.is_empty() {
+            return Err(RdfError::InvalidIri("<>".to_string()));
+        }
+        Ok(iri)
+    }
+
+    fn parse_term(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri_ref()?)),
+            Some('"') => self.parse_literal(),
+            Some('_') => self.parse_blank(),
+            Some(c) if c.is_alphanumeric() => self.parse_prefixed_name(),
+            Some(c) => Err(self.err(format!("unexpected character '{c}' at start of term"))),
+            None => Err(self.err("unexpected end of input, expected a term")),
+        }
+    }
+
+    fn parse_blank(&mut self) -> Result<Term> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            label.push(self.bump().unwrap());
+        }
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        Ok(Term::Blank(label))
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Term> {
+        let mut name = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.')) {
+            name.push(self.bump().unwrap());
+        }
+        // A trailing '.' belongs to the statement terminator, not the name.
+        while name.ends_with('.') {
+            name.pop();
+            self.pos -= 1;
+        }
+        let (prefix, local) = name
+            .split_once(':')
+            .ok_or_else(|| self.err(format!("expected prefixed name, found '{name}'")))?;
+        match self.namespaces.get(prefix) {
+            Some(ns) => Ok(Term::iri(format!("{ns}{local}"))),
+            None => Err(RdfError::UnknownPrefix(prefix.to_string())),
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Term> {
+        self.expect('"')?;
+        let mut raw = String::new();
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    raw.push('\\');
+                    match self.bump() {
+                        Some(c) => raw.push(c),
+                        None => return Err(self.err("dangling escape in literal")),
+                    }
+                }
+                Some('"') => break,
+                Some(c) => raw.push(c),
+                None => return Err(self.err("unterminated literal")),
+            }
+        }
+        let value = unescape_literal(&raw);
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '-') {
+                    lang.push(self.bump().unwrap());
+                }
+                if lang.is_empty() {
+                    return Err(self.err("empty language tag"));
+                }
+                Ok(Term::Literal(Literal::lang(value, lang)))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let dt = match self.peek() {
+                    Some('<') => self.parse_iri_ref()?,
+                    _ => match self.parse_prefixed_name()? {
+                        Term::Iri(iri) => iri,
+                        _ => unreachable!("prefixed names always produce IRIs"),
+                    },
+                };
+                Ok(Term::Literal(Literal::typed(value, dt)))
+            }
+            _ => Ok(Term::Literal(Literal::plain(value))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::namespace::vocab;
+
+    const DOC: &str = r#"
+@prefix ex: <http://example.org/vocab#> .
+@prefix cls: <http://example.org/classes#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+# A fixed film resistor from the catalog
+<http://example.org/prod/1>
+    a cls:FixedFilmResistor ;
+    ex:partNumber "CRCW0805-10K-5%-63V" ;
+    ex:manufacturer "Vishay" , "Vishay Intertechnology" ;
+    ex:resistance "10000"^^xsd:integer ;
+    ex:label "10 k resistor"@en .
+
+<http://example.org/prod/2> a cls:TantalumCapacitor ; ex:partNumber "T83A225K" .
+"#;
+
+    #[test]
+    fn parse_full_document() {
+        let (g, ns) = parse(DOC).unwrap();
+        assert_eq!(ns.len(), 3);
+        // 6 triples for prod/1 (two manufacturers) + 2 for prod/2
+        assert_eq!(g.len(), 8);
+        let type_triples: Vec<_> = g
+            .triples_matching(
+                Some(&Term::iri("http://example.org/prod/1")),
+                Some(&Term::iri(vocab::RDF_TYPE)),
+                None,
+            )
+            .collect();
+        assert_eq!(type_triples.len(), 1);
+        assert_eq!(
+            type_triples[0].object.as_iri(),
+            Some("http://example.org/classes#FixedFilmResistor")
+        );
+    }
+
+    #[test]
+    fn typed_and_lang_literals_parse() {
+        let (g, _) = parse(DOC).unwrap();
+        let resistance = g
+            .object_of(
+                &Term::iri("http://example.org/prod/1"),
+                &Term::iri("http://example.org/vocab#resistance"),
+            )
+            .unwrap();
+        let lit = resistance.as_literal().unwrap();
+        assert_eq!(lit.value, "10000");
+        assert_eq!(lit.datatype.as_deref(), Some(vocab::XSD_INTEGER));
+        let label = g
+            .object_of(
+                &Term::iri("http://example.org/prod/1"),
+                &Term::iri("http://example.org/vocab#label"),
+            )
+            .unwrap();
+        assert_eq!(label.as_literal().unwrap().language.as_deref(), Some("en"));
+    }
+
+    #[test]
+    fn object_lists_expand() {
+        let (g, _) = parse(DOC).unwrap();
+        let mfrs = g.objects_of(
+            &Term::iri("http://example.org/prod/1"),
+            &Term::iri("http://example.org/vocab#manufacturer"),
+        );
+        assert_eq!(mfrs.len(), 2);
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let doc = "<http://a.org/x> nope:pred \"v\" .";
+        assert!(matches!(parse(doc), Err(RdfError::UnknownPrefix(_))));
+    }
+
+    #[test]
+    fn missing_terminator_is_an_error() {
+        let doc = "@prefix ex: <http://e.org/> .\nex:a ex:b \"v\"";
+        assert!(parse(doc).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let doc = "# only a comment\n\n   # another\n";
+        let (g, ns) = parse(doc).unwrap();
+        assert!(g.is_empty());
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn dangling_semicolon_before_dot_is_tolerated() {
+        let doc = "@prefix ex: <http://e.org/> .\nex:a ex:p \"v\" ;\n.";
+        let (g, _) = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn blank_node_subjects_parse() {
+        let doc = "@prefix ex: <http://e.org/> .\n_:b0 ex:p \"v\" .";
+        let (g, _) = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(g.iter().next().unwrap().subject.is_blank());
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let (g, ns) = parse(DOC).unwrap();
+        let out = write(&g, &ns);
+        let (g2, _) = parse(&out).unwrap();
+        assert_eq!(g2.len(), g.len());
+        for t in g.iter() {
+            assert!(g2.contains(&t), "missing after roundtrip: {t}");
+        }
+    }
+
+    #[test]
+    fn write_uses_a_for_rdf_type_and_curies() {
+        let (g, ns) = parse(DOC).unwrap();
+        let out = write(&g, &ns);
+        assert!(out.contains(" a cls:FixedFilmResistor") || out.contains("\n    a cls:FixedFilmResistor"));
+        assert!(out.contains("ex:partNumber"));
+        assert!(out.contains("@prefix ex:"));
+    }
+
+    #[test]
+    fn write_empty_graph() {
+        let out = write(&Graph::new(), &Namespaces::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn curie_with_special_chars_falls_back_to_full_iri() {
+        let mut ns = Namespaces::new();
+        ns.declare("ex", "http://e.org/");
+        let term = Term::iri("http://e.org/path/with/slashes");
+        let s = write_term(&term, &ns);
+        assert_eq!(s, "<http://e.org/path/with/slashes>");
+    }
+}

@@ -1,0 +1,51 @@
+//! # classilink-segment
+//!
+//! Property-value segmentation for the `classilink` workspace (reproduction
+//! of *"Classification Rule Learning for Data Linking"*, Pernelle & Saïs,
+//! LWDM @ EDBT 2012).
+//!
+//! The paper's classification rules have the form
+//! `p(X, Y) ∧ subsegment(Y, a) ⇒ c(X)`, where `subsegment(Y, a)` holds when
+//! the segment `a` occurs at least once in the value `Y`. How a value is
+//! split into segments "is specified by a domain expert. One can use
+//! separation characters (e.g., ':', '-', ';', ' ') or n-grams."
+//!
+//! This crate provides those splitters plus supporting machinery:
+//!
+//! * [`separator`] — split on separator characters (the paper's evaluation
+//!   splits part numbers "using non-alphabetical and non-numerical
+//!   characters").
+//! * [`alphanum`] — additionally split at letter/digit transitions (ablation
+//!   A1 of DESIGN.md).
+//! * [`ngram`] — character and word n-grams, padded bigrams.
+//! * [`normalize`] — case folding, whitespace collapsing, accent stripping.
+//! * [`pipeline`] — the [`Segmenter`] trait, the serialisable
+//!   [`SegmenterKind`] configuration and normalizer composition.
+//! * [`dictionary`] — segment interning and occurrence counting (the paper
+//!   reports 7 842 distinct segments / 26 077 occurrences for its data set).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use classilink_segment::{Segmenter, SeparatorSegmenter};
+//!
+//! let splitter = SeparatorSegmenter::non_alphanumeric();
+//! assert_eq!(
+//!     splitter.split("CRCW0805-10K 5% 63V"),
+//!     vec!["CRCW0805", "10K", "5", "63V"]
+//! );
+//! ```
+
+pub mod alphanum;
+pub mod dictionary;
+pub mod ngram;
+pub mod normalize;
+pub mod pipeline;
+pub mod separator;
+
+pub use alphanum::AlphaNumSegmenter;
+pub use dictionary::{SegmentDictionary, SegmentId};
+pub use ngram::{CharNGramSegmenter, WordNGramSegmenter};
+pub use normalize::Normalizer;
+pub use pipeline::{NormalizingSegmenter, Segmenter, SegmenterKind};
+pub use separator::{SeparatorClass, SeparatorSegmenter};

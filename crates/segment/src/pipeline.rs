@@ -1,0 +1,199 @@
+//! The [`Segmenter`] trait and composition helpers.
+//!
+//! The paper leaves the choice of the `split` function to a domain expert:
+//! "The way a value is split into segments is specified by a domain expert.
+//! One can use separation characters (e.g., ':', '-', ';', ' ') or n-grams."
+//! The trait below is that extension point; [`SegmenterKind`] is a serialisable
+//! configuration enum so experiments can sweep over segmenters, and
+//! [`NormalizingSegmenter`] composes a [`Normalizer`] with any segmenter.
+
+use crate::alphanum::AlphaNumSegmenter;
+use crate::ngram::{CharNGramSegmenter, WordNGramSegmenter};
+use crate::normalize::Normalizer;
+use crate::separator::SeparatorSegmenter;
+use serde::{Deserialize, Serialize};
+
+/// Splits a property value into segments.
+pub trait Segmenter: Send + Sync {
+    /// Split `value` into segments. Segments may repeat; the caller decides
+    /// whether occurrences or distinct segments matter.
+    fn split(&self, value: &str) -> Vec<String>;
+
+    /// A short, stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Split and deduplicate, preserving first-occurrence order. This is the
+    /// operation used when building the `subsegment(Y, a)` facts: the paper's
+    /// `subsegment` predicate only expresses that a segment "occurs at least
+    /// one time in the value".
+    fn split_distinct(&self, value: &str) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        self.split(value)
+            .into_iter()
+            .filter(|s| seen.insert(s.clone()))
+            .collect()
+    }
+}
+
+/// A serialisable choice of segmentation strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmenterKind {
+    /// Split on non-alphanumeric separators (the paper's default).
+    Separator,
+    /// Split on whitespace only.
+    Whitespace,
+    /// Split on separators and letter/digit transitions.
+    AlphaNumTransition,
+    /// Character n-grams of the given size.
+    CharNGram(usize),
+    /// Padded character bigrams.
+    PaddedBigram,
+    /// Word n-grams of the given size.
+    WordNGram(usize),
+}
+
+impl SegmenterKind {
+    /// Instantiate the segmenter described by this configuration.
+    pub fn build(&self) -> Box<dyn Segmenter> {
+        match self {
+            SegmenterKind::Separator => Box::new(SeparatorSegmenter::non_alphanumeric()),
+            SegmenterKind::Whitespace => Box::new(SeparatorSegmenter::whitespace()),
+            SegmenterKind::AlphaNumTransition => Box::new(AlphaNumSegmenter::new()),
+            SegmenterKind::CharNGram(n) => Box::new(CharNGramSegmenter::new(*n)),
+            SegmenterKind::PaddedBigram => Box::new(CharNGramSegmenter::padded_bigrams()),
+            SegmenterKind::WordNGram(n) => Box::new(WordNGramSegmenter::new(*n)),
+        }
+    }
+
+    /// A short, stable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            SegmenterKind::Separator => "separator".to_string(),
+            SegmenterKind::Whitespace => "whitespace".to_string(),
+            SegmenterKind::AlphaNumTransition => "alphanum-transition".to_string(),
+            SegmenterKind::CharNGram(n) => format!("char-{n}gram"),
+            SegmenterKind::PaddedBigram => "padded-bigram".to_string(),
+            SegmenterKind::WordNGram(n) => format!("word-{n}gram"),
+        }
+    }
+}
+
+impl Default for SegmenterKind {
+    fn default() -> Self {
+        SegmenterKind::Separator
+    }
+}
+
+/// Applies a [`Normalizer`] to the value before delegating to an inner
+/// segmenter.
+pub struct NormalizingSegmenter<S> {
+    /// The normalization pipeline applied first.
+    pub normalizer: Normalizer,
+    /// The segmenter applied to the normalised value.
+    pub inner: S,
+}
+
+impl<S: Segmenter> NormalizingSegmenter<S> {
+    /// Compose the default normalizer with `inner`.
+    pub fn new(inner: S) -> Self {
+        NormalizingSegmenter {
+            normalizer: Normalizer::default(),
+            inner,
+        }
+    }
+
+    /// Compose a specific normalizer with `inner`.
+    pub fn with_normalizer(normalizer: Normalizer, inner: S) -> Self {
+        NormalizingSegmenter { normalizer, inner }
+    }
+}
+
+impl<S: Segmenter> Segmenter for NormalizingSegmenter<S> {
+    fn split(&self, value: &str) -> Vec<String> {
+        self.inner.split(&self.normalizer.apply(value))
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl Segmenter for Box<dyn Segmenter> {
+    fn split(&self, value: &str) -> Vec<String> {
+        self.as_ref().split(value)
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_distinct_deduplicates_in_order() {
+        let s = SeparatorSegmenter::non_alphanumeric();
+        assert_eq!(
+            s.split_distinct("A-B-A-C-B"),
+            vec!["A".to_string(), "B".to_string(), "C".to_string()]
+        );
+        assert_eq!(s.split("A-B-A").len(), 3);
+    }
+
+    #[test]
+    fn kind_builds_matching_segmenter() {
+        for (kind, value, expect_contains) in [
+            (SegmenterKind::Separator, "CRCW0805-63V", "CRCW0805"),
+            (SegmenterKind::Whitespace, "Louvre Museum", "Museum"),
+            (SegmenterKind::AlphaNumTransition, "63V", "V"),
+            (SegmenterKind::CharNGram(2), "ohm", "oh"),
+            (SegmenterKind::PaddedBigram, "ab", "#a"),
+            (SegmenterKind::WordNGram(2), "Dresden Elbe Valley", "Dresden Elbe"),
+        ] {
+            let seg = kind.build();
+            let out = seg.split(value);
+            assert!(
+                out.iter().any(|s| s == expect_contains),
+                "{kind:?} on {value:?} gave {out:?}, expected to contain {expect_contains:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            SegmenterKind::Separator,
+            SegmenterKind::Whitespace,
+            SegmenterKind::AlphaNumTransition,
+            SegmenterKind::CharNGram(3),
+            SegmenterKind::PaddedBigram,
+            SegmenterKind::WordNGram(2),
+        ];
+        let names: std::collections::HashSet<String> =
+            kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+        assert_eq!(SegmenterKind::default(), SegmenterKind::Separator);
+    }
+
+    #[test]
+    fn normalizing_segmenter_lowercases_first() {
+        let seg = NormalizingSegmenter::new(SeparatorSegmenter::non_alphanumeric());
+        assert_eq!(seg.split("CRCW0805-10K"), vec!["crcw0805", "10k"]);
+        assert_eq!(seg.name(), "separator");
+        let id = NormalizingSegmenter::with_normalizer(
+            Normalizer::identity(),
+            SeparatorSegmenter::non_alphanumeric(),
+        );
+        assert_eq!(id.split("CRCW0805-10K"), vec!["CRCW0805", "10K"]);
+    }
+
+    #[test]
+    fn boxed_segmenter_delegates() {
+        let boxed: Box<dyn Segmenter> = SegmenterKind::Separator.build();
+        assert_eq!(boxed.split("a-b"), vec!["a", "b"]);
+        assert_eq!(boxed.name(), "separator");
+        assert_eq!(boxed.split_distinct("a-a"), vec!["a"]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Separator-based segmentation — the splitter used in the paper's
+//! evaluation.
+//!
+//! > "Partnumbers have been split into 7842 distinct segments (26077
+//! > occurrences) using non-alphabetical and non-numerical characters
+//! > (e.g. space, '-', '.', ...)."
+//!
+//! [`SeparatorSegmenter`] splits a value on a configurable class of
+//! separator characters and discards empty pieces and (optionally) pieces
+//! shorter than a minimum length.
+
+use crate::pipeline::Segmenter;
+use serde::{Deserialize, Serialize};
+
+/// Which characters act as separators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeparatorClass {
+    /// Any character that is neither alphabetic nor numeric (the paper's
+    /// choice for part numbers).
+    NonAlphanumeric,
+    /// Whitespace only (suitable for natural-language labels).
+    Whitespace,
+    /// An explicit list of separator characters.
+    Chars(Vec<char>),
+}
+
+impl SeparatorClass {
+    fn is_separator(&self, c: char) -> bool {
+        match self {
+            SeparatorClass::NonAlphanumeric => !c.is_alphanumeric(),
+            SeparatorClass::Whitespace => c.is_whitespace(),
+            SeparatorClass::Chars(chars) => chars.contains(&c),
+        }
+    }
+}
+
+/// Splits values on separator characters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeparatorSegmenter {
+    /// The class of characters treated as separators.
+    pub class: SeparatorClass,
+    /// Minimum segment length (in characters); shorter segments are dropped.
+    pub min_length: usize,
+}
+
+impl SeparatorSegmenter {
+    /// The paper's configuration: split on non-alphanumeric characters and
+    /// keep every non-empty segment.
+    pub fn non_alphanumeric() -> Self {
+        SeparatorSegmenter {
+            class: SeparatorClass::NonAlphanumeric,
+            min_length: 1,
+        }
+    }
+
+    /// Split on whitespace only.
+    pub fn whitespace() -> Self {
+        SeparatorSegmenter {
+            class: SeparatorClass::Whitespace,
+            min_length: 1,
+        }
+    }
+
+    /// Split on an explicit list of characters.
+    pub fn with_chars(chars: impl Into<Vec<char>>) -> Self {
+        SeparatorSegmenter {
+            class: SeparatorClass::Chars(chars.into()),
+            min_length: 1,
+        }
+    }
+
+    /// Set the minimum kept segment length.
+    pub fn min_length(mut self, min_length: usize) -> Self {
+        self.min_length = min_length.max(1);
+        self
+    }
+}
+
+impl Default for SeparatorSegmenter {
+    fn default() -> Self {
+        Self::non_alphanumeric()
+    }
+}
+
+impl Segmenter for SeparatorSegmenter {
+    fn split(&self, value: &str) -> Vec<String> {
+        value
+            .split(|c| self.class.is_separator(c))
+            .filter(|s| !s.is_empty() && s.chars().count() >= self.min_length)
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "separator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_part_numbers_like_the_paper() {
+        let s = SeparatorSegmenter::non_alphanumeric();
+        assert_eq!(
+            s.split("CRCW0805-10K 5% 63V"),
+            vec!["CRCW0805", "10K", "5", "63V"]
+        );
+        assert_eq!(s.split("T83.A225/K"), vec!["T83", "A225", "K"]);
+        assert_eq!(s.split("ohm"), vec!["ohm"]);
+    }
+
+    #[test]
+    fn empty_and_separator_only_values() {
+        let s = SeparatorSegmenter::non_alphanumeric();
+        assert!(s.split("").is_empty());
+        assert!(s.split("--- . ;;").is_empty());
+    }
+
+    #[test]
+    fn whitespace_class_keeps_punctuation() {
+        let s = SeparatorSegmenter::whitespace();
+        assert_eq!(
+            s.split("Place de la Concorde"),
+            vec!["Place", "de", "la", "Concorde"]
+        );
+        assert_eq!(s.split("10-K ohm"), vec!["10-K", "ohm"]);
+    }
+
+    #[test]
+    fn explicit_chars_class() {
+        let s = SeparatorSegmenter::with_chars(vec!['-', '_']);
+        assert_eq!(s.split("A-B_C D"), vec!["A", "B", "C D"]);
+    }
+
+    #[test]
+    fn min_length_filters_short_segments() {
+        let s = SeparatorSegmenter::non_alphanumeric().min_length(2);
+        assert_eq!(s.split("CRCW0805-5-63V"), vec!["CRCW0805", "63V"]);
+        // min_length is clamped to at least 1
+        let s0 = SeparatorSegmenter::non_alphanumeric().min_length(0);
+        assert_eq!(s0.min_length, 1);
+    }
+
+    #[test]
+    fn unicode_values_split_cleanly() {
+        let s = SeparatorSegmenter::non_alphanumeric();
+        assert_eq!(s.split("résistance—à_couche"), vec!["résistance", "à", "couche"]);
+    }
+
+    #[test]
+    fn segmenter_name() {
+        assert_eq!(SeparatorSegmenter::default().name(), "separator");
+    }
+
+    proptest! {
+        /// Every produced segment is a non-empty substring of the input and
+        /// contains no separator character.
+        #[test]
+        fn prop_segments_are_clean_substrings(value in "\\PC{0,50}") {
+            let s = SeparatorSegmenter::non_alphanumeric();
+            for seg in s.split(&value) {
+                prop_assert!(!seg.is_empty());
+                prop_assert!(value.contains(&seg));
+                prop_assert!(seg.chars().all(|c| c.is_alphanumeric()));
+            }
+        }
+
+        /// Splitting is insensitive to leading/trailing separators.
+        #[test]
+        fn prop_outer_separators_ignored(value in "[A-Za-z0-9]{1,10}") {
+            let s = SeparatorSegmenter::non_alphanumeric();
+            let padded = format!("--{value}..");
+            prop_assert_eq!(s.split(&padded), s.split(&value));
+        }
+    }
+}

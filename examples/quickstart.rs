@@ -1,0 +1,97 @@
+//! Quickstart: learn classification rules from a handful of linked products
+//! and use them to classify a new provider item.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use classilink::core::{LearnerConfig, PropertySelection, RuleClassifier, RuleLearner};
+use classilink::core::{TrainingExample, TrainingSet};
+use classilink::ontology::OntologyBuilder;
+use classilink::rdf::Term;
+
+const PART_NUMBER: &str = "http://provider.example.com/vocab#reference";
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The local ontology OL: a tiny electronic-components hierarchy.
+    // ------------------------------------------------------------------
+    let mut builder = OntologyBuilder::new("http://classilink.example.org/catalog/classes#");
+    let component = builder.class("Electronic component", None);
+    let resistor = builder.class("Fixed film resistance", Some(component));
+    let capacitor = builder.class("Tantalum capacitor", Some(component));
+    let ontology = builder.build();
+
+    // ------------------------------------------------------------------
+    // 2. The training set TS: expert-validated same-as links. Each example
+    //    carries the provider item's property facts and the catalog item's
+    //    class. Segments such as "ohm", "63V" or "T83" reveal the class.
+    // ------------------------------------------------------------------
+    let mut training = TrainingSet::new();
+    let resistor_pns = [
+        "CRCW0805-10K-ohm-63V",
+        "CRCW0603-22K-ohm",
+        "ERJ6-47K-ohm-63V",
+        "WSL2512-1R0-ohm",
+        "CPF0805-100K-ohm-63V",
+    ];
+    let capacitor_pns = [
+        "T83-A225-25V",
+        "T83-B106-35V",
+        "TAJ-C476-16V",
+        "T83-D336-25V",
+        "TAJ-E157-10V",
+    ];
+    for (i, pn) in resistor_pns.iter().enumerate() {
+        training.push(TrainingExample::new(
+            Term::iri(format!("http://provider.example.com/item/r{i}")),
+            Term::iri(format!("http://classilink.example.org/catalog/product/r{i}")),
+            vec![(PART_NUMBER.to_string(), pn.to_string())],
+            vec![resistor],
+        ));
+    }
+    for (i, pn) in capacitor_pns.iter().enumerate() {
+        training.push(TrainingExample::new(
+            Term::iri(format!("http://provider.example.com/item/c{i}")),
+            Term::iri(format!("http://classilink.example.org/catalog/product/c{i}")),
+            vec![(PART_NUMBER.to_string(), pn.to_string())],
+            vec![capacitor],
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Learn the classification rules (Algorithm 1).
+    // ------------------------------------------------------------------
+    let config = LearnerConfig::default()
+        .with_support_threshold(0.1)
+        .with_properties(PropertySelection::single(PART_NUMBER));
+    let outcome = RuleLearner::new(config.clone())
+        .learn(&training, &ontology)
+        .expect("learning succeeds on a non-empty training set");
+
+    println!("Learnt {} classification rules:\n", outcome.rules.len());
+    for rule in &outcome.rules {
+        println!("  {rule}");
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Classify new provider items: the rules tell the linker which class
+    //    of the catalog each item should be compared with.
+    // ------------------------------------------------------------------
+    let classifier = RuleClassifier::from_outcome(&outcome, &config);
+    println!("\nClassifying new provider items:");
+    for pn in ["CRCW1206-330R-ohm", "T83-F686-50V", "LM317-TO220"] {
+        let facts = vec![(PART_NUMBER.to_string(), pn.to_string())];
+        match classifier.decide(&facts) {
+            Some(prediction) => println!(
+                "  {pn:<22} → {} (confidence {:.2}, lift {:.1})",
+                prediction.class_iri.rsplit('#').next().unwrap_or(""),
+                prediction.confidence,
+                prediction.lift
+            ),
+            None => println!("  {pn:<22} → no rule fired (compare with the whole catalog)"),
+        }
+    }
+}
