@@ -28,7 +28,10 @@ fn bench_generalize(c: &mut Criterion) {
     .expect("ablation runs");
     let (base_dec, base_prec, base_rec) = point.base;
     let (gen_dec, gen_prec, gen_rec) = point.generalized;
-    println!("\n=== Ablation A3: subsumption generalisation (|TS| = {}) ===", items.len());
+    println!(
+        "\n=== Ablation A3: subsumption generalisation (|TS| = {}) ===",
+        items.len()
+    );
     println!("variant                 decisions  precision  recall");
     println!("leaf rules only         {base_dec:<10} {base_prec:<10.3} {base_rec:<7.3}");
     println!("with generalised rules  {gen_dec:<10} {gen_prec:<10.3} {gen_rec:<7.3}");

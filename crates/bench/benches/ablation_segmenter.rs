@@ -33,7 +33,10 @@ fn bench_ablation(c: &mut Criterion) {
         &segmenters,
     )
     .expect("ablation runs");
-    println!("\n=== Ablation A1: segmentation strategy (|TS| = {}) ===", items.len());
+    println!(
+        "\n=== Ablation A1: segmentation strategy (|TS| = {}) ===",
+        items.len()
+    );
     println!("segmenter            segments  rules  precision  recall");
     for p in &points {
         println!(

@@ -27,7 +27,10 @@ fn bench_support(c: &mut Criterion) {
         &thresholds,
     )
     .expect("sweep runs");
-    println!("\n=== Ablation A2: support threshold th (|TS| = {}) ===", items.len());
+    println!(
+        "\n=== Ablation A2: support threshold th (|TS| = {}) ===",
+        items.len()
+    );
     println!("th        pairs   rules  precision  recall");
     for p in &points {
         println!(

@@ -32,7 +32,10 @@ fn bench_subspace(c: &mut Criterion) {
         scenario.catalog_size(),
         &[1.0, 0.8, 0.6, 0.4, 0.2],
     );
-    println!("\n=== Linking-space reduction vs confidence threshold (|SL| = {}) ===", scenario.catalog_size());
+    println!(
+        "\n=== Linking-space reduction vs confidence threshold (|SL| = {}) ===",
+        scenario.catalog_size()
+    );
     println!("conf    rules  classified  remaining  mean-factor  avg-lift");
     for p in &points {
         println!(

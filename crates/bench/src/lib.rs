@@ -20,7 +20,9 @@ pub fn paper_learner() -> LearnerConfig {
 /// A corpus of realistic part numbers used by the micro-benchmarks
 /// (segmentation, similarity).
 pub fn part_number_corpus(n: usize) -> Vec<String> {
-    let series = ["CRCW0805", "ERJ6", "T83", "TAJ", "1N4148", "BC547", "LM317", "GRM188"];
+    let series = [
+        "CRCW0805", "ERJ6", "T83", "TAJ", "1N4148", "BC547", "LM317", "GRM188",
+    ];
     let units = ["ohm", "uF", "63V", "25V", "5%", "X7R", "TO220", "SOD123"];
     (0..n)
         .map(|i| {

@@ -40,8 +40,10 @@ pub struct Prediction {
 #[derive(Debug, Clone)]
 pub struct RuleClassifier {
     rules: Vec<ClassificationRule>,
-    /// `(property IRI, segment)` → indexes into `rules`.
-    index: HashMap<(String, String), Vec<usize>>,
+    /// property IRI → segment → indexes into `rules`. Nested maps so that
+    /// classification can look facts up with borrowed `&str` keys —
+    /// columnar record stores feed this without allocating per fact.
+    index: HashMap<String, HashMap<String, Vec<usize>>>,
     segmenter: SegmenterKind,
     normalize: bool,
 }
@@ -50,10 +52,12 @@ impl RuleClassifier {
     /// Build a classifier from rules, using the given segmentation settings
     /// (they must match the settings the rules were learnt with).
     pub fn new(rules: Vec<ClassificationRule>, segmenter: SegmenterKind, normalize: bool) -> Self {
-        let mut index: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        let mut index: HashMap<String, HashMap<String, Vec<usize>>> = HashMap::new();
         for (i, rule) in rules.iter().enumerate() {
             index
-                .entry((rule.property.clone(), rule.segment.clone()))
+                .entry(rule.property.clone())
+                .or_default()
+                .entry(rule.segment.clone())
                 .or_default()
                 .push(i);
         }
@@ -107,12 +111,24 @@ impl RuleClassifier {
     /// Returns one prediction per class that at least one rule concluded,
     /// ranked by confidence then lift (the paper's subspace ordering).
     pub fn classify_facts(&self, facts: &[(String, String)]) -> Vec<Prediction> {
+        self.classify_fact_refs(facts.iter().map(|(p, v)| (p.as_str(), v.as_str())))
+    }
+
+    /// Classify an external item from **borrowed** facts. This is the
+    /// ingestion path for columnar record stores: no property or value is
+    /// cloned unless a rule actually fires (evidence strings).
+    pub fn classify_fact_refs<'f>(
+        &self,
+        facts: impl IntoIterator<Item = (&'f str, &'f str)>,
+    ) -> Vec<Prediction> {
         // class → (best rule index, evidence)
         let mut per_class: HashMap<ClassId, (usize, Vec<(String, String)>)> = HashMap::new();
         for (property, value) in facts {
+            let Some(segment_index) = self.index.get(property) else {
+                continue;
+            };
             for segment in self.segments_of(value) {
-                let Some(rule_indexes) = self.index.get(&(property.clone(), segment.clone()))
-                else {
+                let Some(rule_indexes) = segment_index.get(segment.as_str()) else {
                     continue;
                 };
                 for &ri in rule_indexes {
@@ -124,7 +140,7 @@ impl RuleClassifier {
                     if self.rules[entry.0].ranking_cmp(rule).is_gt() {
                         entry.0 = ri;
                     }
-                    entry.1.push((property.clone(), segment.clone()));
+                    entry.1.push((property.to_string(), segment.clone()));
                 }
             }
         }
@@ -203,9 +219,9 @@ mod tests {
     #[test]
     fn classification_returns_ranked_predictions() {
         let c = classifier(vec![
-            rule("ohm", 1, 50, 50),   // conf 1.0
-            rule("63v", 2, 100, 60),  // conf 0.6
-            rule("63v", 1, 100, 40),  // conf 0.4 (same premise, class 1)
+            rule("ohm", 1, 50, 50),  // conf 1.0
+            rule("63v", 2, 100, 60), // conf 0.6
+            rule("63v", 1, 100, 40), // conf 0.4 (same premise, class 1)
         ]);
         let preds = c.classify_facts(&facts("CRCW0805-10K-ohm-63V"));
         assert_eq!(preds.len(), 2);
@@ -241,6 +257,20 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_and_owned_fact_ingestion_agree() {
+        let c = classifier(vec![rule("ohm", 1, 50, 50), rule("63v", 2, 100, 60)]);
+        let owned = facts("CRCW0805-10K-ohm-63V");
+        let borrowed: Vec<(&str, &str)> = owned
+            .iter()
+            .map(|(p, v)| (p.as_str(), v.as_str()))
+            .collect();
+        assert_eq!(
+            c.classify_facts(&owned),
+            c.classify_fact_refs(borrowed.into_iter())
+        );
+    }
+
+    #[test]
     fn decide_returns_top_prediction() {
         let c = classifier(vec![rule("ohm", 1, 50, 50), rule("t83", 2, 80, 40)]);
         let d = c.decide(&facts("ohm")).unwrap();
@@ -266,7 +296,11 @@ mod tests {
         let c = classifier(vec![rule("ohm", 1, 50, 50)]);
         assert_eq!(c.classify_facts(&facts("10K-OHM")).len(), 1);
         // … and must not fire when normalize = false.
-        let raw = RuleClassifier::new(vec![rule("ohm", 1, 50, 50)], SegmenterKind::Separator, false);
+        let raw = RuleClassifier::new(
+            vec![rule("ohm", 1, 50, 50)],
+            SegmenterKind::Separator,
+            false,
+        );
         assert!(raw.classify_facts(&facts("10K-OHM")).is_empty());
         assert_eq!(raw.classify_facts(&facts("10K-ohm")).len(), 1);
     }
@@ -275,7 +309,11 @@ mod tests {
     fn classify_item_reads_graph_facts() {
         let c = classifier(vec![rule("ohm", 1, 50, 50)]);
         let mut g = Graph::new();
-        g.insert(Triple::literal("http://provider.e.org/item/1", PN, "10K-ohm"));
+        g.insert(Triple::literal(
+            "http://provider.e.org/item/1",
+            PN,
+            "10K-ohm",
+        ));
         g.insert(Triple::iris(
             "http://provider.e.org/item/1",
             "http://provider.e.org/v#seeAlso",

@@ -62,11 +62,15 @@ mod tests {
     fn display_all_variants() {
         assert!(CoreError::EmptyTrainingSet.to_string().contains("empty"));
         assert!(CoreError::InvalidThreshold(1.5).to_string().contains("1.5"));
-        assert!(CoreError::UnknownClass("c".into()).to_string().contains("class"));
+        assert!(CoreError::UnknownClass("c".into())
+            .to_string()
+            .contains("class"));
         assert!(CoreError::UnknownProperty("p".into())
             .to_string()
             .contains("property"));
-        assert!(CoreError::Ontology("x".into()).to_string().contains("ontology"));
+        assert!(CoreError::Ontology("x".into())
+            .to_string()
+            .contains("ontology"));
         assert!(CoreError::Rdf("y".into()).to_string().contains("rdf"));
     }
 

@@ -164,7 +164,10 @@ mod tests {
         let ceramic = b.class("CeramicCapacitor", Some(capacitor));
         let resistor = b.class("Resistor", Some(component));
         let fixed = b.class("FixedFilmResistor", Some(resistor));
-        (b.build(), [component, capacitor, tantalum, ceramic, resistor, fixed])
+        (
+            b.build(),
+            [component, capacitor, tantalum, ceramic, resistor, fixed],
+        )
     }
 
     fn example(n: usize, pn: &str, class: ClassId) -> TrainingExample {
@@ -277,7 +280,9 @@ mod tests {
         let out = generalize(&ts, &onto, &cfg, &base, &GeneralizeConfig::default()).unwrap();
         let mut best_base: HashMap<(&str, &str), f64> = HashMap::new();
         for r in &base.rules {
-            let e = best_base.entry((r.property.as_str(), r.segment.as_str())).or_insert(0.0);
+            let e = best_base
+                .entry((r.property.as_str(), r.segment.as_str()))
+                .or_insert(0.0);
             *e = e.max(r.confidence());
         }
         for r in &out.generalized_rules {

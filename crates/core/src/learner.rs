@@ -180,9 +180,7 @@ impl RuleLearner {
         let class_counts: BTreeMap<ClassId, u64> = training.class_frequencies();
         let frequent_classes: BTreeMap<ClassId, u64> = class_counts
             .iter()
-            .filter(|(_, count)| {
-                **count > min_count && **count >= self.config.min_class_instances
-            })
+            .filter(|(_, count)| **count > min_count && **count >= self.config.min_class_instances)
             .map(|(c, count)| (*c, *count))
             .collect();
 
@@ -239,11 +237,7 @@ impl RuleLearner {
         }
         rules.sort_by(|a, b| a.ranking_cmp(b));
 
-        let classes_with_rules = rules
-            .iter()
-            .map(|r| r.class)
-            .collect::<BTreeSet<_>>()
-            .len();
+        let classes_with_rules = rules.iter().map(|r| r.class).collect::<BTreeSet<_>>().len();
         let stats = LearnStats {
             examples: training.len(),
             properties: properties.len(),
@@ -352,7 +346,11 @@ mod tests {
             .iter()
             .filter(|r| r.segment == "63v")
             .collect();
-        assert_eq!(ambiguous.len(), 2, "one rule per class for the shared segment");
+        assert_eq!(
+            ambiguous.len(),
+            2,
+            "one rule per class for the shared segment"
+        );
         for r in ambiguous {
             assert!((r.confidence() - 0.5).abs() < 1e-12);
             assert!((r.lift() - 1.0).abs() < 1e-12);
@@ -456,7 +454,10 @@ mod tests {
     fn empty_training_set_is_an_error() {
         let (onto, ..) = ontology();
         let err = RuleLearner::paper().learn(&TrainingSet::new(), &onto);
-        assert!(matches!(err, Err(crate::error::CoreError::EmptyTrainingSet)));
+        assert!(matches!(
+            err,
+            Err(crate::error::CoreError::EmptyTrainingSet)
+        ));
     }
 
     #[test]

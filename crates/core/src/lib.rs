@@ -92,7 +92,9 @@ pub use generalize::{generalize, GeneralizeConfig, GeneralizeOutcome};
 pub use learner::{LearnOutcome, LearnStats, RuleLearner};
 pub use measures::{reduction_factor, Contingency, RuleQuality};
 pub use ordering::{best_rule_per_class, group_by_confidence_tiers, rank_rules};
-pub use pruning::{filter_by_quality, prune_hierarchy_redundant, top_k_per_class, HierarchyPreference};
+pub use pruning::{
+    filter_by_quality, prune_hierarchy_redundant, top_k_per_class, HierarchyPreference,
+};
 pub use rule::ClassificationRule;
 pub use subspace::{LinkingSubspace, ReductionStats, SubspaceBuilder};
 pub use training::{literal_facts, TrainingExample, TrainingSet};

@@ -106,11 +106,7 @@ impl RuleQuality {
         } else {
             confidence / p_class
         };
-        let coverage = if c.n == 0 {
-            0.0
-        } else {
-            c.premise as f64 / n
-        };
+        let coverage = if c.n == 0 { 0.0 } else { c.premise as f64 / n };
         let not_conclusion = c.n.saturating_sub(c.conclusion);
         let premise_and_not_conclusion = c.premise.saturating_sub(c.both);
         let specificity = if not_conclusion == 0 {

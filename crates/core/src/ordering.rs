@@ -76,9 +76,9 @@ mod tests {
     #[test]
     fn rank_orders_by_confidence_then_lift() {
         let mut rules = vec![
-            rule("low", 1, 100, 60),  // conf 0.6
-            rule("high", 2, 50, 50),  // conf 1.0
-            rule("mid", 3, 100, 80),  // conf 0.8
+            rule("low", 1, 100, 60), // conf 0.6
+            rule("high", 2, 50, 50), // conf 1.0
+            rule("mid", 3, 100, 80), // conf 0.8
         ];
         rank_rules(&mut rules);
         let segments: Vec<&str> = rules.iter().map(|r| r.segment.as_str()).collect();
@@ -88,9 +88,9 @@ mod tests {
     #[test]
     fn best_rule_per_class_keeps_highest_confidence() {
         let rules = vec![
-            rule("weak", 1, 100, 70),   // class 1, conf 0.7
-            rule("strong", 1, 50, 50),  // class 1, conf 1.0
-            rule("only", 2, 80, 40),    // class 2, conf 0.5
+            rule("weak", 1, 100, 70),  // class 1, conf 0.7
+            rule("strong", 1, 50, 50), // class 1, conf 1.0
+            rule("only", 2, 80, 40),   // class 2, conf 0.5
         ];
         let best = best_rule_per_class(&rules);
         assert_eq!(best.len(), 2);

@@ -35,9 +35,7 @@ pub fn filter_by_quality(
     rules
         .iter()
         .filter(|r| {
-            r.support() >= min_support
-                && r.confidence() >= min_confidence
-                && r.lift() >= min_lift
+            r.support() >= min_support && r.confidence() >= min_confidence && r.lift() >= min_lift
         })
         .cloned()
         .collect()
@@ -114,7 +112,8 @@ pub fn prune_hierarchy_redundant(
     let mut out: Vec<ClassificationRule> = rules
         .iter()
         .zip(keep)
-        .filter_map(|(r, k)| k.then(|| r.clone()))
+        .filter(|&(_r, k)| k)
+        .map(|(r, _k)| r.clone())
         .collect();
     out.sort_by(|a, b| a.ranking_cmp(b));
     out

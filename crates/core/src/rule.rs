@@ -164,7 +164,10 @@ mod tests {
         let high_conf = rule("a", 50, 50); // conf 1.0, lift 10
         let low_conf_high_lift = rule("b", 45, 50); // conf 0.9, lift 9
         assert_eq!(high_conf.ranking_cmp(&low_conf_high_lift), Ordering::Less);
-        assert_eq!(low_conf_high_lift.ranking_cmp(&high_conf), Ordering::Greater);
+        assert_eq!(
+            low_conf_high_lift.ranking_cmp(&high_conf),
+            Ordering::Greater
+        );
 
         // Same confidence but different premise size → different support,
         // lift identical → support breaks the tie.

@@ -278,9 +278,9 @@ mod tests {
         );
         let builder = SubspaceBuilder::new(&classifier, &store, &onto);
         let batch = vec![
-            (Term::iri("http://p.e.org/1"), facts("10K-ohm")),   // 8 candidates
-            (Term::iri("http://p.e.org/2"), facts("T83-A225")),  // 2 candidates
-            (Term::iri("http://p.e.org/3"), facts("MYSTERY")),   // unclassified → 10
+            (Term::iri("http://p.e.org/1"), facts("10K-ohm")), // 8 candidates
+            (Term::iri("http://p.e.org/2"), facts("T83-A225")), // 2 candidates
+            (Term::iri("http://p.e.org/3"), facts("MYSTERY")), // unclassified → 10
         ];
         let stats = builder.reduction_stats(&batch, 10);
         assert_eq!(stats.external_items, 3);

@@ -226,7 +226,11 @@ mod tests {
             );
         }
         // External provider items with their own vocabulary.
-        for (n, pn) in [(1, "CRCW0805-10K-ohm"), (2, "CRCW0805-22K-ohm"), (3, "T83-A225")] {
+        for (n, pn) in [
+            (1, "CRCW0805-10K-ohm"),
+            (2, "CRCW0805-22K-ohm"),
+            (3, "T83-A225"),
+        ] {
             let item = format!("http://provider.e.org/item/{n}");
             ds.insert(
                 Source::External,
@@ -320,7 +324,11 @@ mod tests {
         let mut ds = dataset(&onto);
         ds.insert(
             Source::External,
-            Triple::literal("http://provider.e.org/item/9", "http://provider.e.org/v#ref", "X"),
+            Triple::literal(
+                "http://provider.e.org/item/9",
+                "http://provider.e.org/v#ref",
+                "X",
+            ),
         );
         ds.link(
             &Term::iri("http://provider.e.org/item/9"),

@@ -18,6 +18,9 @@ use rand::{Rng, SeedableRng};
 /// The label property used by the geographic data.
 pub const GEO_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
 
+/// A held-out place: `(item, facts, gold class)`.
+pub type HeldoutPlace = (Term, Vec<(String, String)>, ClassId);
+
 /// A generated geographic scenario.
 pub struct GeoScenario {
     /// The place-type ontology (Place → Beach / Museum / Bridge / …).
@@ -25,7 +28,7 @@ pub struct GeoScenario {
     /// The training set of labelled places.
     pub training: TrainingSet,
     /// Held-out items with their gold classes, as `(item, facts, class)`.
-    pub heldout: Vec<(Term, Vec<(String, String)>, ClassId)>,
+    pub heldout: Vec<HeldoutPlace>,
 }
 
 const PLACE_TYPES: &[(&str, &str)] = &[
@@ -40,9 +43,26 @@ const PLACE_TYPES: &[(&str, &str)] = &[
 ];
 
 const NAME_STEMS: &[&str] = &[
-    "Dresden", "Copacabana", "Concorde", "Alexander", "Hidden", "Golden", "Royal", "Old Town",
-    "Grand", "Saint Martin", "North Shore", "Elbe", "Harbour", "Sunset", "Marble", "Victoria",
-    "Crystal", "Windsor", "Eagle", "Silver",
+    "Dresden",
+    "Copacabana",
+    "Concorde",
+    "Alexander",
+    "Hidden",
+    "Golden",
+    "Royal",
+    "Old Town",
+    "Grand",
+    "Saint Martin",
+    "North Shore",
+    "Elbe",
+    "Harbour",
+    "Sunset",
+    "Marble",
+    "Victoria",
+    "Crystal",
+    "Windsor",
+    "Eagle",
+    "Silver",
 ];
 
 /// Generate a toponym scenario with `per_class` training labels per place
@@ -58,7 +78,7 @@ pub fn geo_scenario(per_class: usize, heldout_per_class: usize, seed: u64) -> Ge
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut training = TrainingSet::new();
-    let mut heldout = Vec::new();
+    let mut heldout: Vec<HeldoutPlace> = Vec::new();
     let mut counter = 0usize;
 
     let make_label = |keyword: &str, rng: &mut StdRng| -> String {

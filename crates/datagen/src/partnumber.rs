@@ -194,7 +194,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(99);
         let mut b = StdRng::seed_from_u64(99);
         for serial in 0..20 {
-            assert_eq!(gen.generate(&p, serial, &mut a), gen.generate(&p, serial, &mut b));
+            assert_eq!(
+                gen.generate(&p, serial, &mut a),
+                gen.generate(&p, serial, &mut b)
+            );
         }
     }
 

@@ -55,7 +55,7 @@ impl PerturbationConfig {
         let mut out = value.to_string();
         if rng.gen_bool(self.separator_swap.clamp(0.0, 1.0)) {
             let replacement = *["_", ".", " ", "/"]
-                .get(rng.gen_range(0..4))
+                .get(rng.gen_range(0..4usize))
                 .expect("index in range");
             out = out.replace('-', replacement);
         }
@@ -77,7 +77,7 @@ impl PerturbationConfig {
             out = new;
         }
         if rng.gen_bool(self.suffix.clamp(0.0, 1.0)) {
-            let suffix = ["-TR", "-RL", "/REEL", "-T1", "-BULK"][rng.gen_range(0..5)];
+            let suffix = ["-TR", "-RL", "/REEL", "-T1", "-BULK"][rng.gen_range(0..5usize)];
             out.push_str(suffix);
         }
         if rng.gen_bool(self.drop_segment.clamp(0.0, 1.0)) {

@@ -16,6 +16,7 @@ use crate::perturb::PerturbationConfig;
 use crate::taxonomy::{generate_taxonomy, LeafProfile, TaxonomyConfig};
 use crate::vocab;
 use classilink_core::TrainingSet;
+use classilink_linking::RecordStore;
 use classilink_ontology::{ClassId, InstanceStore, Ontology};
 use classilink_rdf::namespace::vocab as rdf_vocab;
 use classilink_rdf::{Dataset, Source, Term, Triple};
@@ -153,6 +154,18 @@ impl GeneratedScenario {
     pub fn gold_class(&self, item: &Term) -> Option<ClassId> {
         self.gold_classes.get(item).copied()
     }
+
+    /// Columnarise the external provider items `SE` into a
+    /// [`RecordStore`] (the representation the blockers and the linkage
+    /// pipeline run on).
+    pub fn external_store(&self) -> RecordStore {
+        RecordStore::from_graph(self.dataset.external())
+    }
+
+    /// Columnarise the local catalog `SL` into a [`RecordStore`].
+    pub fn local_store(&self) -> RecordStore {
+        RecordStore::from_graph(self.dataset.local())
+    }
 }
 
 /// Generate a full scenario from a configuration.
@@ -211,7 +224,11 @@ pub fn generate(config: &ScenarioConfig) -> GeneratedScenario {
         );
         dataset.insert(
             Source::Local,
-            Triple::literal(&item_iri, vocab::LOCAL_LABEL, format!("{} #{n}", profile.label)),
+            Triple::literal(
+                &item_iri,
+                vocab::LOCAL_LABEL,
+                format!("{} #{n}", profile.label),
+            ),
         );
         catalog_part_numbers.push(part_number);
         catalog_classes.push(leaf_idx);
@@ -248,7 +265,10 @@ pub fn generate(config: &ScenarioConfig) -> GeneratedScenario {
                 ext_item,
                 vec![
                     (vocab::PROVIDER_PART_NUMBER.to_string(), provider_ref),
-                    (vocab::PROVIDER_MANUFACTURER.to_string(), manufacturer.to_string()),
+                    (
+                        vocab::PROVIDER_MANUFACTURER.to_string(),
+                        manufacturer.to_string(),
+                    ),
                 ],
             ));
         }
@@ -290,7 +310,9 @@ mod tests {
             cfg.catalog_size
         );
         assert_eq!(
-            scenario.dataset.item_count(classilink_rdf::Source::External),
+            scenario
+                .dataset
+                .item_count(classilink_rdf::Source::External),
             cfg.training_links + cfg.extra_external
         );
         assert_eq!(scenario.instances.item_count(), cfg.catalog_size);
@@ -342,7 +364,10 @@ mod tests {
         let freqs = scenario.training.class_frequencies();
         let max = freqs.values().copied().max().unwrap_or(0);
         let min = freqs.values().copied().min().unwrap_or(0);
-        assert!(max >= 5 * min.max(1), "distribution not skewed: max {max}, min {min}");
+        assert!(
+            max >= 5 * min.max(1),
+            "distribution not skewed: max {max}, min {min}"
+        );
         // Not every leaf class necessarily appears, but many do.
         assert!(freqs.len() > scenario.profiles.len() / 3);
     }
@@ -353,6 +378,27 @@ mod tests {
         cfg.catalog_size = 10; // smaller than links + heldout
         let scenario = generate(&cfg);
         assert!(scenario.config.catalog_size >= cfg.training_links + cfg.extra_external);
+    }
+
+    #[test]
+    fn stores_cover_every_item_with_their_facts() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let external = scenario.external_store();
+        let local = scenario.local_store();
+        assert_eq!(
+            external.len(),
+            scenario.config.training_links + scenario.config.extra_external
+        );
+        assert_eq!(local.len(), scenario.config.catalog_size);
+        let pn = local.property(vocab::LOCAL_PART_NUMBER).unwrap();
+        assert!((0..local.len()).all(|r| local.first(r, pn).is_some()));
+        let provider_ref = external.property(vocab::PROVIDER_PART_NUMBER).unwrap();
+        assert!((0..external.len()).all(|r| external.first(r, provider_ref).is_some()));
+        // Every expert link joins items present in the two stores.
+        for (e, l) in scenario.dataset.link_pairs() {
+            assert!(external.index_of(&e).is_some());
+            assert!(local.index_of(&l).is_some());
+        }
     }
 
     #[test]

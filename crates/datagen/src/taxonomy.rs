@@ -35,7 +35,13 @@ pub fn families() -> Vec<Family> {
         Family {
             name: "Resistor",
             series: &["CRCW", "ERJ", "RC", "WSL", "CPF"],
-            subtypes: &["Fixed film", "Wirewound", "Thick film", "Thin film", "Network"],
+            subtypes: &[
+                "Fixed film",
+                "Wirewound",
+                "Thick film",
+                "Thin film",
+                "Network",
+            ],
             family_tokens: &["ohm", "63V", "5T", "125mW"],
         },
         Family {
@@ -65,13 +71,25 @@ pub fn families() -> Vec<Family> {
         Family {
             name: "Connector",
             series: &["DF", "FH", "SM", "PH", "XH"],
-            subtypes: &["Board to board", "Wire to board", "FFC", "Circular", "RF coax"],
+            subtypes: &[
+                "Board to board",
+                "Wire to board",
+                "FFC",
+                "Circular",
+                "RF coax",
+            ],
             family_tokens: &["2mm", "30POS", "AU", "RA"],
         },
         Family {
             name: "IntegratedCircuit",
             series: &["LM", "TL", "NE", "STM32", "AT"],
-            subtypes: &["Amplifier", "Regulator", "Microcontroller", "Logic", "Interface"],
+            subtypes: &[
+                "Amplifier",
+                "Regulator",
+                "Microcontroller",
+                "Logic",
+                "Interface",
+            ],
             family_tokens: &["SOIC", "3V3", "QFP", "8BIT"],
         },
         Family {
@@ -150,7 +168,10 @@ pub fn generate_taxonomy(config: &TaxonomyConfig) -> (Ontology, Vec<LeafProfile>
     let leaf_target = config.leaf_classes.max(1);
     let families = families();
     let mut onto = Ontology::new();
-    let root = onto.add_class(format!("{CLASS_NS}ElectronicComponent"), "Electronic component");
+    let root = onto.add_class(
+        format!("{CLASS_NS}ElectronicComponent"),
+        "Electronic component",
+    );
 
     // Distribute leaves across families as evenly as possible.
     let per_family = leaf_target / families.len();
@@ -180,10 +201,7 @@ pub fn generate_taxonomy(config: &TaxonomyConfig) -> (Ontology, Vec<LeafProfile>
             };
             let iri = format!(
                 "{CLASS_NS}{}{}",
-                label
-                    .split_whitespace()
-                    .map(capitalise)
-                    .collect::<String>(),
+                label.split_whitespace().map(capitalise).collect::<String>(),
                 ""
             );
             let sub_id = onto.add_class(iri, &label);
@@ -197,14 +215,19 @@ pub fn generate_taxonomy(config: &TaxonomyConfig) -> (Ontology, Vec<LeafProfile>
             let parent = local_subfamilies[l % local_subfamilies.len()];
             let series = family.series[l % family.series.len()];
             let code = format!("{series}{:02}{}", l / family.series.len(), f_idx);
-            let label = format!("{} {}", onto.label(parent).to_string(), code);
+            let label = format!("{} {}", onto.label(parent), code);
             let iri = format!("{CLASS_NS}{}_{code}", family.name);
             let leaf_id = onto.add_class(iri, &label);
             onto.add_subclass_axiom(leaf_id, parent)
                 .expect("leaf under subfamily is acyclic");
             leaf_parents.push((leaf_id, parent));
             // Strong tokens: the series+package code plus a per-leaf type code.
-            let type_code = format!("{}{}{:02}", family.name.chars().next().unwrap_or('X'), f_idx, l);
+            let type_code = format!(
+                "{}{}{:02}",
+                family.name.chars().next().unwrap_or('X'),
+                f_idx,
+                l
+            );
             // Subfamily token: a package/series code shared by the (few)
             // sibling leaves attached to the same subfamily.
             let subfamily_token = format!("PKG{f_idx}{:02}", l % local_subfamilies.len());
@@ -239,7 +262,7 @@ pub fn generate_taxonomy(config: &TaxonomyConfig) -> (Ontology, Vec<LeafProfile>
     let mut filler = 0usize;
     while onto.class_count() < config.total_classes && !leaf_parents.is_empty() {
         let (leaf, parent) = leaf_parents[filler % leaf_parents.len()];
-        let label = format!("{} series {}", onto.label(parent).to_string(), filler);
+        let label = format!("{} series {}", onto.label(parent), filler);
         let iri = format!("{CLASS_NS}Series{filler}");
         let series_id = onto.add_class(iri, &label);
         onto.add_subclass_axiom(series_id, parent)

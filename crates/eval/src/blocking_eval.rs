@@ -6,6 +6,9 @@
 //! of them on the same generated scenario and reports, for each, the number
 //! of candidate pairs, the reduction ratio, and the pairs completeness
 //! (whether the true `same-as` pairs survive the reduction).
+//!
+//! All strategies run on the columnar [`RecordStore`] — build it once per
+//! side with [`stores_and_truth`] and hand the same pair to every blocker.
 
 use classilink_core::{LearnerConfig, RuleClassifier, RuleLearner};
 use classilink_datagen::vocab;
@@ -14,9 +17,9 @@ use classilink_linking::blocking::{
     BigramBlocker, Blocker, BlockingKey, BlockingStats, CartesianBlocker, RuleBasedBlocker,
     SortedNeighborhoodBlocker, StandardBlocker,
 };
-use classilink_linking::record::Record;
+use classilink_linking::RecordStore;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// The result of one blocking strategy on one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,26 +30,17 @@ pub struct BlockingComparisonRow {
     pub stats: BlockingStats,
 }
 
-/// Build external/local records and the gold pair set from a scenario.
-pub fn records_and_truth(
+/// Build the external/local record stores and the gold pair set (as store
+/// indices) from a scenario.
+pub fn stores_and_truth(
     scenario: &GeneratedScenario,
-) -> (Vec<Record>, Vec<Record>, HashSet<(usize, usize)>) {
-    let external = Record::all_from_graph(scenario.dataset.external());
-    let local = Record::all_from_graph(scenario.dataset.local());
-    let external_index: HashMap<&classilink_rdf::Term, usize> = external
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (&r.id, i))
-        .collect();
-    let local_index: HashMap<&classilink_rdf::Term, usize> = local
-        .iter()
-        .enumerate()
-        .map(|(i, r)| (&r.id, i))
-        .collect();
+) -> (RecordStore, RecordStore, HashSet<(usize, usize)>) {
+    let external = scenario.external_store();
+    let local = scenario.local_store();
     let truth: HashSet<(usize, usize)> = scenario
         .dataset
         .link_pairs()
-        .filter_map(|(e, l)| Some((*external_index.get(&e)?, *local_index.get(&l)?)))
+        .filter_map(|(e, l)| Some((external.index_of(&e)?, local.index_of(&l)?)))
         .collect();
     (external, local, truth)
 }
@@ -54,7 +48,11 @@ pub fn records_and_truth(
 /// The default blocking key for the generated scenarios: provider reference
 /// against catalog part number.
 pub fn default_key(prefix: usize) -> BlockingKey {
-    BlockingKey::per_side(vocab::PROVIDER_PART_NUMBER, vocab::LOCAL_PART_NUMBER, prefix)
+    BlockingKey::per_side(
+        vocab::PROVIDER_PART_NUMBER,
+        vocab::LOCAL_PART_NUMBER,
+        prefix,
+    )
 }
 
 /// Run every strategy (cartesian, standard blocking, sorted neighbourhood,
@@ -73,16 +71,16 @@ pub fn compare_blockers(
     window: usize,
     bigram_threshold: f64,
 ) -> classilink_core::Result<Vec<BlockingComparisonRow>> {
-    let (external, local, truth) = records_and_truth(scenario);
-    let outcome = RuleLearner::new(learner.clone()).learn(&scenario.training, &scenario.ontology)?;
+    let (external, local, truth) = stores_and_truth(scenario);
+    let outcome =
+        RuleLearner::new(learner.clone()).learn(&scenario.training, &scenario.ontology)?;
     let classifier =
         RuleClassifier::from_outcome(&outcome, learner).with_min_confidence(min_confidence);
 
     let standard = StandardBlocker::new(default_key(4));
     let sorted = SortedNeighborhoodBlocker::new(default_key(0), window);
     let bigram = BigramBlocker::new(default_key(0), bigram_threshold);
-    let rule_strict =
-        RuleBasedBlocker::new(&classifier, &scenario.instances, &scenario.ontology);
+    let rule_strict = RuleBasedBlocker::new(&classifier, &scenario.instances, &scenario.ontology);
     let rule_fallback = RuleBasedBlocker::new(&classifier, &scenario.instances, &scenario.ontology)
         .with_fallback(true);
 
@@ -178,7 +176,7 @@ mod tests {
     #[test]
     fn truth_set_matches_training_links() {
         let scenario = generate(&ScenarioConfig::tiny());
-        let (_, _, truth) = records_and_truth(&scenario);
+        let (_, _, truth) = stores_and_truth(&scenario);
         assert_eq!(truth.len(), scenario.dataset.link_count());
     }
 

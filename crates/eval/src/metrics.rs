@@ -119,7 +119,10 @@ mod tests {
         let mut o = ClassificationOutcome::new(10);
         // 4 correct decisions, 2 wrong ones, 4 items with no decision.
         for i in 0..4 {
-            o.record(Some(ClassId(0)), Some(if i < 4 { ClassId(0) } else { ClassId(1) }));
+            o.record(
+                Some(ClassId(0)),
+                Some(if i < 4 { ClassId(0) } else { ClassId(1) }),
+            );
         }
         o.record(Some(ClassId(0)), Some(ClassId(1)));
         o.record(Some(ClassId(2)), Some(ClassId(1)));

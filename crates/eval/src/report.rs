@@ -31,7 +31,8 @@ impl Table {
 
     /// Convenience for rows built from `&str`.
     pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -57,9 +58,9 @@ impl Table {
         }
         let render_row = |cells: &[String]| -> String {
             let mut line = String::from("|");
-            for i in 0..columns {
+            for (i, width) in widths.iter().enumerate().take(columns) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+                line.push_str(&format!(" {cell:<width$} |"));
             }
             line
         };
@@ -112,12 +113,7 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter()
-                    .map(|c| escape(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -140,7 +136,10 @@ mod tests {
 
     #[test]
     fn ascii_rendering_is_aligned() {
-        let mut t = Table::new("Table 1: Classification rule results", &["conf.", "#rules", "prec."]);
+        let mut t = Table::new(
+            "Table 1: Classification rule results",
+            &["conf.", "#rules", "prec."],
+        );
         t.row_str(&["1", "44", "100%"]);
         t.row_str(&["0.8", "22", "96.9%"]);
         let out = t.to_ascii();
@@ -150,7 +149,9 @@ mod tests {
         // Every data line has the same length.
         let lines: Vec<&str> = out.lines().filter(|l| l.starts_with('|')).collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert_eq!(t.row_count(), 2);
     }
 

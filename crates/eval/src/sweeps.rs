@@ -227,7 +227,11 @@ pub fn generalization_ablation(
         correct as f64 / items.len() as f64
     };
     Ok(GeneralizationPoint {
-        base: (base_tally.decisions, base_tally.precision(), base_tally.recall()),
+        base: (
+            base_tally.decisions,
+            base_tally.precision(),
+            base_tally.recall(),
+        ),
         generalized: (decisions, gen_precision, gen_recall),
         generalized_rules: gen.generalized_rules.len(),
     })
@@ -236,9 +240,9 @@ pub fn generalization_ablation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use classilink_core::PropertySelection;
     use classilink_datagen::scenario::{generate, ScenarioConfig};
     use classilink_datagen::vocab;
-    use classilink_core::PropertySelection;
 
     fn scenario_and_items() -> (
         classilink_datagen::GeneratedScenario,

@@ -21,9 +21,9 @@ use classilink_core::{
     group_by_confidence_tiers, LearnOutcome, LearnerConfig, RuleClassifier, RuleLearner,
     TrainingSet,
 };
+use classilink_ontology::ClassId;
 use classilink_ontology::Ontology;
 use classilink_rdf::Term;
-use classilink_ontology::ClassId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -163,8 +163,7 @@ impl Table1Experiment {
             let avg_lift = if cumulative_rules == 0 {
                 0.0
             } else {
-                classifier.rules().iter().map(|r| r.lift()).sum::<f64>()
-                    / cumulative_rules as f64
+                classifier.rules().iter().map(|r| r.lift()).sum::<f64>() / cumulative_rules as f64
             };
             let mut tally = ClassificationOutcome::new(items.len());
             for (gold, facts) in items {
@@ -315,9 +314,18 @@ mod tests {
         let resistor = onto.class("http://e.org/c#FixedFilmResistor").unwrap();
         let capacitor = onto.class("http://e.org/c#TantalumCapacitor").unwrap();
         let items: Vec<EvaluationItem> = vec![
-            (Some(resistor), vec![(PN.to_string(), "CRCW-X999-ohm".to_string())]),
-            (Some(capacitor), vec![(PN.to_string(), "T83-X998".to_string())]),
-            (Some(capacitor), vec![(PN.to_string(), "NOHINT-X997".to_string())]),
+            (
+                Some(resistor),
+                vec![(PN.to_string(), "CRCW-X999-ohm".to_string())],
+            ),
+            (
+                Some(capacitor),
+                vec![(PN.to_string(), "T83-X998".to_string())],
+            ),
+            (
+                Some(capacitor),
+                vec![(PN.to_string(), "NOHINT-X997".to_string())],
+            ),
         ];
         let (_, report) = experiment().run(&ts, &onto, &items).unwrap();
         let last = report.rows.last().unwrap();
@@ -329,10 +337,14 @@ mod tests {
 
     #[test]
     fn items_from_gold_joins_on_term() {
-        let gold: BTreeMap<Term, ClassId> =
-            [(Term::iri("http://p.e.org/x"), ClassId(5))].into_iter().collect();
+        let gold: BTreeMap<Term, ClassId> = [(Term::iri("http://p.e.org/x"), ClassId(5))]
+            .into_iter()
+            .collect();
         let batch = vec![
-            (Term::iri("http://p.e.org/x"), vec![(PN.to_string(), "a".to_string())]),
+            (
+                Term::iri("http://p.e.org/x"),
+                vec![(PN.to_string(), "a".to_string())],
+            ),
             (Term::iri("http://p.e.org/unknown"), vec![]),
         ];
         let items = Table1Experiment::items_from_gold(&batch, &gold);

@@ -16,7 +16,7 @@
 use super::key::BlockingKey;
 use super::{Blocker, CandidatePair};
 use crate::index::InvertedIndex;
-use crate::record::Record;
+use crate::store::RecordStore;
 use classilink_segment::{CharNGramSegmenter, Segmenter};
 use std::collections::HashMap;
 
@@ -49,20 +49,24 @@ impl Blocker for BigramBlocker {
         "bigram-indexing"
     }
 
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
-        // Inverted index over the local records' bigrams.
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
+        let local_side = self.key.local_side(local);
+        let external_side = self.key.external_side(external);
+        // Inverted index over the local records' bigrams. Records are
+        // scanned in increasing index order, so the posting lists stay
+        // sorted and inserts take the fast append path.
         let mut index: InvertedIndex<usize> = InvertedIndex::new();
         let mut local_sizes: Vec<usize> = Vec::with_capacity(local.len());
-        for (l, record) in local.iter().enumerate() {
-            let grams = Self::bigrams(&self.key.local_key(record));
+        for l in 0..local.len() {
+            let grams = Self::bigrams(&local_side.key(local, l));
             local_sizes.push(grams.len());
             for g in grams {
                 index.insert(g, l);
             }
         }
         let mut pairs: Vec<CandidatePair> = Vec::new();
-        for (e, record) in external.iter().enumerate() {
-            let grams = Self::bigrams(&self.key.external_key(record));
+        for e in 0..external.len() {
+            let grams = Self::bigrams(&external_side.key(external, e));
             if grams.is_empty() {
                 continue;
             }
@@ -91,6 +95,7 @@ mod tests {
     use super::*;
     use crate::blocking::test_support::*;
     use crate::blocking::BlockingStats;
+    use crate::store::RecordStore;
     use std::collections::HashSet;
 
     fn key() -> BlockingKey {
@@ -99,7 +104,7 @@ mod tests {
 
     #[test]
     fn identical_values_are_always_candidates() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = BigramBlocker::new(key(), 1.0).candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.iter().copied().collect();
         for i in 0..4 {
@@ -109,7 +114,7 @@ mod tests {
 
     #[test]
     fn lower_threshold_yields_more_candidates() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let strict = BigramBlocker::new(key(), 0.9).candidate_pairs(&external, &local);
         let loose = BigramBlocker::new(key(), 0.2).candidate_pairs(&external, &local);
         assert!(loose.len() >= strict.len());
@@ -120,8 +125,11 @@ mod tests {
 
     #[test]
     fn typo_in_part_number_still_blocks_together() {
-        let external = vec![ext_record(0, "CRCW0805-10J")]; // one char off
-        let local = vec![loc_record(0, "CRCW0805-10K"), loc_record(1, "LM317-TO220")];
+        let external = RecordStore::from_records(&[ext_record(0, "CRCW0805-10J")]); // one char off
+        let local = RecordStore::from_records(&[
+            loc_record(0, "CRCW0805-10K"),
+            loc_record(1, "LM317-TO220"),
+        ]);
         let pairs = BigramBlocker::new(key(), 0.6).candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.into_iter().collect();
         assert!(set.contains(&(0, 0)));
@@ -130,7 +138,7 @@ mod tests {
 
     #[test]
     fn completeness_and_reduction_on_small_dataset() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = BigramBlocker::new(key(), 0.8).candidate_pairs(&external, &local);
         let true_pairs: HashSet<_> = (0..4).map(|i| (i, i)).collect();
         let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
@@ -143,12 +151,13 @@ mod tests {
         let blocker = BigramBlocker::new(key(), 7.0);
         assert_eq!(blocker.threshold, 1.0);
         assert_eq!(blocker.name(), "bigram-indexing");
-        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+        let (e, l) = empty_stores();
+        assert!(blocker.candidate_pairs(&e, &l).is_empty());
         // Record without the key property produces no candidates.
-        let external = vec![crate::record::Record::new(classilink_rdf::Term::iri(
-            "http://provider.e.org/item/9",
-        ))];
-        let (_, local) = small_dataset();
+        let external = RecordStore::from_records(&[crate::record::Record::new(
+            classilink_rdf::Term::iri("http://provider.e.org/item/9"),
+        )]);
+        let (_, local) = small_stores();
         assert!(blocker.candidate_pairs(&external, &local).is_empty());
     }
 }

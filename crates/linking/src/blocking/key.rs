@@ -3,9 +3,13 @@
 //! The related work describes keys such as "persons that share the same
 //! first five characters of their last name belong to the same block" and
 //! sorted-neighbourhood sorting keys. [`BlockingKey`] captures these
-//! variants.
+//! variants as a *recipe* over property IRIs; before touching records it
+//! is resolved against a [`RecordStore`] into a [`KeySide`], which holds
+//! the interned [`PropertyId`](crate::intern::PropertyId) so that key
+//! extraction in the blocking loop never hashes an IRI string.
 
-use crate::record::Record;
+use crate::intern::PropertyId;
+use crate::store::RecordStore;
 use serde::{Deserialize, Serialize};
 
 /// A recipe for turning a record into a blocking/sorting key string.
@@ -49,44 +53,82 @@ impl BlockingKey {
         }
     }
 
-    fn normalise(&self, value: &str) -> String {
-        let lowered = value.to_lowercase();
-        let filtered: String = if self.alphanumeric_only {
-            lowered.chars().filter(|c| c.is_alphanumeric()).collect()
-        } else {
-            lowered
-        };
-        if self.prefix_length == 0 {
-            filtered
-        } else {
-            filtered.chars().take(self.prefix_length).collect()
+    /// Resolve the external-side property against `store` (one string
+    /// lookup; every later key extraction is id-based).
+    pub fn external_side(&self, store: &RecordStore) -> KeySide {
+        KeySide {
+            property: store.property(&self.external_property),
+            prefix_length: self.prefix_length,
+            alphanumeric_only: self.alphanumeric_only,
         }
     }
 
-    /// The key of an external record (empty string when the property is
-    /// missing).
-    pub fn external_key(&self, record: &Record) -> String {
-        self.normalise(record.first(&self.external_property).unwrap_or(""))
+    /// Resolve the local-side property against `store`.
+    pub fn local_side(&self, store: &RecordStore) -> KeySide {
+        KeySide {
+            property: store.property(&self.local_property),
+            prefix_length: self.prefix_length,
+            alphanumeric_only: self.alphanumeric_only,
+        }
+    }
+}
+
+/// One side of a [`BlockingKey`], resolved against a specific
+/// [`RecordStore`]. Only valid for records of that store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySide {
+    /// The interned property, `None` when no record of the store has it.
+    property: Option<PropertyId>,
+    prefix_length: usize,
+    alphanumeric_only: bool,
+}
+
+impl KeySide {
+    /// The resolved property id, if the store knows the IRI.
+    pub fn property(&self) -> Option<PropertyId> {
+        self.property
     }
 
-    /// The key of a local record.
-    pub fn local_key(&self, record: &Record) -> String {
-        self.normalise(record.first(&self.local_property).unwrap_or(""))
-    }
-
-    /// The full (untruncated) normalised value of the relevant property, used
-    /// as a sorting key by the sorted-neighbourhood method.
-    pub fn sort_value(&self, record: &Record, is_external: bool) -> String {
-        let property = if is_external {
-            &self.external_property
+    fn normalise(&self, value: &str, truncate: bool) -> String {
+        let take = if truncate && self.prefix_length > 0 {
+            self.prefix_length
         } else {
-            &self.local_property
+            usize::MAX
         };
-        let lowered = record.first(property).unwrap_or("").to_lowercase();
-        if self.alphanumeric_only {
-            lowered.chars().filter(|c| c.is_alphanumeric()).collect()
-        } else {
-            lowered
+        // Lowercase before filtering: lowercasing can emit combining
+        // marks (e.g. 'İ' → "i\u{307}") that the alphanumeric filter
+        // must then strip, and the prefix counts *output* characters.
+        let lowered = value.to_lowercase();
+        let mut out = String::with_capacity(lowered.len());
+        let mut kept = 0;
+        for c in lowered.chars() {
+            if self.alphanumeric_only && !c.is_alphanumeric() {
+                continue;
+            }
+            out.push(c);
+            kept += 1;
+            if kept == take {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The (truncated, normalised) blocking key of `record`; empty when
+    /// the property is missing.
+    pub fn key(&self, store: &RecordStore, record: usize) -> String {
+        match self.property.and_then(|p| store.first(record, p)) {
+            Some(value) => self.normalise(value, true),
+            None => String::new(),
+        }
+    }
+
+    /// The full (untruncated) normalised value, used as a sorting key by
+    /// the sorted-neighbourhood method.
+    pub fn sort_value(&self, store: &RecordStore, record: usize) -> String {
+        match self.property.and_then(|p| store.first(record, p)) {
+            Some(value) => self.normalise(value, false),
+            None => String::new(),
         }
     }
 }
@@ -95,40 +137,75 @@ impl BlockingKey {
 mod tests {
     use super::*;
     use crate::blocking::test_support::{ext_record, loc_record, EXT_PN, LOC_PN};
+    use crate::store::RecordStore;
+
+    fn ext_store(pn: &str) -> RecordStore {
+        RecordStore::from_records(&[ext_record(0, pn)])
+    }
 
     #[test]
     fn shared_key_truncates_and_normalises() {
-        let key = BlockingKey::shared(EXT_PN, 5);
-        let r = ext_record(0, "CRCW-0805 10K");
-        assert_eq!(key.external_key(&r), "crcw0");
-        let full = BlockingKey::shared(EXT_PN, 0);
-        assert_eq!(full.external_key(&r), "crcw080510k");
+        let store = ext_store("CRCW-0805 10K");
+        let key = BlockingKey::shared(EXT_PN, 5).external_side(&store);
+        assert_eq!(key.key(&store, 0), "crcw0");
+        let full = BlockingKey::shared(EXT_PN, 0).external_side(&store);
+        assert_eq!(full.key(&store, 0), "crcw080510k");
     }
 
     #[test]
     fn per_side_keys_use_their_property() {
-        let key = BlockingKey::per_side(EXT_PN, LOC_PN, 4);
-        let e = ext_record(0, "T83-A225");
-        let l = loc_record(0, "T83-A225");
-        assert_eq!(key.external_key(&e), "t83a");
-        assert_eq!(key.local_key(&l), "t83a");
-        // Missing property → empty key.
-        assert_eq!(key.local_key(&e), "");
+        let recipe = BlockingKey::per_side(EXT_PN, LOC_PN, 4);
+        let external = ext_store("T83-A225");
+        let local = RecordStore::from_records(&[loc_record(0, "T83-A225")]);
+        assert_eq!(recipe.external_side(&external).key(&external, 0), "t83a");
+        assert_eq!(recipe.local_side(&local).key(&local, 0), "t83a");
+        // The local property does not exist on the external store: the
+        // side resolves to no property and every key is empty.
+        let missing = recipe.local_side(&external);
+        assert_eq!(missing.property(), None);
+        assert_eq!(missing.key(&external, 0), "");
     }
 
     #[test]
     fn sort_value_keeps_full_length() {
-        let key = BlockingKey::per_side(EXT_PN, LOC_PN, 3);
-        let e = ext_record(0, "CRCW0805-10K");
-        assert_eq!(key.sort_value(&e, true), "crcw080510k");
-        assert_eq!(key.sort_value(&e, false), "");
+        let recipe = BlockingKey::per_side(EXT_PN, LOC_PN, 3);
+        let external = ext_store("CRCW0805-10K");
+        assert_eq!(
+            recipe.external_side(&external).sort_value(&external, 0),
+            "crcw080510k"
+        );
+        assert_eq!(recipe.local_side(&external).sort_value(&external, 0), "");
     }
 
     #[test]
     fn non_alphanumeric_preserved_when_configured() {
-        let mut key = BlockingKey::shared(EXT_PN, 0);
-        key.alphanumeric_only = false;
-        let r = ext_record(0, "CRCW-0805 10K");
-        assert_eq!(key.external_key(&r), "crcw-0805 10k");
+        let mut recipe = BlockingKey::shared(EXT_PN, 0);
+        recipe.alphanumeric_only = false;
+        let store = ext_store("CRCW-0805 10K");
+        assert_eq!(recipe.external_side(&store).key(&store, 0), "crcw-0805 10k");
+    }
+
+    #[test]
+    fn prefix_counts_characters_not_bytes() {
+        let store = ext_store("ÉÀÇ-1234");
+        let mut recipe = BlockingKey::shared(EXT_PN, 4);
+        recipe.alphanumeric_only = true;
+        assert_eq!(recipe.external_side(&store).key(&store, 0), "éàç1");
+    }
+
+    #[test]
+    fn lowercasing_combining_marks_are_filtered() {
+        // 'İ' lowercases to "i\u{307}"; the combining mark is not
+        // alphanumeric and must not leak into the blocking key, so both
+        // spellings land in the same block.
+        let dotted = ext_store("İSTANBUL-42");
+        let plain = ext_store("istanbul-42");
+        let recipe = BlockingKey::shared(EXT_PN, 0);
+        let a = recipe.external_side(&dotted).key(&dotted, 0);
+        let b = recipe.external_side(&plain).key(&plain, 0);
+        assert_eq!(a, b);
+        assert_eq!(a, "istanbul42");
+        let prefix = BlockingKey::shared(EXT_PN, 3);
+        assert_eq!(prefix.external_side(&dotted).key(&dotted, 0), "ist");
     }
 }

@@ -7,6 +7,10 @@
 //! implements all of them behind one [`Blocker`] trait so that the
 //! benchmarks can compare them on the same data (experiment E5 of
 //! DESIGN.md).
+//!
+//! Blockers run on the columnar [`RecordStore`]: they resolve property
+//! IRIs to interned ids once per call, emit candidate pairs as record
+//! *indices*, and never clone a term or hash an IRI per record.
 
 pub mod bigram;
 pub mod disjointness;
@@ -17,15 +21,15 @@ pub mod standard;
 
 pub use bigram::BigramBlocker;
 pub use disjointness::DisjointnessFilter;
-pub use key::BlockingKey;
+pub use key::{BlockingKey, KeySide};
 pub use rule_based::RuleBasedBlocker;
 pub use sorted_neighborhood::SortedNeighborhoodBlocker;
 pub use standard::StandardBlocker;
 
-use crate::record::Record;
+use crate::store::RecordStore;
 
 /// A candidate pair, given as indexes into the external and local record
-/// slices handed to the blocker.
+/// stores handed to the blocker.
 pub type CandidatePair = (usize, usize);
 
 /// A strategy that selects which (external, local) record pairs are worth
@@ -36,7 +40,7 @@ pub trait Blocker {
 
     /// Produce candidate pairs as indexes into `external` and `local`.
     /// Implementations must not return duplicates.
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair>;
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair>;
 }
 
 /// The exhaustive baseline: every external record is compared with every
@@ -50,7 +54,7 @@ impl Blocker for CartesianBlocker {
         "cartesian"
     }
 
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
         let mut pairs = Vec::with_capacity(external.len() * local.len());
         for e in 0..external.len() {
             for l in 0..local.len() {
@@ -91,10 +95,7 @@ impl BlockingStats {
     ) -> Self {
         let candidate_pairs = candidates.len() as u64;
         let total_pairs = external_count as u64 * local_count as u64;
-        let found = candidates
-            .iter()
-            .filter(|p| true_pairs.contains(p))
-            .count() as u64;
+        let found = candidates.iter().filter(|p| true_pairs.contains(p)).count() as u64;
         let reduction_ratio = if total_pairs == 0 {
             0.0
         } else {
@@ -125,6 +126,7 @@ impl BlockingStats {
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
+    use crate::record::Record;
     use classilink_rdf::Term;
 
     pub const EXT_PN: &str = "http://provider.e.org/v#ref";
@@ -159,6 +161,23 @@ pub(crate) mod test_support {
         ];
         (external, local)
     }
+
+    /// The small dataset, columnarised.
+    pub fn small_stores() -> (RecordStore, RecordStore) {
+        let (external, local) = small_dataset();
+        (
+            RecordStore::from_records(&external),
+            RecordStore::from_records(&local),
+        )
+    }
+
+    /// An empty pair of stores.
+    pub fn empty_stores() -> (RecordStore, RecordStore) {
+        (
+            RecordStore::from_records(&[]),
+            RecordStore::from_records(&[]),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -169,7 +188,7 @@ mod tests {
 
     #[test]
     fn cartesian_produces_all_pairs() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = CartesianBlocker.candidate_pairs(&external, &local);
         assert_eq!(pairs.len(), 20);
         assert_eq!(CartesianBlocker.name(), "cartesian");
@@ -179,9 +198,16 @@ mod tests {
 
     #[test]
     fn cartesian_with_empty_sides() {
-        let (external, _) = small_dataset();
-        assert!(CartesianBlocker.candidate_pairs(&external, &[]).is_empty());
-        assert!(CartesianBlocker.candidate_pairs(&[], &external).is_empty());
+        let (external, empty) = {
+            let (e, _) = small_stores();
+            (e, RecordStore::from_records(&[]))
+        };
+        assert!(CartesianBlocker
+            .candidate_pairs(&external, &empty)
+            .is_empty());
+        assert!(CartesianBlocker
+            .candidate_pairs(&empty, &external)
+            .is_empty());
     }
 
     #[test]
@@ -199,7 +225,7 @@ mod tests {
 
     #[test]
     fn stats_for_cartesian_blocking() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let true_pairs: HashSet<CandidatePair> = (0..4).map(|i| (i, i)).collect();
         let candidates = CartesianBlocker.candidate_pairs(&external, &local);
         let stats = BlockingStats::evaluate(&candidates, &true_pairs, 4, 5);

@@ -7,10 +7,9 @@
 //! classic blocking baselines on exactly the same interface (experiment E5).
 
 use super::{Blocker, CandidatePair};
-use crate::record::Record;
+use crate::store::RecordStore;
 use classilink_core::RuleClassifier;
 use classilink_ontology::{InstanceStore, Ontology};
-use std::collections::HashMap;
 
 /// Blocking through learnt classification rules.
 pub struct RuleBasedBlocker<'a> {
@@ -51,21 +50,12 @@ impl Blocker for RuleBasedBlocker<'_> {
         "classification-rules"
     }
 
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
-        // Map local item terms to their index in `local`.
-        let local_index: HashMap<&classilink_rdf::Term, usize> = local
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (&r.id, i))
-            .collect();
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
         let mut pairs: Vec<CandidatePair> = Vec::new();
-        for (e, record) in external.iter().enumerate() {
-            let facts: Vec<(String, String)> = record
-                .attributes
-                .iter()
-                .flat_map(|(p, vs)| vs.iter().map(move |v| (p.clone(), v.clone())))
-                .collect();
-            let predictions = self.classifier.classify_facts(&facts);
+        for e in 0..external.len() {
+            // The store's facts iterator feeds the classifier borrowed
+            // `(&str, &str)` pairs — no per-record fact cloning.
+            let predictions = self.classifier.classify_fact_refs(external.facts(e));
             if predictions.is_empty() {
                 if self.fallback_to_all {
                     for l in 0..local.len() {
@@ -77,7 +67,7 @@ impl Blocker for RuleBasedBlocker<'_> {
             let mut seen = vec![false; local.len()];
             for prediction in predictions {
                 for item in self.instances.extent(prediction.class, self.ontology) {
-                    if let Some(&l) = local_index.get(&item) {
+                    if let Some(l) = local.index_of(&item) {
                         if !seen[l] {
                             seen[l] = true;
                             pairs.push((e, l));
@@ -96,7 +86,7 @@ mod tests {
     use super::*;
     use crate::blocking::test_support::*;
     use crate::blocking::BlockingStats;
-    use classilink_core::{Contingency, ClassificationRule};
+    use classilink_core::{ClassificationRule, Contingency};
     use classilink_ontology::{ClassId, OntologyBuilder};
     use classilink_rdf::Term;
     use classilink_segment::SegmenterKind;
@@ -138,7 +128,7 @@ mod tests {
     #[test]
     fn pairs_follow_predicted_class_extents() {
         let (onto, store, classifier) = setup();
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let blocker = RuleBasedBlocker::new(&classifier, &store, &onto);
         let pairs = blocker.candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.iter().copied().collect();
@@ -156,9 +146,9 @@ mod tests {
     #[test]
     fn true_pairs_covered_for_classified_records() {
         let (onto, store, classifier) = setup();
-        let (external, local) = small_dataset();
-        let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
-            .candidate_pairs(&external, &local);
+        let (external, local) = small_stores();
+        let pairs =
+            RuleBasedBlocker::new(&classifier, &store, &onto).candidate_pairs(&external, &local);
         // True pairs for the classified externals (0,0), (1,1), (2,2).
         let true_pairs: HashSet<_> = (0..3).map(|i| (i, i)).collect();
         let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
@@ -169,7 +159,7 @@ mod tests {
     #[test]
     fn fallback_pairs_unclassified_records_with_everything() {
         let (onto, store, classifier) = setup();
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
             .with_fallback(true)
             .candidate_pairs(&external, &local);
@@ -202,9 +192,9 @@ mod tests {
             SegmenterKind::Separator,
             true,
         );
-        let (external, local) = small_dataset();
-        let pairs = RuleBasedBlocker::new(&classifier, &store, &onto)
-            .candidate_pairs(&external, &local);
+        let (external, local) = small_stores();
+        let pairs =
+            RuleBasedBlocker::new(&classifier, &store, &onto).candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.iter().copied().collect();
         assert_eq!(set.len(), pairs.len());
     }
@@ -213,6 +203,7 @@ mod tests {
     fn empty_inputs_are_fine() {
         let (onto, store, classifier) = setup();
         let blocker = RuleBasedBlocker::new(&classifier, &store, &onto);
-        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+        let (e, l) = empty_stores();
+        assert!(blocker.candidate_pairs(&e, &l).is_empty());
     }
 }

@@ -10,7 +10,7 @@
 
 use super::key::BlockingKey;
 use super::{Blocker, CandidatePair};
-use crate::record::Record;
+use crate::store::RecordStore;
 use std::collections::HashSet;
 
 /// Sorted-neighbourhood blocking over a merged, key-sorted list.
@@ -36,7 +36,7 @@ impl SortedNeighborhoodBlocker {
 #[derive(Debug, Clone)]
 struct Entry {
     sort_key: String,
-    /// Index into the external (true) or local (false) slice.
+    /// Index into the external (true) or local (false) store.
     index: usize,
     is_external: bool,
 }
@@ -46,18 +46,20 @@ impl Blocker for SortedNeighborhoodBlocker {
         "sorted-neighborhood"
     }
 
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
+        let external_side = self.key.external_side(external);
+        let local_side = self.key.local_side(local);
         let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
-        for (i, r) in external.iter().enumerate() {
+        for i in 0..external.len() {
             entries.push(Entry {
-                sort_key: self.key.sort_value(r, true),
+                sort_key: external_side.sort_value(external, i),
                 index: i,
                 is_external: true,
             });
         }
-        for (i, r) in local.iter().enumerate() {
+        for i in 0..local.len() {
             entries.push(Entry {
-                sort_key: self.key.sort_value(r, false),
+                sort_key: local_side.sort_value(local, i),
                 index: i,
                 is_external: false,
             });
@@ -109,7 +111,7 @@ mod tests {
 
     #[test]
     fn window_covers_adjacent_records() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let blocker = SortedNeighborhoodBlocker::new(key(), 3);
         let pairs = blocker.candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.iter().copied().collect();
@@ -122,7 +124,7 @@ mod tests {
 
     #[test]
     fn larger_window_finds_superset_of_pairs() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let small: HashSet<_> = SortedNeighborhoodBlocker::new(key(), 2)
             .candidate_pairs(&external, &local)
             .into_iter()
@@ -137,7 +139,7 @@ mod tests {
 
     #[test]
     fn full_window_equals_cartesian_coverage() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let total = external.len() + local.len();
         let all: HashSet<_> = SortedNeighborhoodBlocker::new(key(), total)
             .candidate_pairs(&external, &local)
@@ -152,7 +154,7 @@ mod tests {
 
     #[test]
     fn produces_fewer_pairs_than_cartesian_but_complete() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = SortedNeighborhoodBlocker::new(key(), 3).candidate_pairs(&external, &local);
         let true_pairs: HashSet<_> = (0..4).map(|i| (i, i)).collect();
         let stats = BlockingStats::evaluate(&pairs, &true_pairs, external.len(), local.len());
@@ -164,12 +166,13 @@ mod tests {
     fn window_is_clamped_to_two_and_empty_input_is_fine() {
         let blocker = SortedNeighborhoodBlocker::new(key(), 0);
         assert_eq!(blocker.window, 2);
-        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+        let (external, local) = empty_stores();
+        assert!(blocker.candidate_pairs(&external, &local).is_empty());
     }
 
     #[test]
     fn no_duplicate_pairs() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let pairs = SortedNeighborhoodBlocker::new(key(), 4).candidate_pairs(&external, &local);
         let set: HashSet<_> = pairs.iter().copied().collect();
         assert_eq!(set.len(), pairs.len());

@@ -8,7 +8,7 @@
 
 use super::key::BlockingKey;
 use super::{Blocker, CandidatePair};
-use crate::record::Record;
+use crate::store::RecordStore;
 use std::collections::HashMap;
 
 /// Key-equality blocking.
@@ -36,19 +36,22 @@ impl Blocker for StandardBlocker {
         "standard-blocking"
     }
 
-    fn candidate_pairs(&self, external: &[Record], local: &[Record]) -> Vec<CandidatePair> {
+    fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
+        // Resolve the property IRIs once; the per-record loop is id-based.
+        let local_side = self.key.local_side(local);
+        let external_side = self.key.external_side(external);
         // Index local records by key.
         let mut local_blocks: HashMap<String, Vec<usize>> = HashMap::new();
-        for (l, record) in local.iter().enumerate() {
-            let key = self.key.local_key(record);
+        for l in 0..local.len() {
+            let key = local_side.key(local, l);
             if key.is_empty() && self.skip_empty_keys {
                 continue;
             }
             local_blocks.entry(key).or_default().push(l);
         }
         let mut pairs = Vec::new();
-        for (e, record) in external.iter().enumerate() {
-            let key = self.key.external_key(record);
+        for e in 0..external.len() {
+            let key = external_side.key(external, e);
             if key.is_empty() && self.skip_empty_keys {
                 continue;
             }
@@ -75,7 +78,7 @@ mod tests {
 
     #[test]
     fn same_prefix_lands_in_same_block() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let blocker = StandardBlocker::new(key(4));
         let pairs = blocker.candidate_pairs(&external, &local);
         // ext0 (crcw…) matches loc0 and loc1 shares only "crcw" prefix of length 4:
@@ -94,7 +97,7 @@ mod tests {
 
     #[test]
     fn longer_prefix_gives_fewer_candidates() {
-        let (external, local) = small_dataset();
+        let (external, local) = small_stores();
         let loose = StandardBlocker::new(key(2)).candidate_pairs(&external, &local);
         let tight = StandardBlocker::new(key(8)).candidate_pairs(&external, &local);
         assert!(tight.len() <= loose.len());
@@ -111,13 +114,16 @@ mod tests {
         external.push(crate::record::Record::new(classilink_rdf::Term::iri(
             "http://provider.e.org/item/99",
         )));
+        let external = crate::store::RecordStore::from_records(&external);
+        let local = crate::store::RecordStore::from_records(&local);
         let pairs = StandardBlocker::new(key(4)).candidate_pairs(&external, &local);
         assert!(pairs.iter().all(|(e, _)| *e != 4));
     }
 
     #[test]
     fn empty_inputs() {
+        let (external, local) = empty_stores();
         let blocker = StandardBlocker::new(key(4));
-        assert!(blocker.candidate_pairs(&[], &[]).is_empty());
+        assert!(blocker.candidate_pairs(&external, &local).is_empty());
     }
 }

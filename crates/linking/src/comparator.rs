@@ -5,9 +5,18 @@
 //! they refer to the same real-world object. [`RecordComparator`] implements
 //! the standard weighted-average scheme: per-attribute similarities combined
 //! with weights, then thresholded into Match / Possible / NonMatch.
+//!
+//! A comparator is a schema-level *configuration* (property IRIs, measures,
+//! weights). Before comparing it is [`compile`](RecordComparator::compile)d
+//! against the two [`RecordStore`]s, resolving each rule's property IRIs to
+//! interned ids **once**; the per-pair [`CompiledComparator::compare`] then
+//! performs only id-indexed column reads — no string hashing, no record
+//! cloning, and the full-text fallback reads the store's precomputed
+//! per-record text instead of re-joining attributes per pair.
 
-use crate::record::Record;
+use crate::intern::PropertyId;
 use crate::similarity::SimilarityMeasure;
+use crate::store::RecordStore;
 use serde::{Deserialize, Serialize};
 
 /// How one attribute pair contributes to the overall record similarity.
@@ -93,41 +102,98 @@ impl RecordComparator {
         self
     }
 
-    /// Compare two records.
-    pub fn compare(&self, left: &Record, right: &Record) -> Comparison {
-        let mut details = Vec::with_capacity(self.rules.len());
+    /// Resolve every rule's property IRIs against the two stores. Ids are
+    /// store-local, so the compiled comparator is only valid for this
+    /// `(external, local)` store pair.
+    pub fn compile(&self, external: &RecordStore, local: &RecordStore) -> CompiledComparator<'_> {
+        CompiledComparator {
+            comparator: self,
+            properties: self
+                .rules
+                .iter()
+                .map(|rule| {
+                    (
+                        external.property(&rule.left_property),
+                        local.property(&rule.right_property),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Convenience: compile against the two stores and compare one pair.
+    /// Re-resolves the property IRIs on every call — callers comparing
+    /// many pairs should [`compile`](Self::compile) once instead.
+    pub fn compare(
+        &self,
+        external: &RecordStore,
+        left_index: usize,
+        local: &RecordStore,
+        right_index: usize,
+    ) -> Comparison {
+        self.compile(external, local)
+            .compare(external, left_index, local, right_index)
+    }
+}
+
+/// A [`RecordComparator`] with its property IRIs resolved to the interned
+/// ids of one `(external, local)` store pair.
+#[derive(Debug, Clone)]
+pub struct CompiledComparator<'a> {
+    comparator: &'a RecordComparator,
+    /// `(left id on the external store, right id on the local store)` per
+    /// attribute rule; `None` when a store never saw the IRI.
+    properties: Vec<(Option<PropertyId>, Option<PropertyId>)>,
+}
+
+impl CompiledComparator<'_> {
+    /// Compare one candidate pair, given as record indexes into the stores
+    /// this comparator was compiled against.
+    pub fn compare(
+        &self,
+        external: &RecordStore,
+        left: usize,
+        local: &RecordStore,
+        right: usize,
+    ) -> Comparison {
+        let comparator = self.comparator;
+        let mut details = Vec::with_capacity(comparator.rules.len());
         let mut weighted_sum = 0.0;
         let mut weight_total = 0.0;
-        for rule in &self.rules {
-            let left_values = left.values(&rule.left_property);
-            let right_values = right.values(&rule.right_property);
-            if left_values.is_empty() || right_values.is_empty() {
+        for (rule, &(left_property, right_property)) in
+            comparator.rules.iter().zip(&self.properties)
+        {
+            let (Some(lp), Some(rp)) = (left_property, right_property) else {
+                details.push(None);
+                continue;
+            };
+            let left_values = external.values(left, lp);
+            let right_values = local.values(right, rp);
+            if left_values.len() == 0 || right_values.len() == 0 {
                 details.push(None);
                 continue;
             }
             // Best pairing across multi-valued attributes.
-            let best = left_values
-                .iter()
-                .flat_map(|lv| {
-                    right_values
-                        .iter()
-                        .map(move |rv| rule.measure.compare(lv, rv))
-                })
-                .fold(0.0f64, f64::max);
+            let mut best = 0.0f64;
+            for lv in left_values {
+                for rv in right_values.clone() {
+                    best = best.max(rule.measure.compare(lv, rv));
+                }
+            }
             details.push(Some(best));
             weighted_sum += best * rule.weight;
             weight_total += rule.weight;
         }
         let score = if weight_total > 0.0 {
             weighted_sum / weight_total
-        } else if let Some(fallback) = self.fallback {
-            fallback.compare(&left.full_text(), &right.full_text())
+        } else if let Some(fallback) = comparator.fallback {
+            fallback.compare(external.full_text(left), local.full_text(right))
         } else {
             0.0
         };
-        let decision = if score >= self.match_threshold {
+        let decision = if score >= comparator.match_threshold {
             MatchDecision::Match
-        } else if score < self.non_match_threshold {
+        } else if score < comparator.non_match_threshold {
             MatchDecision::NonMatch
         } else {
             MatchDecision::Possible
@@ -140,49 +206,67 @@ impl RecordComparator {
     }
 
     /// `true` when the pair is decided as a match.
-    pub fn is_match(&self, left: &Record, right: &Record) -> bool {
-        self.compare(left, right).decision == MatchDecision::Match
+    pub fn is_match(
+        &self,
+        external: &RecordStore,
+        left: usize,
+        local: &RecordStore,
+        right: usize,
+    ) -> bool {
+        self.compare(external, left, local, right).decision == MatchDecision::Match
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::Record;
     use classilink_rdf::Term;
 
     const EXT_PN: &str = "http://provider.e.org/v#ref";
     const LOC_PN: &str = "http://local.e.org/v#partNumber";
     const LOC_LABEL: &str = "http://local.e.org/v#label";
 
-    fn ext(pn: &str) -> Record {
+    fn ext(pn: &str) -> RecordStore {
         let mut r = Record::new(Term::iri("http://provider.e.org/item/1"));
         r.add(EXT_PN, pn);
-        r
+        RecordStore::from_records(&[r])
     }
 
-    fn loc(pn: &str, label: &str) -> Record {
+    fn loc(pn: &str, label: &str) -> RecordStore {
         let mut r = Record::new(Term::iri("http://local.e.org/prod/1"));
         r.add(LOC_PN, pn);
         r.add(LOC_LABEL, label);
-        r
+        RecordStore::from_records(&[r])
+    }
+
+    fn compare_single(
+        cmp: &RecordComparator,
+        external: &RecordStore,
+        local: &RecordStore,
+    ) -> Comparison {
+        cmp.compile(external, local).compare(external, 0, local, 0)
     }
 
     #[test]
     fn identical_part_numbers_match() {
         let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler);
-        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        let (e, l) = (ext("CRCW0805-10K"), loc("CRCW0805-10K", "resistor"));
+        let c = compare_single(&cmp, &e, &l);
         assert_eq!(c.decision, MatchDecision::Match);
         assert_eq!(c.score, 1.0);
         assert_eq!(c.details, vec![Some(1.0)]);
-        assert!(cmp.is_match(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "r")));
+        let l2 = loc("CRCW0805-10K", "r");
+        assert!(cmp.compile(&e, &l2).is_match(&e, 0, &l2, 0));
     }
 
     #[test]
     fn small_typo_is_still_a_match_large_difference_is_not() {
         let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler);
-        let typo = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0806-10K", "resistor"));
+        let e = ext("CRCW0805-10K");
+        let typo = compare_single(&cmp, &e, &loc("CRCW0806-10K", "resistor"));
         assert_eq!(typo.decision, MatchDecision::Match);
-        let different = cmp.compare(&ext("CRCW0805-10K"), &loc("T83A225K", "capacitor"));
+        let different = compare_single(&cmp, &e, &loc("T83A225K", "capacitor"));
         assert_eq!(different.decision, MatchDecision::NonMatch);
     }
 
@@ -190,7 +274,7 @@ mod tests {
     fn thresholds_partition_scores() {
         let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
             .with_thresholds(0.9, 0.5);
-        let possible = cmp.compare(&ext("CRCW0805"), &loc("CRCW0899", "x"));
+        let possible = compare_single(&cmp, &ext("CRCW0805"), &loc("CRCW0899", "x"));
         assert_eq!(possible.decision, MatchDecision::Possible);
         assert!(possible.score < 0.9 && possible.score >= 0.5);
     }
@@ -222,7 +306,11 @@ mod tests {
                 weight: 1.0,
             },
         ]);
-        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "unrelated text"));
+        let c = compare_single(
+            &cmp,
+            &ext("CRCW0805-10K"),
+            &loc("CRCW0805-10K", "unrelated text"),
+        );
         // pn similarity 1.0 (weight 3), label similarity 0 (weight 1) → 0.75.
         assert!((c.score - 0.75).abs() < 1e-9);
         assert_eq!(c.details.len(), 2);
@@ -230,8 +318,10 @@ mod tests {
 
     #[test]
     fn missing_attributes_use_fallback() {
-        let cmp = RecordComparator::single("http://nowhere.org/v#x", LOC_PN, SimilarityMeasure::Jaro);
-        let c = cmp.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        let cmp =
+            RecordComparator::single("http://nowhere.org/v#x", LOC_PN, SimilarityMeasure::Jaro);
+        let (e, l) = (ext("CRCW0805-10K"), loc("CRCW0805-10K", "resistor"));
+        let c = compare_single(&cmp, &e, &l);
         assert_eq!(c.details, vec![None]);
         // Fallback Monge-Elkan over full text still sees the identical part number.
         assert!(c.score > 0.5);
@@ -239,7 +329,7 @@ mod tests {
             fallback: None,
             ..cmp
         };
-        let c2 = strict.compare(&ext("CRCW0805-10K"), &loc("CRCW0805-10K", "resistor"));
+        let c2 = compare_single(&strict, &e, &l);
         assert_eq!(c2.score, 0.0);
         assert_eq!(c2.decision, MatchDecision::NonMatch);
     }
@@ -250,8 +340,36 @@ mod tests {
         let mut left = Record::new(Term::iri("http://provider.e.org/item/2"));
         left.add(EXT_PN, "completely different");
         left.add(EXT_PN, "CRCW0805-10K");
-        let right = loc("CRCW0805-10K", "resistor");
-        let c = cmp.compare(&left, &right);
+        let e = RecordStore::from_records(&[left]);
+        let l = loc("CRCW0805-10K", "resistor");
+        let c = compare_single(&cmp, &e, &l);
         assert_eq!(c.score, 1.0);
+    }
+
+    #[test]
+    fn compiled_once_serves_many_pairs() {
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein);
+        let external = RecordStore::from_records(&[
+            {
+                let mut r = Record::new(Term::iri("http://provider.e.org/item/1"));
+                r.add(EXT_PN, "AAA");
+                r
+            },
+            {
+                let mut r = Record::new(Term::iri("http://provider.e.org/item/2"));
+                r.add(EXT_PN, "BBB");
+                r
+            },
+        ]);
+        let local = RecordStore::from_records(&[{
+            let mut r = Record::new(Term::iri("http://local.e.org/prod/1"));
+            r.add(LOC_PN, "AAA");
+            r
+        }]);
+        let compiled = cmp.compile(&external, &local);
+        assert_eq!(compiled.compare(&external, 0, &local, 0).score, 1.0);
+        assert_eq!(compiled.compare(&external, 1, &local, 0).score, 0.0);
+        // The one-shot convenience agrees with the compiled path.
+        assert_eq!(cmp.compare(&external, 1, &local, 0).score, 0.0);
     }
 }

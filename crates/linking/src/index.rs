@@ -2,13 +2,15 @@
 
 use std::collections::HashMap;
 
-/// Maps string keys to posting lists of values (e.g. bigram → record ids).
+/// Maps string keys to **sorted** posting lists of values (e.g. bigram →
+/// record ids). Posting lists are kept sorted and duplicate-free by
+/// [`insert`](InvertedIndex::insert).
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex<T> {
     postings: HashMap<String, Vec<T>>,
 }
 
-impl<T: PartialEq + Clone> InvertedIndex<T> {
+impl<T: Ord + Clone> InvertedIndex<T> {
     /// An empty index.
     pub fn new() -> Self {
         InvertedIndex {
@@ -18,14 +20,28 @@ impl<T: PartialEq + Clone> InvertedIndex<T> {
 
     /// Add `value` to the posting list of `key` (duplicates within one key
     /// are ignored).
+    ///
+    /// Values inserted in non-decreasing order — the natural pattern when
+    /// scanning records by index — take an O(1) last-element check;
+    /// out-of-order values fall back to a binary search so the list stays
+    /// sorted without the former O(n) `contains` scan per insert.
     pub fn insert(&mut self, key: impl Into<String>, value: T) {
         let list = self.postings.entry(key.into()).or_default();
-        if !list.contains(&value) {
-            list.push(value);
+        match list.last() {
+            // Fast path: monotone insertion streams append.
+            Some(last) if *last < value => list.push(value),
+            Some(last) if *last == value => {}
+            None => list.push(value),
+            Some(_) => {
+                if let Err(position) = list.binary_search(&value) {
+                    list.insert(position, value);
+                }
+            }
         }
     }
 
-    /// The posting list of `key` (empty slice when absent).
+    /// The posting list of `key`, sorted ascending (empty slice when
+    /// absent).
     pub fn get(&self, key: &str) -> &[T] {
         self.postings.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
@@ -47,7 +63,9 @@ impl<T: PartialEq + Clone> InvertedIndex<T> {
 
     /// Iterate over `(key, posting list)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &[T])> {
-        self.postings.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.postings
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 }
 
@@ -69,6 +87,27 @@ mod tests {
         assert_eq!(idx.key_count(), 2);
         assert_eq!(idx.posting_count(), 3);
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_lists_sorted_and_deduped() {
+        let mut idx: InvertedIndex<usize> = InvertedIndex::new();
+        for v in [5, 2, 9, 2, 5, 0, 9, 7] {
+            idx.insert("k", v);
+        }
+        assert_eq!(idx.get("k"), &[0, 2, 5, 7, 9]);
+    }
+
+    #[test]
+    fn monotone_inserts_dedup_adjacent_duplicates() {
+        let mut idx: InvertedIndex<usize> = InvertedIndex::new();
+        for record in 0..4 {
+            // A record can emit the same key more than once (repeated
+            // bigram); only one posting per record must survive.
+            idx.insert("aa", record);
+            idx.insert("aa", record);
+        }
+        assert_eq!(idx.get("aa"), &[0, 1, 2, 3]);
     }
 
     #[test]

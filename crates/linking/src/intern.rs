@@ -1,0 +1,128 @@
+//! Property-IRI interning.
+//!
+//! Records in this workspace are keyed by full property IRIs such as
+//! `http://provider.example.org/vocab#partNumber`. Hashing and comparing
+//! those strings in the per-pair comparison hot path is pure overhead:
+//! the set of distinct properties is tiny (a handful per source) while
+//! the number of lookups grows with `|SE| × |SL|`. The
+//! [`PropertyInterner`] maps each distinct IRI to a dense [`PropertyId`]
+//! exactly once, so every later lookup is an array index.
+//!
+//! Interned ids are **local to one interner** (and therefore to one
+//! [`RecordStore`](crate::store::RecordStore)): the external and local
+//! sources have different schemas, so their stores intern independently
+//! and ids must never be mixed across stores. APIs that work across two
+//! stores (blocking keys, attribute rules) resolve their IRIs against
+//! each store once at construction — see
+//! [`RecordComparator::compile`](crate::comparator::RecordComparator::compile).
+
+use std::collections::HashMap;
+
+/// A dense identifier for an interned property IRI.
+///
+/// Valid only for the [`PropertyInterner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PropertyId(pub u32);
+
+impl PropertyId {
+    /// The id as a column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A symbol table assigning dense [`PropertyId`]s to property IRIs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropertyInterner {
+    names: Vec<String>,
+    ids: HashMap<String, PropertyId>,
+}
+
+impl PropertyInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> PropertyId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id =
+            PropertyId(u32::try_from(self.names.len()).expect("more than u32::MAX properties"));
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn get(&self, name: &str) -> Option<PropertyId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The IRI behind an id.
+    ///
+    /// # Panics
+    /// Panics when `id` did not come from this interner.
+    pub fn resolve(&self, id: PropertyId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned properties.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// `(id, IRI)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropertyId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PropertyId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut interner = PropertyInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern("http://e.org/v#a");
+        let b = interner.intern("http://e.org/v#b");
+        assert_eq!(interner.intern("http://e.org/v#a"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(interner.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_resolution_round_trip() {
+        let mut interner = PropertyInterner::new();
+        let id = interner.intern("http://e.org/v#pn");
+        assert_eq!(interner.get("http://e.org/v#pn"), Some(id));
+        assert_eq!(interner.get("http://e.org/v#missing"), None);
+        assert_eq!(interner.resolve(id), "http://e.org/v#pn");
+    }
+
+    #[test]
+    fn iteration_preserves_interning_order() {
+        let mut interner = PropertyInterner::new();
+        interner.intern("b");
+        interner.intern("a");
+        let names: Vec<&str> = interner.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["b", "a"]);
+        let ids: Vec<usize> = interner.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

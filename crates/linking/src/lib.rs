@@ -12,9 +12,15 @@
 //! * [`similarity`] — string similarity measures (Levenshtein,
 //!   Damerau-Levenshtein, Jaro, Jaro-Winkler, Jaccard, Dice, Monge-Elkan,
 //!   TF-IDF cosine).
-//! * [`record`] — flat attribute/value records extracted from RDF items.
+//! * [`record`] — flat attribute/value records extracted from RDF items
+//!   (the builder-side representation).
+//! * [`intern`] / [`store`] — the execution-side representation: property
+//!   IRIs interned to dense ids, attribute values in contiguous
+//!   per-property columns, records as plain indexes. Everything below
+//!   runs on [`RecordStore`], so the per-pair hot path never hashes an
+//!   IRI string or clones a term.
 //! * [`comparator`] — weighted record comparison with Match / Possible /
-//!   NonMatch decisions.
+//!   NonMatch decisions, compiled to property ids per store pair.
 //! * [`blocking`] — the candidate-pair generation strategies: cartesian,
 //!   standard key blocking, sorted neighbourhood, bi-gram indexing,
 //!   class-disjointness filtering and the rule-based blocker that wraps the
@@ -48,16 +54,22 @@
 pub mod blocking;
 pub mod comparator;
 pub mod index;
+pub mod intern;
 pub mod pipeline;
 pub mod record;
 pub mod similarity;
+pub mod store;
 
 pub use blocking::{
     BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CartesianBlocker,
-    DisjointnessFilter, RuleBasedBlocker, SortedNeighborhoodBlocker, StandardBlocker,
+    DisjointnessFilter, KeySide, RuleBasedBlocker, SortedNeighborhoodBlocker, StandardBlocker,
 };
-pub use comparator::{AttributeRule, Comparison, MatchDecision, RecordComparator};
+pub use comparator::{
+    AttributeRule, Comparison, CompiledComparator, MatchDecision, RecordComparator,
+};
 pub use index::InvertedIndex;
+pub use intern::{PropertyId, PropertyInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
 pub use similarity::SimilarityMeasure;
+pub use store::{RecordStore, RecordStoreBuilder};

@@ -5,12 +5,19 @@
 //! blocker or by the rules), every remaining candidate pair is compared and
 //! decided. The pipeline counts comparisons so that experiments can report
 //! exactly how much work each reduction strategy saves.
+//!
+//! The comparison phase runs on the columnar [`RecordStore`]: the
+//! comparator is compiled once (property IRIs → interned ids), candidate
+//! chunks are folded on scoped worker threads into per-thread vectors of
+//! **index pairs** (no locks, no term cloning in the loop), the chunk
+//! results are concatenated in deterministic chunk order, sorted by index
+//! pair, and only the surviving links materialise their [`Term`]s.
 
 use crate::blocking::{Blocker, CandidatePair};
-use crate::comparator::{MatchDecision, RecordComparator};
+use crate::comparator::{CompiledComparator, MatchDecision, RecordComparator};
 use crate::record::Record;
+use crate::store::RecordStore;
 use classilink_rdf::Term;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// One discovered link (or possible link) between an external and a local
@@ -28,13 +35,14 @@ pub struct Link {
 /// The outcome of running the pipeline on a pair of record sets.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct LinkageResult {
-    /// Pairs decided as matches.
+    /// Pairs decided as matches, sorted by (external, local) record index.
     pub matches: Vec<Link>,
-    /// Pairs decided as possible matches (for clerical review).
+    /// Pairs decided as possible matches (for clerical review), sorted by
+    /// (external, local) record index.
     pub possible: Vec<Link>,
-    /// Number of candidate pairs produced by the blocker.
-    pub candidate_pairs: u64,
-    /// Number of pairwise comparisons performed (equals `candidate_pairs`).
+    /// Number of pairwise comparisons performed — by construction every
+    /// candidate pair the blocker emits is compared exactly once, so this
+    /// is also the candidate count.
     pub comparisons: u64,
     /// Size of the naive linking space `|SE| × |SL|`.
     pub naive_pairs: u64,
@@ -51,6 +59,10 @@ impl LinkageResult {
             .collect()
     }
 }
+
+/// A scored candidate, still as store indexes (terms are materialised
+/// only for pairs that survive thresholding).
+type ScoredPair = (usize, usize, f64);
 
 /// A blocking strategy plus a record comparator, with optional multi-threaded
 /// comparison.
@@ -77,15 +89,30 @@ impl<'a> LinkagePipeline<'a> {
         self
     }
 
-    /// Run blocking and comparison over the two record sets.
+    /// Columnarise two record slices and run the pipeline (the mechanical
+    /// migration path for `&[Record]` call sites; store-holding callers
+    /// should use [`run_stores`](Self::run_stores)).
     pub fn run(&self, external: &[Record], local: &[Record]) -> LinkageResult {
+        self.run_stores(
+            &RecordStore::from_records(external),
+            &RecordStore::from_records(local),
+        )
+    }
+
+    /// Run blocking and comparison over two record stores.
+    pub fn run_stores(&self, external: &RecordStore, local: &RecordStore) -> LinkageResult {
         let candidates = self.blocker.candidate_pairs(external, local);
         let naive_pairs = external.len() as u64 * local.len() as u64;
-        let (matches, possible) = if self.threads <= 1 || candidates.len() < 1024 {
-            self.compare_serial(&candidates, external, local)
+        let compiled = self.comparator.compile(external, local);
+        let (mut matches, mut possible) = if self.threads <= 1 || candidates.len() < 1024 {
+            score_chunk(&compiled, &candidates, external, local)
         } else {
-            self.compare_parallel(&candidates, external, local)
+            self.score_parallel(&compiled, &candidates, external, local)
         };
+        // Deterministic output regardless of blocker emission order or
+        // thread interleaving: sort by index pair, not by cloned terms.
+        matches.sort_unstable_by_key(|a| (a.0, a.1));
+        possible.sort_unstable_by_key(|a| (a.0, a.1));
         let comparisons = candidates.len() as u64;
         let reduction_ratio = if naive_pairs == 0 {
             0.0
@@ -93,104 +120,76 @@ impl<'a> LinkagePipeline<'a> {
             1.0 - comparisons as f64 / naive_pairs as f64
         };
         LinkageResult {
-            matches,
-            possible,
-            candidate_pairs: comparisons,
+            matches: materialise(&matches, external, local),
+            possible: materialise(&possible, external, local),
             comparisons,
             naive_pairs,
             reduction_ratio,
         }
     }
 
-    fn classify_pair(
+    /// Fold candidate chunks on scoped worker threads. Each worker owns
+    /// its chunk's output vectors; the join loop concatenates them in
+    /// chunk order, so no mutex guards the hot loop.
+    fn score_parallel(
         &self,
-        pair: &CandidatePair,
-        external: &[Record],
-        local: &[Record],
-    ) -> Option<(MatchDecision, Link)> {
-        classify_pair(self.comparator, pair, external, local)
-    }
-
-    fn compare_serial(
-        &self,
+        compiled: &CompiledComparator<'_>,
         candidates: &[CandidatePair],
-        external: &[Record],
-        local: &[Record],
-    ) -> (Vec<Link>, Vec<Link>) {
-        let mut matches = Vec::new();
-        let mut possible = Vec::new();
-        for pair in candidates {
-            if let Some((decision, link)) = self.classify_pair(pair, external, local) {
-                match decision {
-                    MatchDecision::Match => matches.push(link),
-                    MatchDecision::Possible => possible.push(link),
-                    MatchDecision::NonMatch => {}
-                }
-            }
-        }
-        (matches, possible)
-    }
-
-    fn compare_parallel(
-        &self,
-        candidates: &[CandidatePair],
-        external: &[Record],
-        local: &[Record],
-    ) -> (Vec<Link>, Vec<Link>) {
-        let matches: Mutex<Vec<Link>> = Mutex::new(Vec::new());
-        let possible: Mutex<Vec<Link>> = Mutex::new(Vec::new());
-        let matches_ref = &matches;
-        let possible_ref = &possible;
-        let comparator = self.comparator;
+        external: &RecordStore,
+        local: &RecordStore,
+    ) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
         let chunk_size = candidates.len().div_ceil(self.threads).max(1);
-        crossbeam::scope(|scope| {
-            for chunk in candidates.chunks(chunk_size) {
-                scope.spawn(move |_| {
-                    let mut local_matches = Vec::new();
-                    let mut local_possible = Vec::new();
-                    for pair in chunk {
-                        if let Some((decision, link)) = classify_pair(comparator, pair, external, local)
-                        {
-                            match decision {
-                                MatchDecision::Match => local_matches.push(link),
-                                MatchDecision::Possible => local_possible.push(link),
-                                MatchDecision::NonMatch => {}
-                            }
-                        }
-                    }
-                    matches_ref.lock().extend(local_matches);
-                    possible_ref.lock().extend(local_possible);
-                });
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || score_chunk(compiled, chunk, external, local)))
+                .collect();
+            let mut matches = Vec::new();
+            let mut possible = Vec::new();
+            for handle in handles {
+                let (chunk_matches, chunk_possible) =
+                    handle.join().expect("comparison worker panicked");
+                matches.extend(chunk_matches);
+                possible.extend(chunk_possible);
             }
+            (matches, possible)
         })
-        .expect("comparison worker panicked");
-        let mut matches = matches.into_inner();
-        let mut possible = possible.into_inner();
-        // Deterministic output regardless of thread interleaving.
-        let sort_key = |l: &Link| (l.external.clone(), l.local.clone());
-        matches.sort_by_key(sort_key);
-        possible.sort_by_key(sort_key);
-        (matches, possible)
     }
 }
 
-/// Compare one candidate pair and build its [`Link`].
-fn classify_pair(
-    comparator: &RecordComparator,
-    pair: &CandidatePair,
-    external: &[Record],
-    local: &[Record],
-) -> Option<(MatchDecision, Link)> {
-    let (e, l) = *pair;
-    let left = external.get(e)?;
-    let right = local.get(l)?;
-    let comparison = comparator.compare(left, right);
-    let link = Link {
-        external: left.id.clone(),
-        local: right.id.clone(),
-        score: comparison.score,
-    };
-    Some((comparison.decision, link))
+/// Compare every candidate of one chunk, keeping index pairs only.
+fn score_chunk(
+    compiled: &CompiledComparator<'_>,
+    candidates: &[CandidatePair],
+    external: &RecordStore,
+    local: &RecordStore,
+) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
+    let mut matches = Vec::new();
+    let mut possible = Vec::new();
+    for &(e, l) in candidates {
+        if e >= external.len() || l >= local.len() {
+            continue;
+        }
+        let comparison = compiled.compare(external, e, local, l);
+        match comparison.decision {
+            MatchDecision::Match => matches.push((e, l, comparison.score)),
+            MatchDecision::Possible => possible.push((e, l, comparison.score)),
+            MatchDecision::NonMatch => {}
+        }
+    }
+    (matches, possible)
+}
+
+/// Clone terms only for the pairs that became links.
+fn materialise(pairs: &[ScoredPair], external: &RecordStore, local: &RecordStore) -> Vec<Link> {
+    pairs
+        .iter()
+        .map(|&(e, l, score)| Link {
+            external: external.id(e).clone(),
+            local: local.id(l).clone(),
+            score,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -215,9 +214,10 @@ mod tests {
         assert_eq!(result.reduction_ratio, 0.0);
         assert_eq!(result.matches.len(), 4);
         let pairs = result.matched_pairs();
-        assert!(pairs
-            .iter()
-            .all(|(e, l)| e.as_iri().unwrap().ends_with(&l.as_iri().unwrap()[l.as_iri().unwrap().len() - 1..])));
+        assert!(pairs.iter().all(|(e, l)| e
+            .as_iri()
+            .unwrap()
+            .ends_with(&l.as_iri().unwrap()[l.as_iri().unwrap().len() - 1..])));
     }
 
     #[test]
@@ -232,6 +232,19 @@ mod tests {
     }
 
     #[test]
+    fn run_on_stores_matches_run_on_records() {
+        let (external, local) = small_dataset();
+        let cmp = comparator();
+        let pipeline = LinkagePipeline::new(&CartesianBlocker, &cmp);
+        let from_records = pipeline.run(&external, &local);
+        let from_stores = pipeline.run_stores(
+            &RecordStore::from_records(&external),
+            &RecordStore::from_records(&local),
+        );
+        assert_eq!(from_records, from_stores);
+    }
+
+    #[test]
     fn possible_matches_are_reported_separately() {
         let (mut external, local) = small_dataset();
         external.push(ext_record(4, "CRCW0805-10X")); // near-miss of local 0
@@ -239,27 +252,29 @@ mod tests {
             .with_thresholds(0.99, 0.9);
         let result = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&external, &local);
         assert!(!result.possible.is_empty());
-        assert!(result.possible.iter().all(|l| l.score < 0.99 && l.score >= 0.9));
+        assert!(result
+            .possible
+            .iter()
+            .all(|l| l.score < 0.99 && l.score >= 0.9));
     }
 
     #[test]
     fn parallel_and_serial_agree() {
         // Build a dataset large enough to trigger the parallel path.
-        let external: Vec<Record> = (0..40).map(|i| ext_record(i, &format!("PN-{i:04}"))).collect();
-        let local: Vec<Record> = (0..40).map(|i| loc_record(i, &format!("PN-{i:04}"))).collect();
+        let external: Vec<Record> = (0..40)
+            .map(|i| ext_record(i, &format!("PN-{i:04}")))
+            .collect();
+        let local: Vec<Record> = (0..40)
+            .map(|i| loc_record(i, &format!("PN-{i:04}")))
+            .collect();
         let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
             .with_thresholds(0.99, 0.5);
         let serial = LinkagePipeline::new(&CartesianBlocker, &cmp).run(&external, &local);
         let parallel = LinkagePipeline::new(&CartesianBlocker, &cmp)
             .with_threads(4)
             .run(&external, &local);
-        assert_eq!(serial.matches.len(), parallel.matches.len());
-        assert_eq!(serial.comparisons, parallel.comparisons);
-        let serial_pairs: std::collections::HashSet<_> =
-            serial.matched_pairs().into_iter().collect();
-        let parallel_pairs: std::collections::HashSet<_> =
-            parallel.matched_pairs().into_iter().collect();
-        assert_eq!(serial_pairs, parallel_pairs);
+        // Index-sorted output makes the two runs byte-identical.
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! records rather than triples. A [`Record`] is the flattened description of
 //! one data item: its identifier plus a multimap of literal-valued
 //! properties.
+//!
+//! `Record` is the **builder-side** representation: convenient to
+//! construct and inspect one item at a time. The blockers and the
+//! comparison engine run on the interned, columnar
+//! [`RecordStore`](crate::store::RecordStore); convert a batch with
+//! [`Record::into_store`](crate::store) or
+//! [`RecordStore::from_records`](crate::store::RecordStore::from_records)
+//! and see [`crate::store`] for the layout.
 
 use classilink_rdf::{Graph, Term};
 use serde::{Deserialize, Serialize};
@@ -98,11 +106,31 @@ mod tests {
 
     fn sample_graph() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#pn", "CRCW0805-10K"));
-        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#mfr", "Vishay"));
-        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#mfr", "Vishay Intertech"));
-        g.insert(Triple::iris("http://e.org/p1", "http://e.org/v#cls", "http://e.org/c#R"));
-        g.insert(Triple::literal("http://e.org/p2", "http://e.org/v#pn", "T83A225"));
+        g.insert(Triple::literal(
+            "http://e.org/p1",
+            "http://e.org/v#pn",
+            "CRCW0805-10K",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/p1",
+            "http://e.org/v#mfr",
+            "Vishay",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/p1",
+            "http://e.org/v#mfr",
+            "Vishay Intertech",
+        ));
+        g.insert(Triple::iris(
+            "http://e.org/p1",
+            "http://e.org/v#cls",
+            "http://e.org/c#R",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/p2",
+            "http://e.org/v#pn",
+            "T83A225",
+        ));
         g
     }
 
@@ -127,7 +155,8 @@ mod tests {
     #[test]
     fn full_text_concatenates_values() {
         let mut r = Record::new(Term::iri("http://e.org/x"));
-        r.add("http://e.org/v#a", "one").add("http://e.org/v#b", "two");
+        r.add("http://e.org/v#a", "one")
+            .add("http://e.org/v#b", "two");
         let text = r.full_text();
         assert!(text.contains("one") && text.contains("two"));
         assert_eq!(Record::new(Term::iri("http://e.org/y")).full_text(), "");

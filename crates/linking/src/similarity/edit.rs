@@ -54,8 +54,8 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     for i in 0..=a.len() {
         d[i * width] = i;
     }
-    for j in 0..=b.len() {
-        d[j] = j;
+    for (j, cell) in d.iter_mut().enumerate().take(b.len() + 1) {
+        *cell = j;
     }
     for i in 1..=a.len() {
         for j in 1..=b.len() {

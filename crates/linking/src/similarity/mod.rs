@@ -10,7 +10,9 @@ pub mod edit;
 pub mod jaro;
 pub mod token;
 
-pub use edit::{damerau_levenshtein, damerau_levenshtein_similarity, levenshtein, levenshtein_similarity};
+pub use edit::{
+    damerau_levenshtein, damerau_levenshtein_similarity, levenshtein, levenshtein_similarity,
+};
 pub use jaro::{jaro, jaro_winkler};
 pub use token::{
     cosine_tfidf, dice_bigrams, jaccard_chars, jaccard_tokens, monge_elkan, overlap_tokens,

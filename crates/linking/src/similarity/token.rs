@@ -90,11 +90,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
     }
     let directed = |xs: &[String], ys: &[String]| -> f64 {
         xs.iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| jaro_winkler(x, y))
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| jaro_winkler(x, y)).fold(0.0f64, f64::max))
             .sum::<f64>()
             / xs.len() as f64
     };
@@ -184,7 +180,10 @@ mod tests {
 
     #[test]
     fn jaccard_tokens_basic() {
-        assert_eq!(jaccard_tokens("fixed film resistor", "fixed film resistor"), 1.0);
+        assert_eq!(
+            jaccard_tokens("fixed film resistor", "fixed film resistor"),
+            1.0
+        );
         assert_eq!(jaccard_tokens("fixed film", "film fixed"), 1.0);
         assert!((jaccard_tokens("fixed film resistor", "film capacitor") - 0.25).abs() < 1e-12);
         assert_eq!(jaccard_tokens("", ""), 1.0);

@@ -1,0 +1,522 @@
+//! The interned, columnar record store.
+//!
+//! [`Record`](crate::record::Record) is a convenient builder — a
+//! `BTreeMap<String, Vec<String>>` per item — but a terrible layout for
+//! the linking hot path: every blocking key, attribute lookup and
+//! similarity call hashes a full property IRI and chases per-record
+//! allocations. [`RecordStore`] is the execution-side representation the
+//! blockers and the comparator actually run on:
+//!
+//! * property IRIs are interned once into dense
+//!   [`PropertyId`]s (see [`crate::intern`]),
+//! * attribute values live in **contiguous per-property columns** — one
+//!   text arena per property with value and per-record offsets — so
+//!   `values(record, property)` is two array reads and yields `&str`
+//!   slices into the arena,
+//! * records are plain indexes (`usize`) into the store; candidate pairs
+//!   are `(usize, usize)` and never clone a [`Term`],
+//! * the whole-record `full_text` used by fallback similarity and
+//!   cross-attribute blocking keys is **precomputed per record** at build
+//!   time instead of being re-joined per pair.
+//!
+//! Stores are immutable once built. Build one with
+//! [`RecordStore::from_records`], [`Record::into_store`], or directly
+//! from an RDF graph with [`RecordStore::from_graph`]. The external and
+//! local sources intern independently: resolve an IRI against each store
+//! (once, at construction of a blocker or comparator) with
+//! [`RecordStore::property`], never reuse an id across stores.
+
+use crate::intern::{PropertyId, PropertyInterner};
+use crate::record::Record;
+use classilink_rdf::{Graph, Term};
+use std::collections::HashMap;
+
+/// One property's column: all values of that property over all records,
+/// concatenated into a single text arena.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Column {
+    /// Every value of this property, concatenated.
+    text: String,
+    /// Byte boundaries of the values in `text`: value `i` is
+    /// `text[bounds[i] .. bounds[i + 1]]`; `len = value_count + 1`.
+    bounds: Vec<u32>,
+    /// Per-record value ranges: record `r` owns values
+    /// `offsets[r] .. offsets[r + 1]`; `len = record_count + 1`.
+    offsets: Vec<u32>,
+}
+
+impl Column {
+    fn value(&self, i: usize) -> &str {
+        &self.text[self.bounds[i] as usize..self.bounds[i + 1] as usize]
+    }
+
+    fn range(&self, record: usize) -> std::ops::Range<usize> {
+        self.offsets[record] as usize..self.offsets[record + 1] as usize
+    }
+}
+
+/// Immutable, columnar store of flat records. See the [module
+/// docs](self) for the layout.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordStore {
+    interner: PropertyInterner,
+    /// Item identifier per record index.
+    ids: Vec<Term>,
+    /// Record index per item identifier.
+    id_index: HashMap<Term, u32>,
+    /// One column per interned property, indexed by `PropertyId`.
+    columns: Vec<Column>,
+    /// All records' full text, concatenated.
+    full_text: String,
+    /// Byte boundaries of `full_text`: record `r`'s text is
+    /// `full_text[full_text_bounds[r] .. full_text_bounds[r + 1]]`.
+    full_text_bounds: Vec<u32>,
+}
+
+impl RecordStore {
+    /// An empty builder.
+    pub fn builder() -> RecordStoreBuilder {
+        RecordStoreBuilder::default()
+    }
+
+    /// Columnarise a slice of records (order preserved: record `i` of the
+    /// store is `records[i]`).
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut builder = Self::builder();
+        for record in records {
+            builder.push(record);
+        }
+        builder.build()
+    }
+
+    /// Build the store of every subject of `graph`, one record per
+    /// subject holding its literal-valued triples (the columnar
+    /// equivalent of [`Record::all_from_graph`]).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut builder = Self::builder();
+        for subject in graph.subjects() {
+            let facts: Vec<(String, String)> = graph
+                .triples_matching(Some(&subject), None, None)
+                .filter_map(|t| {
+                    let p = t.predicate.as_iri()?.to_string();
+                    let v = t.object.as_literal()?.value.clone();
+                    Some((p, v))
+                })
+                .collect();
+            builder.push_record(subject, || {
+                facts.iter().map(|(p, v)| (p.as_str(), v.as_str()))
+            });
+        }
+        builder.build()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The item identifier of record `record`.
+    pub fn id(&self, record: usize) -> &Term {
+        &self.ids[record]
+    }
+
+    /// The record index of item `id`, if present.
+    pub fn index_of(&self, id: &Term) -> Option<usize> {
+        self.id_index.get(id).map(|&i| i as usize)
+    }
+
+    /// The interned id of a property IRI, if any record has it.
+    pub fn property(&self, iri: &str) -> Option<PropertyId> {
+        self.interner.get(iri)
+    }
+
+    /// The property interner (ids are local to this store).
+    pub fn interner(&self) -> &PropertyInterner {
+        &self.interner
+    }
+
+    /// `(id, IRI)` of every property seen in this store.
+    pub fn properties(&self) -> impl Iterator<Item = (PropertyId, &str)> {
+        self.interner.iter()
+    }
+
+    /// The values of `property` on `record` (empty iterator when absent).
+    pub fn values(&self, record: usize, property: PropertyId) -> Values<'_> {
+        let column = &self.columns[property.index()];
+        Values {
+            column,
+            range: column.range(record),
+        }
+    }
+
+    /// The first value of `property` on `record`, if any.
+    pub fn first(&self, record: usize, property: PropertyId) -> Option<&str> {
+        self.values(record, property).next()
+    }
+
+    /// Number of attribute values on `record`.
+    pub fn value_count(&self, record: usize) -> usize {
+        self.columns.iter().map(|c| c.range(record).len()).sum()
+    }
+
+    /// Every value of every attribute of `record`, space-joined in sorted
+    /// property order — precomputed at build time, so this is a slice
+    /// borrow, not an allocation.
+    pub fn full_text(&self, record: usize) -> &str {
+        &self.full_text
+            [self.full_text_bounds[record] as usize..self.full_text_bounds[record + 1] as usize]
+    }
+
+    /// `(property IRI, value)` facts of `record`, in interning order.
+    pub fn facts(&self, record: usize) -> impl Iterator<Item = (&str, &str)> {
+        self.interner
+            .iter()
+            .flat_map(move |(id, iri)| self.values(record, id).map(move |v| (iri, v)))
+    }
+
+    /// Materialise one record (the inverse of [`RecordStore::from_records`]).
+    pub fn record(&self, record: usize) -> Record {
+        let mut out = Record::new(self.ids[record].clone());
+        for (iri, value) in self.facts(record) {
+            out.add(iri, value);
+        }
+        out
+    }
+
+    /// Materialise every record, in index order.
+    pub fn to_records(&self) -> Vec<Record> {
+        (0..self.len()).map(|i| self.record(i)).collect()
+    }
+}
+
+/// Iterator over one record's values of one property.
+#[derive(Debug, Clone)]
+pub struct Values<'a> {
+    column: &'a Column,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for Values<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        self.range.next().map(|i| self.column.value(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Values<'_> {}
+
+/// Incremental [`RecordStore`] construction: push records one at a time,
+/// then [`build`](RecordStoreBuilder::build).
+#[derive(Debug, Clone, Default)]
+pub struct RecordStoreBuilder {
+    interner: PropertyInterner,
+    ids: Vec<Term>,
+    /// Per property: `(record, value)` in non-decreasing record order.
+    raw_columns: Vec<Vec<(u32, String)>>,
+}
+
+impl RecordStoreBuilder {
+    /// Append one record given a closure producing its `(property IRI,
+    /// value)` facts. The closure form lets callers feed borrowed facts
+    /// without building an intermediate `Vec`.
+    pub fn push_record<'f, I, F>(&mut self, id: Term, facts: F) -> usize
+    where
+        I: Iterator<Item = (&'f str, &'f str)>,
+        F: FnOnce() -> I,
+    {
+        let record = self.ids.len();
+        let record_u32 = u32::try_from(record).expect("more than u32::MAX records");
+        self.ids.push(id);
+        for (property, value) in facts() {
+            let pid = self.interner.intern(property);
+            if pid.index() == self.raw_columns.len() {
+                self.raw_columns.push(Vec::new());
+            }
+            self.raw_columns[pid.index()].push((record_u32, value.to_string()));
+        }
+        record
+    }
+
+    /// Append one [`Record`].
+    pub fn push(&mut self, record: &Record) -> usize {
+        self.push_record(record.id.clone(), || {
+            record
+                .attributes
+                .iter()
+                .flat_map(|(p, vs)| vs.iter().map(move |v| (p.as_str(), v.as_str())))
+        })
+    }
+
+    /// Freeze into an immutable store.
+    pub fn build(self) -> RecordStore {
+        // Offsets are u32 to halve the index footprint; overflow must
+        // fail loudly, not wrap into corrupt column slices.
+        fn offset(n: usize) -> u32 {
+            u32::try_from(n).expect("column exceeds u32::MAX bytes/values; shard the store")
+        }
+        let record_count = self.ids.len();
+        let mut columns = Vec::with_capacity(self.raw_columns.len());
+        for raw in &self.raw_columns {
+            let mut column = Column {
+                text: String::with_capacity(raw.iter().map(|(_, v)| v.len()).sum()),
+                bounds: Vec::with_capacity(raw.len() + 1),
+                offsets: Vec::with_capacity(record_count + 1),
+            };
+            column.bounds.push(0);
+            // offsets[r] is the index of record r's first value; records
+            // without values in this column get an empty range.
+            column.offsets.push(0);
+            let mut next_record = 1usize;
+            for (value_index, (record, value)) in raw.iter().enumerate() {
+                let record = *record as usize;
+                while next_record <= record {
+                    column.offsets.push(offset(value_index));
+                    next_record += 1;
+                }
+                column.text.push_str(value);
+                column.bounds.push(offset(column.text.len()));
+            }
+            while next_record <= record_count {
+                column.offsets.push(offset(raw.len()));
+                next_record += 1;
+            }
+            debug_assert_eq!(column.offsets.len(), record_count + 1);
+            columns.push(column);
+        }
+
+        // Precompute full text per record, joining values in sorted
+        // property order (mirrors `Record::full_text`, which iterates a
+        // BTreeMap).
+        let mut sorted_properties: Vec<PropertyId> =
+            self.interner.iter().map(|(id, _)| id).collect();
+        sorted_properties.sort_by(|a, b| self.interner.resolve(*a).cmp(self.interner.resolve(*b)));
+        let mut full_text = String::new();
+        let mut full_text_bounds = Vec::with_capacity(record_count + 1);
+        full_text_bounds.push(0u32);
+        for record in 0..record_count {
+            let mut first = true;
+            for &pid in &sorted_properties {
+                let column = &columns[pid.index()];
+                for value_index in column.range(record) {
+                    if !first {
+                        full_text.push(' ');
+                    }
+                    first = false;
+                    full_text.push_str(column.value(value_index));
+                }
+            }
+            full_text_bounds.push(offset(full_text.len()));
+        }
+
+        let id_index = self
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), offset(i)))
+            .collect();
+        RecordStore {
+            interner: self.interner,
+            ids: self.ids,
+            id_index,
+            columns,
+            full_text,
+            full_text_bounds,
+        }
+    }
+}
+
+impl Record {
+    /// Consume a batch of records into a columnar store (the mechanical
+    /// migration path for call sites that used to pass `&[Record]`).
+    pub fn into_store(records: Vec<Record>) -> RecordStore {
+        RecordStore::from_records(&records)
+    }
+}
+
+impl FromIterator<Record> for RecordStore {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        let mut builder = RecordStore::builder();
+        for record in iter {
+            builder.push(&record);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classilink_rdf::Triple;
+
+    const PN: &str = "http://e.org/v#pn";
+    const MFR: &str = "http://e.org/v#mfr";
+
+    fn sample_records() -> Vec<Record> {
+        let mut a = Record::new(Term::iri("http://e.org/p1"));
+        a.add(PN, "CRCW0805-10K")
+            .add(MFR, "Vishay")
+            .add(MFR, "Vishay Intertech");
+        let b = Record::new(Term::iri("http://e.org/p2"));
+        let mut c = Record::new(Term::iri("http://e.org/p3"));
+        c.add(PN, "T83A225");
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn id_based_access_matches_record_access() {
+        let records = sample_records();
+        let store = RecordStore::from_records(&records);
+        assert_eq!(store.len(), 3);
+        let pn = store.property(PN).unwrap();
+        let mfr = store.property(MFR).unwrap();
+        assert_eq!(store.first(0, pn), Some("CRCW0805-10K"));
+        let mfrs: Vec<&str> = store.values(0, mfr).collect();
+        assert_eq!(mfrs, vec!["Vishay", "Vishay Intertech"]);
+        assert_eq!(store.values(1, pn).len(), 0);
+        assert_eq!(store.first(1, pn), None);
+        assert_eq!(store.first(2, pn), Some("T83A225"));
+        assert_eq!(store.value_count(0), 3);
+        assert_eq!(store.value_count(1), 0);
+        assert_eq!(store.property("http://nowhere.org/v#x"), None);
+    }
+
+    #[test]
+    fn ids_and_index_round_trip() {
+        let store = RecordStore::from_records(&sample_records());
+        for i in 0..store.len() {
+            assert_eq!(store.index_of(store.id(i)), Some(i));
+        }
+        assert_eq!(store.index_of(&Term::iri("http://e.org/p9")), None);
+    }
+
+    #[test]
+    fn full_text_is_precomputed_and_matches_record() {
+        let records = sample_records();
+        let store = RecordStore::from_records(&records);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(store.full_text(i), record.full_text());
+        }
+        assert_eq!(store.full_text(1), "");
+    }
+
+    #[test]
+    fn records_round_trip_through_the_store() {
+        let records = sample_records();
+        let store = RecordStore::from_records(&records);
+        assert_eq!(store.to_records(), records);
+    }
+
+    #[test]
+    fn from_graph_matches_record_extraction() {
+        let mut g = Graph::new();
+        g.insert(Triple::literal("http://e.org/p1", PN, "CRCW0805-10K"));
+        g.insert(Triple::literal("http://e.org/p1", MFR, "Vishay"));
+        g.insert(Triple::iris(
+            "http://e.org/p1",
+            "http://e.org/v#cls",
+            "http://e.org/c#R",
+        ));
+        g.insert(Triple::literal("http://e.org/p2", PN, "T83A225"));
+        let store = RecordStore::from_graph(&g);
+        assert_eq!(store.to_records(), Record::all_from_graph(&g));
+    }
+
+    #[test]
+    fn facts_enumerate_all_attribute_values() {
+        let store = RecordStore::from_records(&sample_records());
+        let facts: Vec<(&str, &str)> = store.facts(0).collect();
+        assert_eq!(facts.len(), 3);
+        assert!(facts.contains(&(PN, "CRCW0805-10K")));
+        assert!(facts.contains(&(MFR, "Vishay Intertech")));
+        assert_eq!(store.facts(1).count(), 0);
+    }
+
+    #[test]
+    fn empty_store_and_empty_builder() {
+        let store = RecordStore::from_records(&[]);
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        assert!(store.interner().is_empty());
+        assert!(store.to_records().is_empty());
+        let built = RecordStore::builder().build();
+        assert_eq!(built, store);
+    }
+
+    #[test]
+    fn builder_accepts_borrowed_facts() {
+        let mut builder = RecordStore::builder();
+        let idx = builder.push_record(Term::iri("http://e.org/x"), || {
+            [(PN, "a"), (PN, "b")].into_iter()
+        });
+        assert_eq!(idx, 0);
+        let store = builder.build();
+        let pn = store.property(PN).unwrap();
+        let values: Vec<&str> = store.values(0, pn).collect();
+        assert_eq!(values, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn collected_from_iterator() {
+        let store: RecordStore = sample_records().into_iter().collect();
+        assert_eq!(store.len(), 3);
+        let moved = Record::into_store(sample_records());
+        assert_eq!(moved, store);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Record ↔ RecordStore round trip: arbitrary (including
+            /// multi-byte) values, multi-valued and missing properties.
+            #[test]
+            fn prop_record_store_round_trip(
+                v1 in "\\PC{0,20}",
+                v2 in "[a-z0-9 -]{0,15}",
+                record_count in 0usize..7,
+                property_count in 1usize..4,
+            ) {
+                let mut records = Vec::new();
+                for i in 0..record_count {
+                    let mut r = Record::new(Term::iri(format!("http://e.org/item/{i}")));
+                    for p in 0..property_count {
+                        let property = format!("http://e.org/v#p{p}");
+                        if (i + p) % 2 == 0 {
+                            r.add(&property, format!("{v1}-{i}-{p}"));
+                        }
+                        if (i * 3 + p) % 4 == 1 {
+                            r.add(&property, v2.clone());
+                        }
+                    }
+                    records.push(r);
+                }
+                let store = RecordStore::from_records(&records);
+                prop_assert_eq!(store.len(), records.len());
+                prop_assert_eq!(store.to_records(), records.clone());
+                for (i, r) in records.iter().enumerate() {
+                    prop_assert_eq!(store.full_text(i), r.full_text());
+                    prop_assert_eq!(store.value_count(i), r.value_count());
+                    prop_assert_eq!(store.index_of(&r.id), Some(i));
+                    for (property, values) in &r.attributes {
+                        let id = store.property(property).unwrap();
+                        let stored: Vec<&str> = store.values(i, id).collect();
+                        let original: Vec<&str> =
+                            values.iter().map(String::as_str).collect();
+                        prop_assert_eq!(stored, original);
+                    }
+                }
+            }
+        }
+    }
+}

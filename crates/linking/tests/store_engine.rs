@@ -1,0 +1,260 @@
+//! Integration coverage of the id-based blocking/comparison engine:
+//!
+//! * serial vs parallel pipeline agreement across **every** blocker
+//!   implementation, on inputs large enough to trigger the parallel path,
+//! * the empty-store / empty-property edge-case suite.
+
+use classilink_core::{ClassificationRule, Contingency, RuleClassifier};
+use classilink_linking::blocking::{
+    BigramBlocker, Blocker, BlockingKey, CartesianBlocker, DisjointnessFilter, RuleBasedBlocker,
+    SortedNeighborhoodBlocker, StandardBlocker,
+};
+use classilink_linking::{
+    LinkagePipeline, Record, RecordComparator, RecordStore, SimilarityMeasure,
+};
+use classilink_ontology::{ClassId, InstanceStore, Ontology, OntologyBuilder};
+use classilink_rdf::Term;
+use classilink_segment::SegmenterKind;
+
+const EXT_PN: &str = "http://provider.e.org/v#ref";
+const LOC_PN: &str = "http://local.e.org/v#partNumber";
+
+/// 64 × 64 records sharing a 2-char prefix per quarter, so that every
+/// blocking strategy below emits well over the pipeline's 1024-candidate
+/// parallel threshold.
+fn large_stores() -> (RecordStore, RecordStore) {
+    let families = ["CR", "T8", "LM", "GR"];
+    let make = |iri_prefix: &str, property: &str| -> RecordStore {
+        let records: Vec<Record> = (0..64)
+            .map(|i| {
+                let mut r = Record::new(Term::iri(format!("{iri_prefix}/{i}")));
+                r.add(property, format!("{}{:04}", families[i % 2], i / 2));
+                r
+            })
+            .collect();
+        RecordStore::from_records(&records)
+    };
+    (
+        make("http://provider.e.org/item", EXT_PN),
+        make("http://local.e.org/prod", LOC_PN),
+    )
+}
+
+fn comparator() -> RecordComparator {
+    RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
+        .with_thresholds(0.95, 0.4)
+}
+
+fn rule_setup() -> (Ontology, InstanceStore, RuleClassifier) {
+    let mut b = OntologyBuilder::new("http://e.org/c#");
+    let root = b.class("Component", None);
+    let resistor = b.class("Resistor", Some(root));
+    let onto = b.build();
+    let mut instances = InstanceStore::new();
+    // Half the catalog is typed; the classifier maps the "cr" family there.
+    for i in 0..64 {
+        if i % 2 == 0 {
+            instances.assert_type(&Term::iri(format!("http://local.e.org/prod/{i}")), resistor);
+        }
+    }
+    let rule = |segment: &str, class: ClassId| ClassificationRule {
+        property: EXT_PN.to_string(),
+        segment: segment.to_string(),
+        class,
+        class_iri: "http://e.org/c#Resistor".to_string(),
+        class_label: "Resistor".to_string(),
+        quality: Contingency::new(100, 10, 20, 10).quality(),
+    };
+    // Segments are alphanumeric runs of the part number; "cr0000" etc.
+    // won't all fire, so enable the fallback to exercise dense output.
+    let rules = (0..20)
+        .map(|i| rule(&format!("cr{:04}", i), resistor))
+        .collect();
+    (
+        onto,
+        instances,
+        RuleClassifier::new(rules, SegmenterKind::Separator, true),
+    )
+}
+
+fn assert_serial_parallel_agree(
+    blocker: &dyn Blocker,
+    external: &RecordStore,
+    local: &RecordStore,
+) {
+    let cmp = comparator();
+    let candidates = blocker.candidate_pairs(external, local);
+    assert!(
+        candidates.len() >= 1024,
+        "{}: only {} candidates — parallel path not exercised",
+        blocker.name(),
+        candidates.len()
+    );
+    let serial = LinkagePipeline::new(blocker, &cmp).run_stores(external, local);
+    let parallel = LinkagePipeline::new(blocker, &cmp)
+        .with_threads(4)
+        .run_stores(external, local);
+    assert_eq!(
+        serial,
+        parallel,
+        "{} serial/parallel mismatch",
+        blocker.name()
+    );
+    assert_eq!(serial.comparisons, candidates.len() as u64);
+}
+
+#[test]
+fn cartesian_serial_parallel_agree() {
+    let (external, local) = large_stores();
+    assert_serial_parallel_agree(&CartesianBlocker, &external, &local);
+}
+
+#[test]
+fn standard_blocking_serial_parallel_agree() {
+    let (external, local) = large_stores();
+    // 2-char prefix: each family shares one block.
+    let blocker = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 2));
+    assert_serial_parallel_agree(&blocker, &external, &local);
+}
+
+#[test]
+fn sorted_neighborhood_serial_parallel_agree() {
+    let (external, local) = large_stores();
+    let blocker = SortedNeighborhoodBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 60);
+    assert_serial_parallel_agree(&blocker, &external, &local);
+}
+
+#[test]
+fn bigram_serial_parallel_agree() {
+    let (external, local) = large_stores();
+    let blocker = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.2);
+    assert_serial_parallel_agree(&blocker, &external, &local);
+}
+
+#[test]
+fn rule_based_serial_parallel_agree() {
+    let (external, local) = large_stores();
+    let (onto, instances, classifier) = rule_setup();
+    let blocker = RuleBasedBlocker::new(&classifier, &instances, &onto).with_fallback(true);
+    assert_serial_parallel_agree(&blocker, &external, &local);
+}
+
+// ---------------------------------------------------------------------
+// Empty-store / empty-property edge cases.
+// ---------------------------------------------------------------------
+
+fn empty() -> RecordStore {
+    RecordStore::from_records(&[])
+}
+
+/// A store whose records exist but carry no attributes at all.
+fn attributeless(n: usize) -> RecordStore {
+    let records: Vec<Record> = (0..n)
+        .map(|i| Record::new(Term::iri(format!("http://bare.e.org/{i}"))))
+        .collect();
+    RecordStore::from_records(&records)
+}
+
+#[test]
+fn every_blocker_handles_empty_stores() {
+    let (onto, instances, classifier) = rule_setup();
+    let key = || BlockingKey::per_side(EXT_PN, LOC_PN, 4);
+    let rule_based = RuleBasedBlocker::new(&classifier, &instances, &onto);
+    let blockers: Vec<Box<dyn Blocker>> = vec![
+        Box::new(CartesianBlocker),
+        Box::new(StandardBlocker::new(key())),
+        Box::new(SortedNeighborhoodBlocker::new(key(), 3)),
+        Box::new(BigramBlocker::new(key(), 0.7)),
+        Box::new(rule_based),
+    ];
+    let (populated, _) = large_stores();
+    for blocker in &blockers {
+        assert!(
+            blocker.candidate_pairs(&empty(), &empty()).is_empty(),
+            "{} emitted pairs on empty × empty",
+            blocker.name()
+        );
+        assert!(
+            blocker.candidate_pairs(&populated, &empty()).is_empty(),
+            "{} emitted pairs on populated × empty",
+            blocker.name()
+        );
+        assert!(
+            blocker.candidate_pairs(&empty(), &populated).is_empty(),
+            "{} emitted pairs on empty × populated",
+            blocker.name()
+        );
+    }
+}
+
+#[test]
+fn key_based_blockers_skip_attributeless_records() {
+    let (_, local) = large_stores();
+    let bare = attributeless(5);
+    let key = BlockingKey::per_side(EXT_PN, LOC_PN, 4);
+    assert!(StandardBlocker::new(key.clone())
+        .candidate_pairs(&bare, &local)
+        .is_empty());
+    assert!(BigramBlocker::new(key, 0.7)
+        .candidate_pairs(&bare, &local)
+        .is_empty());
+}
+
+#[test]
+fn pipeline_on_empty_stores_is_empty() {
+    let cmp = comparator();
+    for threads in [1, 4] {
+        let result = LinkagePipeline::new(&CartesianBlocker, &cmp)
+            .with_threads(threads)
+            .run_stores(&empty(), &empty());
+        assert_eq!(result.comparisons, 0);
+        assert_eq!(result.naive_pairs, 0);
+        assert!(result.matches.is_empty() && result.possible.is_empty());
+        assert_eq!(result.reduction_ratio, 0.0);
+    }
+}
+
+#[test]
+fn comparator_against_attributeless_side_uses_fallback_or_zero() {
+    let (external, _) = large_stores();
+    let bare = attributeless(1);
+    let cmp = comparator();
+    // LOC_PN never occurs on the bare store: the rule cannot fire, and
+    // the Monge-Elkan full-text fallback sees an empty right-hand text.
+    let compiled = cmp.compile(&external, &bare);
+    let comparison = compiled.compare(&external, 0, &bare, 0);
+    assert_eq!(comparison.details, vec![None]);
+    assert!(comparison.score <= 1.0);
+    let strict = RecordComparator {
+        fallback: None,
+        ..comparator()
+    };
+    let comparison = strict
+        .compile(&external, &bare)
+        .compare(&external, 0, &bare, 0);
+    assert_eq!(comparison.score, 0.0);
+}
+
+#[test]
+fn disjointness_filter_passes_through_on_empty_classes() {
+    let mut b = OntologyBuilder::new("http://e.org/c#");
+    let root = b.class("Component", None);
+    let a = b.class("A", Some(root));
+    let c = b.class("C", Some(root));
+    b.disjoint(a, c);
+    let onto = b.build();
+    let filter = DisjointnessFilter::new(&onto);
+    let candidates = vec![(0, 0), (1, 2)];
+    // No class information on either side: nothing can be pruned.
+    let kept = filter.filter(&candidates, &[], &[]);
+    assert_eq!(kept, candidates);
+}
+
+#[test]
+fn empty_property_lookup_is_none_not_panic() {
+    let store = attributeless(2);
+    assert_eq!(store.property(EXT_PN), None);
+    assert!(store.interner().is_empty());
+    assert_eq!(store.full_text(0), "");
+    assert_eq!(store.facts(1).count(), 0);
+}

@@ -178,7 +178,9 @@ mod tests {
         b.object_property("has manufacturer", Some(root), None);
         let onto = b.build();
         assert!(onto.data_property("http://e.org/v#partNumber").is_some());
-        assert!(onto.object_property("http://e.org/v#hasManufacturer").is_some());
+        assert!(onto
+            .object_property("http://e.org/v#hasManufacturer")
+            .is_some());
     }
 
     #[test]
@@ -202,7 +204,9 @@ mod tests {
         b.data_property_kind("rated voltage", None, DataKind::Numeric);
         let onto = b.build();
         assert_eq!(
-            onto.data_property("http://e.org/v#ratedVoltage").unwrap().kind,
+            onto.data_property("http://e.org/v#ratedVoltage")
+                .unwrap()
+                .kind,
             DataKind::Numeric
         );
     }

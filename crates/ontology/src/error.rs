@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(OntologyError::UnknownClass("c".into()).to_string().contains("unknown class"));
+        assert!(OntologyError::UnknownClass("c".into())
+            .to_string()
+            .contains("unknown class"));
         assert!(OntologyError::UnknownClassId(3).to_string().contains('3'));
         assert!(OntologyError::UnknownProperty("p".into())
             .to_string()

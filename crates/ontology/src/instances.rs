@@ -27,11 +27,7 @@ impl InstanceStore {
 
     /// Assert that `item` is an instance of `class`. Returns `true` if new.
     pub fn assert_type(&mut self, item: &Term, class: ClassId) -> bool {
-        let inserted = self
-            .types_of
-            .entry(item.clone())
-            .or_default()
-            .insert(class);
+        let inserted = self.types_of.entry(item.clone()).or_default().insert(class);
         if inserted {
             self.extent.entry(class).or_default().insert(item.clone());
         }
@@ -225,8 +221,7 @@ mod tests {
         store.assert_type(&item(1), fixed);
         store.assert_type(&item(2), fixed);
         store.assert_type(&item(3), resistor);
-        let freqs: std::collections::BTreeMap<ClassId, usize> =
-            store.class_frequencies().collect();
+        let freqs: std::collections::BTreeMap<ClassId, usize> = store.class_frequencies().collect();
         assert_eq!(freqs[&fixed], 2);
         assert_eq!(freqs[&resistor], 1);
     }

@@ -168,7 +168,11 @@ pub fn to_graph(ontology: &Ontology) -> Graph {
             Term::literal(&p.label),
         ));
         if let Some(domain) = p.domain {
-            g.insert(Triple::iris(&p.iri, vocab::RDFS_DOMAIN, ontology.iri(domain)));
+            g.insert(Triple::iris(
+                &p.iri,
+                vocab::RDFS_DOMAIN,
+                ontology.iri(domain),
+            ));
         }
     }
     for p in ontology.object_properties() {
@@ -183,7 +187,11 @@ pub fn to_graph(ontology: &Ontology) -> Graph {
             Term::literal(&p.label),
         ));
         if let Some(domain) = p.domain {
-            g.insert(Triple::iris(&p.iri, vocab::RDFS_DOMAIN, ontology.iri(domain)));
+            g.insert(Triple::iris(
+                &p.iri,
+                vocab::RDFS_DOMAIN,
+                ontology.iri(domain),
+            ));
         }
         if let Some(range) = p.range {
             g.insert(Triple::iris(&p.iri, vocab::RDFS_RANGE, ontology.iri(range)));
@@ -226,7 +234,9 @@ mod tests {
         assert!(back.data_property("http://e.org/v#partNumber").is_none());
         // properties were minted in the class namespace by the builder above
         assert!(back.data_property("http://e.org/c#partNumber").is_some());
-        assert!(back.object_property("http://e.org/c#hasManufacturer").is_some());
+        assert!(back
+            .object_property("http://e.org/c#hasManufacturer")
+            .is_some());
     }
 
     #[test]

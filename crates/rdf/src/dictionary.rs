@@ -146,7 +146,10 @@ mod tests {
     fn distinct_literal_forms_get_distinct_ids() {
         let mut d = Dictionary::new();
         let plain = d.intern(&Term::literal("42"));
-        let typed = d.intern(&Term::typed_literal("42", crate::namespace::vocab::XSD_INTEGER));
+        let typed = d.intern(&Term::typed_literal(
+            "42",
+            crate::namespace::vocab::XSD_INTEGER,
+        ));
         let iri = d.intern(&Term::iri("42"));
         assert_ne!(plain, typed);
         assert_ne!(plain, iri);
@@ -158,7 +161,10 @@ mod tests {
         let mut d = Dictionary::new();
         d.intern(&Term::literal("a"));
         d.intern(&Term::literal("b"));
-        let collected: Vec<_> = d.terms().map(|(id, t)| (id.value(), t.value_str().to_string())).collect();
+        let collected: Vec<_> = d
+            .terms()
+            .map(|(id, t)| (id.value(), t.value_str().to_string()))
+            .collect();
         assert_eq!(collected, vec![(0, "a".to_string()), (1, "b".to_string())]);
     }
 }

@@ -62,12 +62,17 @@ mod tests {
     #[test]
     fn display_parse_error() {
         let e = RdfError::parse(3, "unexpected end of line");
-        assert_eq!(e.to_string(), "parse error at line 3: unexpected end of line");
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3: unexpected end of line"
+        );
     }
 
     #[test]
     fn display_other_variants() {
-        assert!(RdfError::InvalidIri("x".into()).to_string().contains("invalid IRI"));
+        assert!(RdfError::InvalidIri("x".into())
+            .to_string()
+            .contains("invalid IRI"));
         assert!(RdfError::InvalidLiteral("x".into())
             .to_string()
             .contains("invalid literal"));
@@ -75,7 +80,9 @@ mod tests {
             .to_string()
             .contains("unknown prefix"));
         assert!(RdfError::UnknownTermId(7).to_string().contains("7"));
-        assert!(RdfError::InvalidQuery("bad".into()).to_string().contains("bad"));
+        assert!(RdfError::InvalidQuery("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 
     #[test]

@@ -262,7 +262,12 @@ impl Graph {
             seen.insert(*p);
         }
         seen.iter()
-            .map(|p| self.dict.resolve(*p).expect("dangling predicate id").clone())
+            .map(|p| {
+                self.dict
+                    .resolve(*p)
+                    .expect("dangling predicate id")
+                    .clone()
+            })
             .collect()
     }
 
@@ -307,9 +312,21 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#pn", "CRCW0805-10K"));
-        g.insert(Triple::literal("http://e.org/p1", "http://e.org/v#mfr", "Vishay"));
-        g.insert(Triple::literal("http://e.org/p2", "http://e.org/v#pn", "T83-22uF"));
+        g.insert(Triple::literal(
+            "http://e.org/p1",
+            "http://e.org/v#pn",
+            "CRCW0805-10K",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/p1",
+            "http://e.org/v#mfr",
+            "Vishay",
+        ));
+        g.insert(Triple::literal(
+            "http://e.org/p2",
+            "http://e.org/v#pn",
+            "T83-22uF",
+        ));
         g.insert(Triple::iris(
             "http://e.org/p1",
             crate::namespace::vocab::RDF_TYPE,
@@ -433,10 +450,7 @@ mod tests {
     #[test]
     fn helper_accessors() {
         let g = sample();
-        let subs = g.subjects_with(
-            &Term::iri("http://e.org/v#pn"),
-            &Term::literal("T83-22uF"),
-        );
+        let subs = g.subjects_with(&Term::iri("http://e.org/v#pn"), &Term::literal("T83-22uF"));
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].as_iri(), Some("http://e.org/p2"));
         let objs = g.objects_of(

@@ -127,7 +127,9 @@ impl<'a> Cursor<'a> {
     }
 
     fn rest(&self) -> String {
-        self.chars[self.pos.min(self.chars.len())..].iter().collect()
+        self.chars[self.pos.min(self.chars.len())..]
+            .iter()
+            .collect()
     }
 
     fn expect(&mut self, expected: char) -> Result<()> {
@@ -139,7 +141,10 @@ impl<'a> Cursor<'a> {
             )),
             None => Err(RdfError::parse(
                 self.line_no,
-                format!("expected '{expected}' but reached end of line: {}", self.raw),
+                format!(
+                    "expected '{expected}' but reached end of line: {}",
+                    self.raw
+                ),
             )),
         }
     }
@@ -151,7 +156,10 @@ impl<'a> Cursor<'a> {
             Some('"') => self.parse_literal(),
             Some(c) => Err(RdfError::parse(
                 self.line_no,
-                format!("unexpected character '{c}' at start of term in: {}", self.raw),
+                format!(
+                    "unexpected character '{c}' at start of term in: {}",
+                    self.raw
+                ),
             )),
             None => Err(RdfError::parse(
                 self.line_no,

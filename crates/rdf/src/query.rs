@@ -242,7 +242,11 @@ mod tests {
         for (item, pn, class) in [
             ("http://e.org/p1", "CRCW0805-10K", "http://e.org/c#Resistor"),
             ("http://e.org/p2", "CRCW0805-22K", "http://e.org/c#Resistor"),
-            ("http://e.org/p3", "T83A225K", "http://e.org/c#TantalumCapacitor"),
+            (
+                "http://e.org/p3",
+                "T83A225K",
+                "http://e.org/c#TantalumCapacitor",
+            ),
         ] {
             g.insert(Triple::literal(item, "http://e.org/v#pn", pn));
             g.insert(Triple::iris(item, vocab::RDF_TYPE, class));
@@ -302,7 +306,9 @@ mod tests {
         assert_eq!(results.len(), 2);
         let subjects = q.select(&g, "x");
         assert_eq!(subjects.len(), 2);
-        assert!(subjects.iter().all(|s| s.as_iri().unwrap() != "http://e.org/p3"));
+        assert!(subjects
+            .iter()
+            .all(|s| s.as_iri().unwrap() != "http://e.org/p3"));
     }
 
     #[test]
@@ -317,8 +323,16 @@ mod tests {
     #[test]
     fn repeated_variable_must_agree() {
         let mut g = Graph::new();
-        g.insert(Triple::iris("http://e.org/a", "http://e.org/p", "http://e.org/a"));
-        g.insert(Triple::iris("http://e.org/a", "http://e.org/p", "http://e.org/b"));
+        g.insert(Triple::iris(
+            "http://e.org/a",
+            "http://e.org/p",
+            "http://e.org/a",
+        ));
+        g.insert(Triple::iris(
+            "http://e.org/a",
+            "http://e.org/p",
+            "http://e.org/b",
+        ));
         // ?x p ?x — only the self-loop matches.
         let q = Query::new().pattern(Pattern::new(
             PatternTerm::var("x"),

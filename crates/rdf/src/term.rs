@@ -87,7 +87,10 @@ impl fmt::Display for Literal {
 
 /// Escape a literal's lexical form for N-Triples/Turtle output.
 pub fn escape_literal(s: &str) -> Cow<'_, str> {
-    if !s.chars().any(|c| matches!(c, '"' | '\\' | '\n' | '\r' | '\t')) {
+    if !s
+        .chars()
+        .any(|c| matches!(c, '"' | '\\' | '\n' | '\r' | '\t'))
+    {
         return Cow::Borrowed(s);
     }
     let mut out = String::with_capacity(s.len() + 8);
@@ -333,7 +336,10 @@ mod tests {
 
     #[test]
     fn local_name_extraction() {
-        assert_eq!(Term::iri("http://e.org/vocab#partNumber").local_name(), "partNumber");
+        assert_eq!(
+            Term::iri("http://e.org/vocab#partNumber").local_name(),
+            "partNumber"
+        );
         assert_eq!(Term::iri("http://e.org/prod/42").local_name(), "42");
         assert_eq!(Term::iri("urn:isbn:123").local_name(), "urn:isbn:123");
         assert_eq!(Term::literal("CRCW0805").local_name(), "CRCW0805");

@@ -299,7 +299,8 @@ impl<'a> Parser<'a> {
 
     fn parse_prefixed_name(&mut self) -> Result<Term> {
         let mut name = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.')) {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.'))
+        {
             name.push(self.bump().unwrap());
         }
         // A trailing '.' belongs to the statement terminator, not the name.
@@ -485,7 +486,10 @@ mod tests {
     fn write_uses_a_for_rdf_type_and_curies() {
         let (g, ns) = parse(DOC).unwrap();
         let out = write(&g, &ns);
-        assert!(out.contains(" a cls:FixedFilmResistor") || out.contains("\n    a cls:FixedFilmResistor"));
+        assert!(
+            out.contains(" a cls:FixedFilmResistor")
+                || out.contains("\n    a cls:FixedFilmResistor")
+        );
         assert!(out.contains("ex:partNumber"));
         assert!(out.contains("@prefix ex:"));
     }

@@ -52,11 +52,11 @@ impl Segmenter for CharNGramSegmenter {
     fn split(&self, value: &str) -> Vec<String> {
         let mut chars: Vec<char> = Vec::new();
         if self.padded {
-            chars.extend(std::iter::repeat(self.pad_char).take(self.n - 1));
+            chars.extend(std::iter::repeat_n(self.pad_char, self.n - 1));
         }
         chars.extend(value.chars());
         if self.padded {
-            chars.extend(std::iter::repeat(self.pad_char).take(self.n - 1));
+            chars.extend(std::iter::repeat_n(self.pad_char, self.n - 1));
         }
         if chars.len() < self.n {
             // A value shorter than n yields itself (if non-empty) so that no

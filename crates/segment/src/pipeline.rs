@@ -36,9 +36,10 @@ pub trait Segmenter: Send + Sync {
 }
 
 /// A serialisable choice of segmentation strategy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SegmenterKind {
     /// Split on non-alphanumeric separators (the paper's default).
+    #[default]
     Separator,
     /// Split on whitespace only.
     Whitespace,
@@ -75,12 +76,6 @@ impl SegmenterKind {
             SegmenterKind::PaddedBigram => "padded-bigram".to_string(),
             SegmenterKind::WordNGram(n) => format!("word-{n}gram"),
         }
-    }
-}
-
-impl Default for SegmenterKind {
-    fn default() -> Self {
-        SegmenterKind::Separator
     }
 }
 
@@ -150,7 +145,11 @@ mod tests {
             (SegmenterKind::AlphaNumTransition, "63V", "V"),
             (SegmenterKind::CharNGram(2), "ohm", "oh"),
             (SegmenterKind::PaddedBigram, "ab", "#a"),
-            (SegmenterKind::WordNGram(2), "Dresden Elbe Valley", "Dresden Elbe"),
+            (
+                SegmenterKind::WordNGram(2),
+                "Dresden Elbe Valley",
+                "Dresden Elbe",
+            ),
         ] {
             let seg = kind.build();
             let out = seg.split(value);
@@ -171,8 +170,7 @@ mod tests {
             SegmenterKind::PaddedBigram,
             SegmenterKind::WordNGram(2),
         ];
-        let names: std::collections::HashSet<String> =
-            kinds.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<String> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());
         assert_eq!(SegmenterKind::default(), SegmenterKind::Separator);
     }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn unicode_values_split_cleanly() {
         let s = SeparatorSegmenter::non_alphanumeric();
-        assert_eq!(s.split("résistance—à_couche"), vec!["résistance", "à", "couche"]);
+        assert_eq!(
+            s.split("résistance—à_couche"),
+            vec!["résistance", "à", "couche"]
+        );
     }
 
     #[test]

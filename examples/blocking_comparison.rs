@@ -12,7 +12,7 @@
 use classilink::core::{LearnerConfig, PropertySelection, RuleClassifier, RuleLearner};
 use classilink::datagen::scenario::{generate, ScenarioConfig};
 use classilink::datagen::vocab;
-use classilink::eval::blocking_eval::{compare_blockers, records_and_truth, render};
+use classilink::eval::blocking_eval::{compare_blockers, render, stores_and_truth};
 use classilink::linking::blocking::{Blocker, RuleBasedBlocker};
 use classilink::linking::{LinkagePipeline, RecordComparator, SimilarityMeasure};
 
@@ -21,7 +21,9 @@ fn main() {
     println!(
         "Scenario: |SL| = {} products, |SE| = {} provider items, {} expert links\n",
         scenario.catalog_size(),
-        scenario.dataset.item_count(classilink::rdf::Source::External),
+        scenario
+            .dataset
+            .item_count(classilink::rdf::Source::External),
         scenario.dataset.link_count()
     );
 
@@ -52,15 +54,17 @@ fn main() {
     )
     .with_thresholds(0.9, 0.75);
 
-    let (external, local, truth) = records_and_truth(&scenario);
+    // Columnarise both sides once; blocking, comparison and the naive
+    // baseline below all run on the same interned stores.
+    let (external, local, truth) = stores_and_truth(&scenario);
     let result = LinkagePipeline::new(&blocker, &comparator)
         .with_threads(4)
-        .run(&external, &local);
+        .run_stores(&external, &local);
 
     // How many of the expert links did the end-to-end pipeline recover?
     let truth_terms: std::collections::HashSet<_> = truth
         .iter()
-        .map(|(e, l)| (external[*e].id.clone(), local[*l].id.clone()))
+        .map(|(e, l)| (external.id(*e).clone(), local.id(*l).clone()))
         .collect();
     let found = result
         .matched_pairs()
@@ -81,12 +85,13 @@ fn main() {
         found,
         truth_terms.len()
     );
-    println!("  possible matches for clerical review: {}", result.possible.len());
+    println!(
+        "  possible matches for clerical review: {}",
+        result.possible.len()
+    );
 
     // For contrast: the same comparator over the naive cartesian space.
     let cartesian = classilink::linking::CartesianBlocker;
     let naive_comparisons = cartesian.candidate_pairs(&external, &local).len();
-    println!(
-        "\nWithout any reduction the linker would perform {naive_comparisons} comparisons."
-    );
+    println!("\nWithout any reduction the linker would perform {naive_comparisons} comparisons.");
 }

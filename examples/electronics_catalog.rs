@@ -9,7 +9,9 @@
 //! cargo run --release --example electronics_catalog -- small   # quicker run
 //! ```
 
-use classilink::core::{LearnerConfig, PropertySelection, RuleClassifier, RuleLearner, SubspaceBuilder};
+use classilink::core::{
+    LearnerConfig, PropertySelection, RuleClassifier, RuleLearner, SubspaceBuilder,
+};
 use classilink::datagen::scenario::{generate, ScenarioConfig};
 use classilink::datagen::vocab;
 use classilink::eval::table1::Table1Experiment;
@@ -17,7 +19,9 @@ use classilink::ontology::OntologyStats;
 use classilink::rdf::Term;
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "paper".to_string());
+    let scale = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "paper".to_string());
     let config = match scale.as_str() {
         "small" => ScenarioConfig::small(),
         "tiny" => ScenarioConfig::tiny(),
@@ -46,20 +50,35 @@ fn main() {
     let learner = LearnerConfig::paper()
         .with_properties(PropertySelection::single(vocab::PROVIDER_PART_NUMBER));
 
-    println!("Learning classification rules (th = {})…", learner.support_threshold);
+    println!(
+        "Learning classification rules (th = {})…",
+        learner.support_threshold
+    );
     let experiment = Table1Experiment::with_learner(learner.clone());
     let (outcome, report) = experiment
         .run_on_training(&scenario.training, &scenario.ontology)
         .expect("learning succeeds");
 
-    println!("  distinct segments:            {} (paper: 7842)", report.distinct_segments);
-    println!("  segment occurrences:          {} (paper: 26077)", report.segment_occurrences);
+    println!(
+        "  distinct segments:            {} (paper: 7842)",
+        report.distinct_segments
+    );
+    println!(
+        "  segment occurrences:          {} (paper: 26077)",
+        report.segment_occurrences
+    );
     println!(
         "  selected segment occurrences: {} (paper: 7058)",
         report.selected_segment_occurrences
     );
-    println!("  frequent classes:             {} (paper: 68)", report.frequent_classes);
-    println!("  classification rules:         {} (paper: 144)", report.total_rules);
+    println!(
+        "  frequent classes:             {} (paper: 68)",
+        report.frequent_classes
+    );
+    println!(
+        "  classification rules:         {} (paper: 144)",
+        report.total_rules
+    );
     println!(
         "  classes with rules:           {} (paper: 16 leaf classes)\n",
         report.classes_with_rules
@@ -110,7 +129,9 @@ fn main() {
     println!("\nRules at other support thresholds:");
     for th in [0.0005, 0.002, 0.01] {
         let cfg = learner.clone().with_support_threshold(th);
-        let o = RuleLearner::new(cfg).learn(&scenario.training, &scenario.ontology).unwrap();
+        let o = RuleLearner::new(cfg)
+            .learn(&scenario.training, &scenario.ontology)
+            .unwrap();
         println!("  th = {th:<7} → {} rules", o.rules.len());
     }
 }

@@ -47,7 +47,9 @@ fn main() {
     for (i, pn) in resistor_pns.iter().enumerate() {
         training.push(TrainingExample::new(
             Term::iri(format!("http://provider.example.com/item/r{i}")),
-            Term::iri(format!("http://classilink.example.org/catalog/product/r{i}")),
+            Term::iri(format!(
+                "http://classilink.example.org/catalog/product/r{i}"
+            )),
             vec![(PART_NUMBER.to_string(), pn.to_string())],
             vec![resistor],
         ));
@@ -55,7 +57,9 @@ fn main() {
     for (i, pn) in capacitor_pns.iter().enumerate() {
         training.push(TrainingExample::new(
             Term::iri(format!("http://provider.example.com/item/c{i}")),
-            Term::iri(format!("http://classilink.example.org/catalog/product/c{i}")),
+            Term::iri(format!(
+                "http://classilink.example.org/catalog/product/c{i}"
+            )),
             vec![(PART_NUMBER.to_string(), pn.to_string())],
             vec![capacitor],
         ));

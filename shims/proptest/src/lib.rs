@@ -1,0 +1,344 @@
+//! Minimal deterministic stand-in for `proptest` 1.x (see
+//! `shims/README.md`).
+//!
+//! Supports the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn `name in strategy`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` (mapped to the
+//!   panicking `assert*` family — equivalent under this runner),
+//! * string strategies given as regex literals restricted to sequences of
+//!   `[class]{m,n}` atoms (ranges, literals, trailing `-`) plus `\PC`
+//!   (any printable char), e.g. `"[a-zA-Z0-9 -]{0,20}"` or `"\\PC{0,60}"`,
+//! * numeric `Range` strategies such as `1usize..5` or `0.0f64..1.0`.
+//!
+//! Each test runs [`CASES`] deterministic cases seeded from the test's
+//! name, so failures reproduce exactly across runs and machines.
+
+use std::ops::Range;
+
+/// Number of cases each property test runs.
+pub const CASES: usize = 128;
+
+/// Deterministic per-test random source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test name so every test has its own stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut state: u64 = 0x5851_F42D_4C95_7F2D;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+}
+
+/// Something that can generate a value for one test case.
+pub trait Strategy {
+    /// The generated value's type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min_reps + rng.below(atom.max_reps - atom.min_reps + 1);
+            for _ in 0..count {
+                out.push(atom.chars[rng.below(atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A strategy generating vectors of `element` values with a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size.clone(), rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One pattern atom: a character alphabet and a repetition range.
+struct Atom {
+    chars: Vec<char>,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+/// The alphabet `\PC` draws from: printable ASCII plus a few multi-byte
+/// characters so Unicode-safety bugs surface.
+fn printable_alphabet() -> Vec<char> {
+    let mut chars: Vec<char> = (' '..='~').collect();
+    chars.extend(['é', 'Ü', 'ß', 'ç', 'λ', 'Ω', '–', '漢', '日', '€']);
+    chars
+}
+
+/// Parse the supported regex subset into atoms. Panics on anything
+/// outside the subset — extend this parser rather than silently
+/// misgenerating.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .unwrap_or_else(|| panic!("unclosed char class in {pattern:?}"))
+                    + i;
+                let alphabet = parse_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                alphabet
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                printable_alphabet()
+            }
+            other => panic!("unsupported pattern atom {other:?} in {pattern:?}"),
+        };
+        let (min_reps, max_reps) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unclosed repetition in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min_reps <= max_reps, "bad repetition in {pattern:?}");
+        assert!(!alphabet.is_empty(), "empty alphabet in {pattern:?}");
+        atoms.push(Atom {
+            chars: alphabet,
+            min_reps,
+            max_reps,
+        });
+    }
+    atoms
+}
+
+/// Parse the body of a `[...]` class: `x-y` ranges and literal chars; a
+/// `-` that does not sit between two range endpoints is literal.
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body.get(i + 1) == Some(&'-') && i + 2 < body.len() {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+            alphabet.extend(lo..=hi);
+            i += 3;
+        } else {
+            alphabet.push(body[i]);
+            i += 1;
+        }
+    }
+    alphabet
+}
+
+/// The macros and traits tests import.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Strategy, TestRng};
+}
+
+/// Run each wrapped `#[test]` function over [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("shim-self-test")
+    }
+
+    #[test]
+    fn string_strategies_respect_alphabet_and_length() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9 -]{0,20}", &mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' ' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms_generate_in_order() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z][a-zA-Z0-9]{0,10}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn ascii_printable_range_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,40}", &mut rng);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn pc_class_produces_printables_and_non_ascii_eventually() {
+        let mut rng = rng();
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = Strategy::generate(&"\\PC{0,60}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_non_ascii |= !s.is_ascii();
+        }
+        assert!(saw_non_ascii, "\\PC never generated a multi-byte char");
+    }
+
+    #[test]
+    fn numeric_ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let n = Strategy::generate(&(1usize..5), &mut rng);
+            assert!((1..5).contains(&n));
+            let f = Strategy::generate(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        for _ in 0..50 {
+            assert_eq!(
+                Strategy::generate(&"[a-z]{0,12}", &mut a),
+                Strategy::generate(&"[a-z]{0,12}", &mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_runs(a in "[a-z]{0,5}", n in 1usize..4) {
+            prop_assert!(a.len() <= 5);
+            prop_assert!((1..4).contains(&n));
+            prop_assert_eq!(a.len(), a.chars().count());
+            prop_assert_ne!(n, 0);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal deterministic stand-in for `rand` 0.8 (see `shims/README.md`).
+//!
+//! Implements the exact API surface the workspace's data generators use:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] / [`Rng::gen_bool`] over integer and `f64` ranges.
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic under a seed, which is the
+//! property every caller relies on. The stream differs from upstream
+//! rand's `StdRng` (ChaCha12), so the same seed produces different (but
+//! equally reproducible) data.
+
+use std::ops::Range;
+
+/// Core source of 64-bit randomness (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open, `start < end` required).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (callers clamp `p` into `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce a uniform sample (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Map 64 random bits to a `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → the full double mantissa, uniform on [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire multiply-shift: uniform up to a negligible
+                // span/2^64 bias, no modulo in the hot path.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for rand's
+    /// `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let left: Vec<usize> = (0..16).map(|_| a.gen_range(0..1000)).collect();
+        let right: Vec<usize> = (0..16).map(|_| c.gen_range(0..1000)).collect();
+        assert_ne!(left, right);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let b = rng.gen_range(0..26u8);
+            assert!(b < 26);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes_and_rates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 hit rate off: {hits}");
+    }
+
+    #[test]
+    fn all_values_reachable_in_small_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

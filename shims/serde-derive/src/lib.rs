@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` (see
+//! `shims/README.md`). The derives accept the `#[serde(...)]` helper
+//! attribute and expand to nothing: the workspace keeps its
+//! `#[derive(Serialize, Deserialize)]` annotations compiling without a
+//! registry, and the real serde can be swapped back in without touching
+//! any annotated type.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

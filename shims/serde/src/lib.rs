@@ -1,0 +1,22 @@
+//! Marker-only stand-in for `serde` (see `shims/README.md`).
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives and declares
+//! the two traits as empty markers so that trait bounds written against
+//! them still parse. Nothing in the workspace serialises at runtime; the
+//! real serde drops back in by swapping the path override in the root
+//! `Cargo.toml` for a registry version.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+/// Empty marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -6,7 +6,7 @@ use classilink::core::{
 };
 use classilink::datagen::scenario::{generate, ScenarioConfig};
 use classilink::datagen::vocab;
-use classilink::eval::blocking_eval::{compare_blockers, records_and_truth};
+use classilink::eval::blocking_eval::{compare_blockers, stores_and_truth};
 use classilink::eval::table1::Table1Experiment;
 use classilink::linking::blocking::RuleBasedBlocker;
 use classilink::linking::{LinkagePipeline, RecordComparator, SimilarityMeasure};
@@ -47,7 +47,10 @@ fn learn_classify_and_reduce_on_a_small_scenario() {
             }
         }
     }
-    assert!(decided > scenario.heldout.len() / 3, "too few held-out decisions");
+    assert!(
+        decided > scenario.heldout.len() / 3,
+        "too few held-out decisions"
+    );
     assert!(
         correct as f64 / decided as f64 > 0.5,
         "held-out precision too low: {correct}/{decided}"
@@ -130,13 +133,13 @@ fn rule_based_blocking_beats_cartesian_and_feeds_the_linker() {
         SimilarityMeasure::JaroWinkler,
     )
     .with_thresholds(0.9, 0.75);
-    let (external, local, truth) = records_and_truth(&scenario);
-    let result = LinkagePipeline::new(&blocker, &comparator).run(&external, &local);
+    let (external, local, truth) = stores_and_truth(&scenario);
+    let result = LinkagePipeline::new(&blocker, &comparator).run_stores(&external, &local);
     assert!(result.comparisons < result.naive_pairs);
 
     let truth_terms: std::collections::HashSet<_> = truth
         .iter()
-        .map(|(e, l)| (external[*e].id.clone(), local[*l].id.clone()))
+        .map(|(e, l)| (external.id(*e).clone(), local.id(*l).clone()))
         .collect();
     let recovered = result
         .matched_pairs()
@@ -155,7 +158,11 @@ fn scenario_determinism_extends_to_learning() {
     let a = generate(&ScenarioConfig::tiny());
     let b = generate(&ScenarioConfig::tiny());
     let config = learner_config().with_support_threshold(0.01);
-    let oa = RuleLearner::new(config.clone()).learn(&a.training, &a.ontology).unwrap();
-    let ob = RuleLearner::new(config).learn(&b.training, &b.ontology).unwrap();
+    let oa = RuleLearner::new(config.clone())
+        .learn(&a.training, &a.ontology)
+        .unwrap();
+    let ob = RuleLearner::new(config)
+        .learn(&b.training, &b.ontology)
+        .unwrap();
     assert_eq!(oa, ob);
 }
