@@ -1,0 +1,82 @@
+//! The paper preset at full scale: `ScenarioConfig::paper()` — a 30 000
+//! product catalog, 10 265 expert links, the 566/226 ontology — run
+//! through store construction and the blocking + comparison pipeline,
+//! with the **shard count as the swept parameter**.
+//!
+//! Two series are tracked (per the ROADMAP's "Benchmark the paper
+//! preset" item):
+//!
+//! * `store_build/*` — time to columnarise the catalog, single-store vs
+//!   sharded (shared-schema) construction.
+//! * `pipeline/*` — the end-to-end blocking + comparison phase on
+//!   standard key blocking, with `Throughput::Elements` set to the
+//!   candidate count so the shim reports **comparisons per second**;
+//!   `single_store` is the monolithic baseline, `sharded/N` routes the
+//!   same candidates through N per-shard task queues with work stealing.
+
+use classilink_datagen::scenario::{generate, ScenarioConfig};
+use classilink_datagen::vocab;
+use classilink_eval::blocking_eval::default_key;
+use classilink_linking::blocking::{Blocker, StandardBlocker};
+use classilink_linking::{LinkagePipeline, RecordComparator, SimilarityMeasure};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_paper_scale(c: &mut Criterion) {
+    let scenario = generate(&ScenarioConfig::paper());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!(
+        "paper preset: |SL| = {}, |SE| = {}, comparison threads = {threads}",
+        scenario.catalog_size(),
+        scenario.config.training_links + scenario.config.extra_external,
+    );
+
+    let mut group = c.benchmark_group("paper_scale");
+    group.sample_size(10);
+
+    // Store build: monolithic vs sharded shared-schema construction.
+    group.bench_function("store_build/single", |b| b.iter(|| scenario.local_store()));
+    for shards in [4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("store_build/sharded", shards),
+            &shards,
+            |b, &s| b.iter(|| scenario.local_store_sharded(s)),
+        );
+    }
+
+    // Comparison phase over standard-blocking candidates. Throughput is
+    // the candidate count, so the report reads as comparisons/second.
+    let external = scenario.external_store();
+    let local = scenario.local_store();
+    let blocker = StandardBlocker::new(default_key(4));
+    let comparator = RecordComparator::single(
+        vocab::PROVIDER_PART_NUMBER,
+        vocab::LOCAL_PART_NUMBER,
+        SimilarityMeasure::JaroWinkler,
+    )
+    .with_thresholds(0.9, 0.75);
+    let candidates = blocker.candidate_pairs(&external, &local).len() as u64;
+    println!("standard blocking candidates: {candidates}");
+    group.throughput(Throughput::Elements(candidates));
+
+    group.bench_function("pipeline/single_store", |b| {
+        let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
+        b.iter(|| pipeline.run_stores(&external, &local))
+    });
+    for shards in [1, 2, 4, 8, 16] {
+        let (sharded_external, sharded_local) = scenario.sharded_stores(shards);
+        group.bench_with_input(
+            BenchmarkId::new("pipeline/sharded", shards),
+            &shards,
+            |b, _| {
+                let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
+                b.iter(|| pipeline.run_sharded(&sharded_external, &sharded_local))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_scale);
+criterion_main!(benches);

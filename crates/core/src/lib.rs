@@ -25,7 +25,7 @@
 //! * [`classifier`] — applying rules to new external items.
 //! * [`subspace`] — linking subspaces and reduction statistics.
 //! * [`pruning`] — redundancy and quality-based pruning.
-//! * [`generalize`] — subsumption-based rule generalisation (the paper's
+//! * [`mod@generalize`] — subsumption-based rule generalisation (the paper's
 //!   future-work extension).
 //!
 //! ## Quick example

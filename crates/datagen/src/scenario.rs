@@ -16,7 +16,7 @@ use crate::perturb::PerturbationConfig;
 use crate::taxonomy::{generate_taxonomy, LeafProfile, TaxonomyConfig};
 use crate::vocab;
 use classilink_core::TrainingSet;
-use classilink_linking::RecordStore;
+use classilink_linking::{RecordStore, SchemaInterner, ShardedStore};
 use classilink_ontology::{ClassId, InstanceStore, Ontology};
 use classilink_rdf::namespace::vocab as rdf_vocab;
 use classilink_rdf::{Dataset, Source, Term, Triple};
@@ -165,6 +165,27 @@ impl GeneratedScenario {
     /// Columnarise the local catalog `SL` into a [`RecordStore`].
     pub fn local_store(&self) -> RecordStore {
         RecordStore::from_graph(self.dataset.local())
+    }
+
+    /// Columnarise the catalog into `shard_count` contiguous shards for
+    /// [`LinkagePipeline::run_sharded`](classilink_linking::LinkagePipeline::run_sharded).
+    /// Record order — and therefore global ids — matches
+    /// [`local_store`](Self::local_store).
+    pub fn local_store_sharded(&self, shard_count: usize) -> ShardedStore {
+        ShardedStore::from_graph(self.dataset.local(), shard_count)
+    }
+
+    /// Columnarise both sides on **one shared schema**: the external
+    /// store and every catalog shard agree on `PropertyId`s, so blocking
+    /// keys and comparators resolved against the shared schema serve all
+    /// of them (and can be reused across scenario batches built on the
+    /// same [`SchemaInterner`]).
+    pub fn sharded_stores(&self, shard_count: usize) -> (RecordStore, ShardedStore) {
+        let schema = SchemaInterner::new();
+        let mut external = RecordStore::builder_with_schema(schema.clone());
+        external.push_graph(self.dataset.external());
+        let local = ShardedStore::from_graph_with_schema(self.dataset.local(), shard_count, schema);
+        (external.build(), local)
     }
 }
 
@@ -399,6 +420,27 @@ mod tests {
             assert!(external.index_of(&e).is_some());
             assert!(local.index_of(&l).is_some());
         }
+    }
+
+    #[test]
+    fn sharded_local_store_matches_single_store() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let single = scenario.local_store();
+        let sharded = scenario.local_store_sharded(4);
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.len(), single.len());
+        for global in 0..single.len() {
+            assert_eq!(sharded.id(global), single.id(global));
+        }
+        // Shared-schema construction: the external store and every shard
+        // resolve the part-number IRIs to ids from one symbol table.
+        let (external, local) = scenario.sharded_stores(3);
+        assert_eq!(external.len(), scenario.external_store().len());
+        assert_eq!(local.len(), single.len());
+        let provider_pn = external.property(vocab::PROVIDER_PART_NUMBER);
+        assert!(provider_pn.is_some());
+        assert_eq!(local.property(vocab::PROVIDER_PART_NUMBER), provider_pn);
+        assert!(local.property(vocab::LOCAL_PART_NUMBER).is_some());
     }
 
     #[test]

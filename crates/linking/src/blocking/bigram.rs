@@ -147,6 +147,25 @@ mod tests {
     }
 
     #[test]
+    fn sharded_candidates_equal_single_store() {
+        // The sharing threshold depends only on the candidate pair's own
+        // bigram sets, so the per-shard union equals the global set.
+        let (external_records, local_records) = small_dataset();
+        let external = RecordStore::from_records(&external_records);
+        let local = RecordStore::from_records(&local_records);
+        let blocker = BigramBlocker::new(key(), 0.6);
+        let mut single = blocker.candidate_pairs(&external, &local);
+        single.sort_unstable();
+        for shard_count in [2, 3, 9] {
+            let sharded_store =
+                crate::shard::ShardedStore::from_records(&local_records, shard_count);
+            let mut sharded = blocker.candidate_pairs_sharded(&external, &sharded_store);
+            sharded.sort_unstable();
+            assert_eq!(sharded, single, "{shard_count} shards");
+        }
+    }
+
+    #[test]
     fn threshold_is_clamped_and_empty_inputs_ok() {
         let blocker = BigramBlocker::new(key(), 7.0);
         assert_eq!(blocker.threshold, 1.0);

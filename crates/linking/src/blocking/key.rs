@@ -5,10 +5,10 @@
 //! sorted-neighbourhood sorting keys. [`BlockingKey`] captures these
 //! variants as a *recipe* over property IRIs; before touching records it
 //! is resolved against a [`RecordStore`] into a [`KeySide`], which holds
-//! the interned [`PropertyId`](crate::intern::PropertyId) so that key
+//! the interned [`crate::intern::PropertyId`] so that key
 //! extraction in the blocking loop never hashes an IRI string.
 
-use crate::intern::PropertyId;
+use crate::intern::{PropertyId, PropertyInterner};
 use crate::store::RecordStore;
 use serde::{Deserialize, Serialize};
 
@@ -56,17 +56,32 @@ impl BlockingKey {
     /// Resolve the external-side property against `store` (one string
     /// lookup; every later key extraction is id-based).
     pub fn external_side(&self, store: &RecordStore) -> KeySide {
+        self.external_side_of(store.interner())
+    }
+
+    /// Resolve the local-side property against `store`.
+    pub fn local_side(&self, store: &RecordStore) -> KeySide {
+        self.local_side_of(store.interner())
+    }
+
+    /// Resolve the external side against a schema directly. With a
+    /// shared [`SchemaInterner`](crate::intern::SchemaInterner) snapshot
+    /// the returned [`KeySide`] is valid for **every** store built on
+    /// that schema (all shards of a
+    /// [`ShardedStore`](crate::shard::ShardedStore)).
+    pub fn external_side_of(&self, schema: &PropertyInterner) -> KeySide {
         KeySide {
-            property: store.property(&self.external_property),
+            property: schema.get(&self.external_property),
             prefix_length: self.prefix_length,
             alphanumeric_only: self.alphanumeric_only,
         }
     }
 
-    /// Resolve the local-side property against `store`.
-    pub fn local_side(&self, store: &RecordStore) -> KeySide {
+    /// Resolve the local side against a schema directly (see
+    /// [`external_side_of`](Self::external_side_of)).
+    pub fn local_side_of(&self, schema: &PropertyInterner) -> KeySide {
         KeySide {
-            property: store.property(&self.local_property),
+            property: schema.get(&self.local_property),
             prefix_length: self.prefix_length,
             alphanumeric_only: self.alphanumeric_only,
         }

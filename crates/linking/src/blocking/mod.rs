@@ -26,6 +26,7 @@ pub use rule_based::RuleBasedBlocker;
 pub use sorted_neighborhood::SortedNeighborhoodBlocker;
 pub use standard::StandardBlocker;
 
+use crate::shard::ShardedStore;
 use crate::store::RecordStore;
 
 /// A candidate pair, given as indexes into the external and local record
@@ -41,6 +42,35 @@ pub trait Blocker {
     /// Produce candidate pairs as indexes into `external` and `local`.
     /// Implementations must not return duplicates.
     fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair>;
+
+    /// Produce candidate pairs against a sharded catalog, with the local
+    /// side given as **global** record ids.
+    ///
+    /// The default implementation runs [`candidate_pairs`](Self::candidate_pairs)
+    /// per shard and offsets the shard-local ids back to global ids. For
+    /// blockers whose decision for a pair depends only on the two records
+    /// themselves (cartesian, standard key blocking, bigram indexing,
+    /// rule-based), the per-shard union is **exactly** the single-store
+    /// candidate set. Blockers with cross-record state spanning the whole
+    /// catalog must override this to preserve that equivalence — see
+    /// [`SortedNeighborhoodBlocker`], whose sliding window crosses shard
+    /// boundaries.
+    fn candidate_pairs_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> Vec<CandidatePair> {
+        let mut pairs = Vec::new();
+        for (s, shard) in local.shards().iter().enumerate() {
+            let base = local.offset(s);
+            pairs.extend(
+                self.candidate_pairs(external, shard)
+                    .into_iter()
+                    .map(|(e, l)| (e, base + l)),
+            );
+        }
+        pairs
+    }
 }
 
 /// The exhaustive baseline: every external record is compared with every

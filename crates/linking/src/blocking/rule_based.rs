@@ -200,6 +200,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_candidates_equal_single_store() {
+        // Extent lookups go through each shard's id index and are
+        // offset back to global ids; the union must equal the
+        // single-store set (with and without the fallback).
+        let (onto, store, classifier) = setup();
+        let (external_records, local_records) = small_dataset();
+        let external = crate::store::RecordStore::from_records(&external_records);
+        let local = crate::store::RecordStore::from_records(&local_records);
+        for fallback in [false, true] {
+            let blocker = RuleBasedBlocker::new(&classifier, &store, &onto).with_fallback(fallback);
+            let mut single = blocker.candidate_pairs(&external, &local);
+            single.sort_unstable();
+            for shard_count in [2, 4, 8] {
+                let sharded_store =
+                    crate::shard::ShardedStore::from_records(&local_records, shard_count);
+                let mut sharded = blocker.candidate_pairs_sharded(&external, &sharded_store);
+                sharded.sort_unstable();
+                assert_eq!(sharded, single, "{shard_count} shards, fallback {fallback}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_inputs_are_fine() {
         let (onto, store, classifier) = setup();
         let blocker = RuleBasedBlocker::new(&classifier, &store, &onto);

@@ -7,11 +7,25 @@
 //! Both sources are merged into one list, sorted by the sorting key; a
 //! sliding window of size `w` moves over the sorted list, and every
 //! (external, local) pair inside the window becomes a candidate.
+//!
+//! Two observations keep this hash-free at paper scale:
+//!
+//! * A pair of sorted positions `(i, j)` lies in *some* window of size
+//!   `w` exactly when `0 < j − i < w`, so enumerating, per position, only
+//!   the following `w − 1` positions emits **every window pair exactly
+//!   once** — no `HashSet` dedup of the overlapping windows is needed,
+//!   and the per-window runs are merged by one final index sort.
+//! * The window only needs each record's *sort key*, which is a
+//!   per-record computation. Against a [`ShardedStore`] the keys are
+//!   therefore extracted per shard (tagged with global ids) and merged
+//!   into one globally sorted list, so the sharded candidate set is
+//!   byte-identical to the single-store one even though windows span
+//!   shard boundaries.
 
 use super::key::BlockingKey;
 use super::{Blocker, CandidatePair};
+use crate::shard::ShardedStore;
 use crate::store::RecordStore;
-use std::collections::HashSet;
 
 /// Sorted-neighbourhood blocking over a merged, key-sorted list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,9 +50,45 @@ impl SortedNeighborhoodBlocker {
 #[derive(Debug, Clone)]
 struct Entry {
     sort_key: String,
-    /// Index into the external (true) or local (false) store.
+    /// Index into the external store (when `is_external`) or the local
+    /// side's **global** record id.
     index: usize,
     is_external: bool,
+}
+
+/// Sort the merged entry list (key, then side, then index — a total
+/// order, so the result is independent of how the entries were gathered).
+fn sort_entries(entries: &mut [Entry]) {
+    entries.sort_by(|a, b| {
+        a.sort_key
+            .cmp(&b.sort_key)
+            .then_with(|| a.is_external.cmp(&b.is_external))
+            .then_with(|| a.index.cmp(&b.index))
+    });
+}
+
+/// Emit every cross-source pair whose sorted positions lie within one
+/// window. Each such pair is produced exactly once (records occur once in
+/// `entries`, and only position pairs with `j − i < window` qualify), so
+/// the final sort merges the per-window runs without any dedup.
+fn window_pairs(entries: &[Entry], window: usize) -> Vec<CandidatePair> {
+    if window < 2 {
+        // `new()` clamps, but the field is public: a window of 0 or 1
+        // holds no cross-source pair (and would invert the slice range).
+        return Vec::new();
+    }
+    let mut pairs: Vec<CandidatePair> = Vec::new();
+    for (i, a) in entries.iter().enumerate() {
+        for b in &entries[i + 1..(i + window).min(entries.len())] {
+            match (a.is_external, b.is_external) {
+                (true, false) => pairs.push((a.index, b.index)),
+                (false, true) => pairs.push((b.index, a.index)),
+                _ => {}
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs
 }
 
 impl Blocker for SortedNeighborhoodBlocker {
@@ -64,37 +114,43 @@ impl Blocker for SortedNeighborhoodBlocker {
                 is_external: false,
             });
         }
-        entries.sort_by(|a, b| {
-            a.sort_key
-                .cmp(&b.sort_key)
-                .then_with(|| a.is_external.cmp(&b.is_external))
-                .then_with(|| a.index.cmp(&b.index))
-        });
+        sort_entries(&mut entries);
+        window_pairs(&entries, self.window)
+    }
 
-        let mut pairs: HashSet<CandidatePair> = HashSet::new();
-        if entries.is_empty() {
-            return Vec::new();
+    /// The shard-aware override: the sliding window must run over the
+    /// **globally** sorted list (windows cross shard boundaries), so sort
+    /// keys are extracted per shard — the [`KeySide`](super::KeySide) is
+    /// resolved once against the shared schema — tagged with global ids,
+    /// and merged into one list before windowing. The result is
+    /// byte-identical to the single-store run.
+    fn candidate_pairs_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> Vec<CandidatePair> {
+        let external_side = self.key.external_side(external);
+        let local_side = self.key.local_side_of(local.schema());
+        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
+        for i in 0..external.len() {
+            entries.push(Entry {
+                sort_key: external_side.sort_value(external, i),
+                index: i,
+                is_external: true,
+            });
         }
-        for start in 0..entries.len() {
-            let end = (start + self.window).min(entries.len());
-            let window = &entries[start..end];
-            for (i, a) in window.iter().enumerate() {
-                for b in &window[i + 1..] {
-                    match (a.is_external, b.is_external) {
-                        (true, false) => {
-                            pairs.insert((a.index, b.index));
-                        }
-                        (false, true) => {
-                            pairs.insert((b.index, a.index));
-                        }
-                        _ => {}
-                    }
-                }
+        for (s, shard) in local.shards().iter().enumerate() {
+            let base = local.offset(s);
+            for i in 0..shard.len() {
+                entries.push(Entry {
+                    sort_key: local_side.sort_value(shard, i),
+                    index: base + i,
+                    is_external: false,
+                });
             }
         }
-        let mut out: Vec<CandidatePair> = pairs.into_iter().collect();
-        out.sort_unstable();
-        out
+        sort_entries(&mut entries);
+        window_pairs(&entries, self.window)
     }
 }
 
@@ -171,10 +227,60 @@ mod tests {
     }
 
     #[test]
-    fn no_duplicate_pairs() {
+    fn degenerate_window_set_through_the_public_field_yields_no_pairs() {
+        // The field is pub, so the constructor clamp can be bypassed;
+        // a window of 0 or 1 must degrade to zero candidates, not panic.
         let (external, local) = small_stores();
-        let pairs = SortedNeighborhoodBlocker::new(key(), 4).candidate_pairs(&external, &local);
-        let set: HashSet<_> = pairs.iter().copied().collect();
-        assert_eq!(set.len(), pairs.len());
+        for window in [0, 1] {
+            let blocker = SortedNeighborhoodBlocker { key: key(), window };
+            assert!(
+                blocker.candidate_pairs(&external, &local).is_empty(),
+                "window {window}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        // Each unordered position pair within the window distance is
+        // enumerated exactly once, so the emitted list must already be
+        // duplicate-free (the old implementation needed a HashSet here).
+        let (external, local) = small_stores();
+        for window in 2..8 {
+            let pairs =
+                SortedNeighborhoodBlocker::new(key(), window).candidate_pairs(&external, &local);
+            let set: HashSet<_> = pairs.iter().copied().collect();
+            assert_eq!(set.len(), pairs.len(), "window {window}");
+            // And the list is sorted: the per-window runs were merged.
+            assert!(pairs.windows(2).all(|w| w[0] < w[1]), "window {window}");
+        }
+    }
+
+    #[test]
+    fn sharded_candidates_equal_single_store() {
+        // The override sorts globally across shard boundaries, so the
+        // sharded set must be byte-identical to the single-store set
+        // even for windows that straddle two shards.
+        let (external_records, local_records) = {
+            let external: Vec<_> = (0..12)
+                .map(|i| ext_record(i, &format!("PN-{:03}", i * 3)))
+                .collect();
+            let local: Vec<_> = (0..12)
+                .map(|i| loc_record(i, &format!("PN-{:03}", i * 3 + 1)))
+                .collect();
+            (external, local)
+        };
+        let external = crate::store::RecordStore::from_records(&external_records);
+        let local = crate::store::RecordStore::from_records(&local_records);
+        for window in [2, 4, 9] {
+            let blocker = SortedNeighborhoodBlocker::new(key(), window);
+            let single = blocker.candidate_pairs(&external, &local);
+            for shard_count in [1, 2, 5, 13] {
+                let sharded_store =
+                    crate::shard::ShardedStore::from_records(&local_records, shard_count);
+                let sharded = blocker.candidate_pairs_sharded(&external, &sharded_store);
+                assert_eq!(sharded, single, "window {window}, {shard_count} shards");
+            }
+        }
     }
 }

@@ -126,4 +126,23 @@ mod tests {
         let blocker = StandardBlocker::new(key(4));
         assert!(blocker.candidate_pairs(&external, &local).is_empty());
     }
+
+    #[test]
+    fn sharded_candidates_equal_single_store() {
+        // Key equality is a per-record predicate, so the default
+        // per-shard route must reproduce the single-store set exactly.
+        let (external_records, local_records) = small_dataset();
+        let external = crate::store::RecordStore::from_records(&external_records);
+        let local = crate::store::RecordStore::from_records(&local_records);
+        let blocker = StandardBlocker::new(key(4));
+        let mut single = blocker.candidate_pairs(&external, &local);
+        single.sort_unstable();
+        for shard_count in [1, 2, 3, 7] {
+            let sharded_store =
+                crate::shard::ShardedStore::from_records(&local_records, shard_count);
+            let mut sharded = blocker.candidate_pairs_sharded(&external, &sharded_store);
+            sharded.sort_unstable();
+            assert_eq!(sharded, single, "{shard_count} shards");
+        }
+    }
 }

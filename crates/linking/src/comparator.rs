@@ -103,9 +103,23 @@ impl RecordComparator {
     }
 
     /// Resolve every rule's property IRIs against the two stores. Ids are
-    /// store-local, so the compiled comparator is only valid for this
-    /// `(external, local)` store pair.
+    /// schema-local, so the compiled comparator is valid for this
+    /// `(external, local)` store pair — and, when the stores were built on
+    /// shared [`SchemaInterner`](crate::intern::SchemaInterner)s, for
+    /// every other store on the same schemas.
     pub fn compile(&self, external: &RecordStore, local: &RecordStore) -> CompiledComparator<'_> {
+        self.compile_schemas(external.interner(), local.interner())
+    }
+
+    /// Resolve every rule's property IRIs against two schemas directly —
+    /// the sharded path: compiled once against
+    /// [`ShardedStore::schema`](crate::shard::ShardedStore::schema), the
+    /// comparator serves every shard.
+    pub fn compile_schemas(
+        &self,
+        external: &crate::intern::PropertyInterner,
+        local: &crate::intern::PropertyInterner,
+    ) -> CompiledComparator<'_> {
         CompiledComparator {
             comparator: self,
             properties: self
@@ -113,8 +127,8 @@ impl RecordComparator {
                 .iter()
                 .map(|rule| {
                     (
-                        external.property(&rule.left_property),
-                        local.property(&rule.right_property),
+                        external.get(&rule.left_property),
+                        local.get(&rule.right_property),
                     )
                 })
                 .collect(),

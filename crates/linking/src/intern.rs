@@ -9,14 +9,23 @@
 //! exactly once, so every later lookup is an array index.
 //!
 //! Interned ids are **local to one interner** (and therefore to one
-//! [`RecordStore`](crate::store::RecordStore)): the external and local
-//! sources have different schemas, so their stores intern independently
-//! and ids must never be mixed across stores. APIs that work across two
-//! stores (blocking keys, attribute rules) resolve their IRIs against
-//! each store once at construction — see
+//! [`RecordStore`](crate::store::RecordStore)): stores built standalone
+//! intern independently, so ids must never be mixed across such stores.
+//! APIs that work across two stores (blocking keys, attribute rules)
+//! resolve their IRIs against each store once at construction — see
 //! [`RecordComparator::compile`](crate::comparator::RecordComparator::compile).
+//!
+//! The exception is the [`SchemaInterner`]: a **shared** symbol table
+//! that several store builders (the per-shard stores of a
+//! [`ShardedStore`](crate::shard::ShardedStore), or the external and
+//! local stores of one scenario batch) intern into. Every store built on
+//! the same `SchemaInterner` assigns the same [`PropertyId`] to the same
+//! IRI, so blocking keys and
+//! [`CompiledComparator`](crate::comparator::CompiledComparator)s are
+//! resolved **once** and reused across all store pairs.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A dense identifier for an interned property IRI.
 ///
@@ -89,6 +98,66 @@ impl PropertyInterner {
     }
 }
 
+/// A property symbol table **shared between several store builders**.
+///
+/// Cloning a `SchemaInterner` clones a *handle*: all clones intern into
+/// the same underlying table (guarded by a mutex, so shards may even be
+/// built concurrently). Ids handed out by any handle are valid for every
+/// store built on the same schema, which is what lets a
+/// [`CompiledComparator`](crate::comparator::CompiledComparator) or a
+/// resolved [`KeySide`](crate::blocking::KeySide) be compiled once and
+/// reused across shard/store pairs.
+///
+/// A builder takes an immutable [`snapshot`](SchemaInterner::snapshot)
+/// when it freezes its store; properties interned *after* that snapshot
+/// simply resolve to empty columns on the already-built store.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaInterner {
+    inner: Arc<Mutex<PropertyInterner>>,
+}
+
+impl SchemaInterner {
+    /// An empty shared schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `name`, interning it on first sight (in any handle).
+    pub fn intern(&self, name: &str) -> PropertyId {
+        self.inner
+            .lock()
+            .expect("schema interner poisoned")
+            .intern(name)
+    }
+
+    /// The id of `name`, if any handle has interned it.
+    pub fn get(&self, name: &str) -> Option<PropertyId> {
+        self.inner
+            .lock()
+            .expect("schema interner poisoned")
+            .get(name)
+    }
+
+    /// Number of interned properties.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("schema interner poisoned").len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .lock()
+            .expect("schema interner poisoned")
+            .is_empty()
+    }
+
+    /// An immutable copy of the current table (what a freezing store
+    /// builder embeds into its [`RecordStore`](crate::store::RecordStore)).
+    pub fn snapshot(&self) -> PropertyInterner {
+        self.inner.lock().expect("schema interner poisoned").clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +182,24 @@ mod tests {
         assert_eq!(interner.get("http://e.org/v#pn"), Some(id));
         assert_eq!(interner.get("http://e.org/v#missing"), None);
         assert_eq!(interner.resolve(id), "http://e.org/v#pn");
+    }
+
+    #[test]
+    fn schema_handles_share_one_table() {
+        let schema = SchemaInterner::new();
+        assert!(schema.is_empty());
+        let handle = schema.clone();
+        let a = schema.intern("http://e.org/v#a");
+        // The clone sees the id and continues the same dense sequence.
+        assert_eq!(handle.get("http://e.org/v#a"), Some(a));
+        let b = handle.intern("http://e.org/v#b");
+        assert_eq!(b.index(), 1);
+        assert_eq!(schema.len(), 2);
+        // A snapshot is a point-in-time copy: later interns don't show up.
+        let snapshot = schema.snapshot();
+        schema.intern("http://e.org/v#c");
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(schema.len(), 3);
     }
 
     #[test]

@@ -26,8 +26,12 @@
 //!   class-disjointness filtering and the rule-based blocker that wraps the
 //!   paper's classifier.
 //! * [`index`] — a small inverted index used by bigram blocking.
+//! * [`shard`] — the sharded catalog: per-shard stores on a shared
+//!   [`intern::SchemaInterner`] with a router mapping
+//!   shard-local ids to global record ids and back.
 //! * [`pipeline`] — blocking → comparison → links, with comparison
-//!   accounting (optionally multi-threaded).
+//!   accounting; the comparison phase runs serially, or on a
+//!   work-stealing block scheduler over one store or over all shards.
 //!
 //! ## Quick example
 //!
@@ -51,12 +55,15 @@
 //! assert_eq!(result.matches.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod blocking;
 pub mod comparator;
 pub mod index;
 pub mod intern;
 pub mod pipeline;
 pub mod record;
+pub mod shard;
 pub mod similarity;
 pub mod store;
 
@@ -68,8 +75,9 @@ pub use comparator::{
     AttributeRule, Comparison, CompiledComparator, MatchDecision, RecordComparator,
 };
 pub use index::InvertedIndex;
-pub use intern::{PropertyId, PropertyInterner};
+pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
+pub use shard::{ShardedStore, ShardedStoreBuilder};
 pub use similarity::SimilarityMeasure;
 pub use store::{RecordStore, RecordStoreBuilder};

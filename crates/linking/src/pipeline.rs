@@ -7,18 +7,26 @@
 //! exactly how much work each reduction strategy saves.
 //!
 //! The comparison phase runs on the columnar [`RecordStore`]: the
-//! comparator is compiled once (property IRIs → interned ids), candidate
-//! chunks are folded on scoped worker threads into per-thread vectors of
-//! **index pairs** (no locks, no term cloning in the loop), the chunk
-//! results are concatenated in deterministic chunk order, sorted by index
-//! pair, and only the surviving links materialise their [`Term`]s.
+//! comparator is compiled once (property IRIs → interned ids), and the
+//! candidate pairs are scored by a **work-stealing block scheduler** —
+//! every store (or every shard of a [`ShardedStore`], see
+//! [`LinkagePipeline::run_sharded`]) contributes a task queue of
+//! fixed-size candidate blocks; workers drain their home queue first and
+//! then steal whole blocks from the remaining queues, claiming blocks
+//! with one atomic increment (no locks, no term cloning in the loop).
+//! Workers keep per-thread output vectors that are concatenated and
+//! sorted by **index pair**, so the output is byte-identical regardless
+//! of thread count, steal order, or sharding; only the surviving links
+//! materialise their [`Term`]s.
 
 use crate::blocking::{Blocker, CandidatePair};
 use crate::comparator::{CompiledComparator, MatchDecision, RecordComparator};
 use crate::record::Record;
+use crate::shard::ShardedStore;
 use crate::store::RecordStore;
 use classilink_rdf::Term;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One discovered link (or possible link) between an external and a local
 /// record.
@@ -104,89 +112,235 @@ impl<'a> LinkagePipeline<'a> {
         let candidates = self.blocker.candidate_pairs(external, local);
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self.comparator.compile(external, local);
-        let (mut matches, mut possible) = if self.threads <= 1 || candidates.len() < 1024 {
-            score_chunk(&compiled, &candidates, external, local)
+        // A monolithic store is one task queue; workers still steal
+        // blocks from it instead of folding fixed `len / threads` chunks,
+        // so stragglers no longer serialise the join.
+        let queues = [TaskQueue::new(local, 0, &candidates)];
+        let (matches, possible) = self.score(&compiled, external, &queues, candidates.len());
+        self.finish(
+            matches,
+            possible,
+            candidates.len(),
+            naive_pairs,
+            external,
+            |l| local.id(l),
+        )
+    }
+
+    /// Run blocking and comparison against a sharded catalog.
+    ///
+    /// Blocking runs shard-aware (see
+    /// [`Blocker::candidate_pairs_sharded`]) and emits global local-side
+    /// ids; the comparator is compiled **once** against the shared schema
+    /// and reused by every worker on every shard; the router splits the
+    /// candidates into per-shard task queues and the work-stealing
+    /// comparison phase drains them. Output is byte-identical to
+    /// [`run_stores`](Self::run_stores) on the equivalent single store.
+    pub fn run_sharded(&self, external: &RecordStore, local: &ShardedStore) -> LinkageResult {
+        let candidates = self.blocker.candidate_pairs_sharded(external, local);
+        let naive_pairs = external.len() as u64 * local.len() as u64;
+        let compiled = self
+            .comparator
+            .compile_schemas(external.interner(), local.schema());
+        let routed = local.route(&candidates);
+        let queues: Vec<TaskQueue<'_>> = routed
+            .iter()
+            .enumerate()
+            .map(|(s, pairs)| TaskQueue::new(local.shard(s), local.offset(s), pairs))
+            .collect();
+        let (matches, possible) = self.score(&compiled, external, &queues, candidates.len());
+        self.finish(
+            matches,
+            possible,
+            candidates.len(),
+            naive_pairs,
+            external,
+            |l| local.id(l),
+        )
+    }
+
+    /// Score every queued candidate block, serially or with work
+    /// stealing, returning unsorted scored pairs (local side in global
+    /// ids).
+    fn score(
+        &self,
+        compiled: &CompiledComparator<'_>,
+        external: &RecordStore,
+        queues: &[TaskQueue<'_>],
+        candidate_count: usize,
+    ) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
+        if self.threads <= 1 || candidate_count < STEAL_BLOCK {
+            let mut matches = Vec::new();
+            let mut possible = Vec::new();
+            for queue in queues {
+                score_block(
+                    compiled,
+                    queue.pairs,
+                    external,
+                    queue.store,
+                    queue.base,
+                    &mut matches,
+                    &mut possible,
+                );
+            }
+            (matches, possible)
         } else {
-            self.score_parallel(&compiled, &candidates, external, local)
-        };
+            score_stealing(compiled, external, queues, self.threads)
+        }
+    }
+
+    /// Sort, account and materialise the result (shared tail of the
+    /// store and sharded paths).
+    fn finish<'t>(
+        &self,
+        mut matches: Vec<ScoredPair>,
+        mut possible: Vec<ScoredPair>,
+        comparisons: usize,
+        naive_pairs: u64,
+        external: &RecordStore,
+        local_id: impl Fn(usize) -> &'t Term,
+    ) -> LinkageResult {
         // Deterministic output regardless of blocker emission order or
-        // thread interleaving: sort by index pair, not by cloned terms.
+        // steal interleaving: sort by index pair, not by cloned terms.
         matches.sort_unstable_by_key(|a| (a.0, a.1));
         possible.sort_unstable_by_key(|a| (a.0, a.1));
-        let comparisons = candidates.len() as u64;
+        let comparisons = comparisons as u64;
         let reduction_ratio = if naive_pairs == 0 {
             0.0
         } else {
             1.0 - comparisons as f64 / naive_pairs as f64
         };
         LinkageResult {
-            matches: materialise(&matches, external, local),
-            possible: materialise(&possible, external, local),
+            matches: materialise(&matches, external, &local_id),
+            possible: materialise(&possible, external, &local_id),
             comparisons,
             naive_pairs,
             reduction_ratio,
         }
     }
+}
 
-    /// Fold candidate chunks on scoped worker threads. Each worker owns
-    /// its chunk's output vectors; the join loop concatenates them in
-    /// chunk order, so no mutex guards the hot loop.
-    fn score_parallel(
-        &self,
-        compiled: &CompiledComparator<'_>,
-        candidates: &[CandidatePair],
-        external: &RecordStore,
-        local: &RecordStore,
-    ) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
-        let chunk_size = candidates.len().div_ceil(self.threads).max(1);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || score_chunk(compiled, chunk, external, local)))
-                .collect();
-            let mut matches = Vec::new();
-            let mut possible = Vec::new();
-            for handle in handles {
-                let (chunk_matches, chunk_possible) =
-                    handle.join().expect("comparison worker panicked");
-                matches.extend(chunk_matches);
-                possible.extend(chunk_possible);
-            }
-            (matches, possible)
-        })
+/// Number of candidate pairs a worker claims per steal. Large enough that
+/// the atomic claim is noise, small enough that an uneven shard doesn't
+/// leave workers idle at the tail.
+const STEAL_BLOCK: usize = 1024;
+
+/// One store's (or shard's) share of the comparison work: its candidate
+/// pairs in shard-local ids, claimed block by block via an atomic cursor.
+struct TaskQueue<'a> {
+    store: &'a RecordStore,
+    /// Global id of the store's record 0 (0 for a monolithic store).
+    base: usize,
+    /// Candidate pairs with the local side in shard-local ids.
+    pairs: &'a [CandidatePair],
+    /// Index of the next unclaimed block.
+    next_block: AtomicUsize,
+}
+
+impl<'a> TaskQueue<'a> {
+    fn new(store: &'a RecordStore, base: usize, pairs: &'a [CandidatePair]) -> Self {
+        TaskQueue {
+            store,
+            base,
+            pairs,
+            next_block: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next block of pairs, or `None` when the queue is drained.
+    fn claim(&self) -> Option<&'a [CandidatePair]> {
+        let block = self.next_block.fetch_add(1, Ordering::Relaxed);
+        let start = block.checked_mul(STEAL_BLOCK)?;
+        if start >= self.pairs.len() {
+            return None;
+        }
+        Some(&self.pairs[start..(start + STEAL_BLOCK).min(self.pairs.len())])
     }
 }
 
-/// Compare every candidate of one chunk, keeping index pairs only.
-fn score_chunk(
+/// The work-stealing comparison phase: `threads` scoped workers, each
+/// starting on its home queue (`worker index mod queue count`) and, once
+/// that is drained, stealing blocks from the remaining queues in ring
+/// order. Queues never refill, so a single sweep over the ring visits all
+/// work; the atomic block cursor makes claims race-free without locks.
+fn score_stealing(
+    compiled: &CompiledComparator<'_>,
+    external: &RecordStore,
+    queues: &[TaskQueue<'_>],
+    threads: usize,
+) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut matches = Vec::new();
+                    let mut possible = Vec::new();
+                    for hop in 0..queues.len() {
+                        let queue = &queues[(worker + hop) % queues.len()];
+                        while let Some(block) = queue.claim() {
+                            score_block(
+                                compiled,
+                                block,
+                                external,
+                                queue.store,
+                                queue.base,
+                                &mut matches,
+                                &mut possible,
+                            );
+                        }
+                    }
+                    (matches, possible)
+                })
+            })
+            .collect();
+        let mut matches = Vec::new();
+        let mut possible = Vec::new();
+        for handle in handles {
+            let (worker_matches, worker_possible) =
+                handle.join().expect("comparison worker panicked");
+            matches.extend(worker_matches);
+            possible.extend(worker_possible);
+        }
+        (matches, possible)
+    })
+}
+
+/// Compare every candidate of one block, keeping index pairs only (the
+/// local side offset back to global ids).
+#[allow(clippy::too_many_arguments)]
+fn score_block(
     compiled: &CompiledComparator<'_>,
     candidates: &[CandidatePair],
     external: &RecordStore,
     local: &RecordStore,
-) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
-    let mut matches = Vec::new();
-    let mut possible = Vec::new();
+    base: usize,
+    matches: &mut Vec<ScoredPair>,
+    possible: &mut Vec<ScoredPair>,
+) {
     for &(e, l) in candidates {
         if e >= external.len() || l >= local.len() {
             continue;
         }
         let comparison = compiled.compare(external, e, local, l);
         match comparison.decision {
-            MatchDecision::Match => matches.push((e, l, comparison.score)),
-            MatchDecision::Possible => possible.push((e, l, comparison.score)),
+            MatchDecision::Match => matches.push((e, base + l, comparison.score)),
+            MatchDecision::Possible => possible.push((e, base + l, comparison.score)),
             MatchDecision::NonMatch => {}
         }
     }
-    (matches, possible)
 }
 
 /// Clone terms only for the pairs that became links.
-fn materialise(pairs: &[ScoredPair], external: &RecordStore, local: &RecordStore) -> Vec<Link> {
+fn materialise<'t>(
+    pairs: &[ScoredPair],
+    external: &RecordStore,
+    local_id: impl Fn(usize) -> &'t Term,
+) -> Vec<Link> {
     pairs
         .iter()
         .map(|&(e, l, score)| Link {
             external: external.id(e).clone(),
-            local: local.id(l).clone(),
+            local: local_id(l).clone(),
             score,
         })
         .collect()
@@ -291,5 +445,45 @@ mod tests {
         let cmp = comparator();
         let p = LinkagePipeline::new(&CartesianBlocker, &cmp).with_threads(0);
         assert_eq!(p.threads, 1);
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_single_store() {
+        let external: Vec<Record> = (0..40)
+            .map(|i| ext_record(i, &format!("PN-{i:04}")))
+            .collect();
+        let local: Vec<Record> = (0..40)
+            .map(|i| loc_record(i, &format!("PN-{i:04}")))
+            .collect();
+        let cmp = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
+            .with_thresholds(0.99, 0.5);
+        let external_store = RecordStore::from_records(&external);
+        let serial = LinkagePipeline::new(&CartesianBlocker, &cmp)
+            .run_stores(&external_store, &RecordStore::from_records(&local));
+        // Shard counts chosen to cover even, uneven and empty shards,
+        // serial and work-stealing comparison phases.
+        for shard_count in [1, 3, 7, 41] {
+            for threads in [1, 4] {
+                let sharded = crate::shard::ShardedStore::from_records(&local, shard_count);
+                let result = LinkagePipeline::new(&CartesianBlocker, &cmp)
+                    .with_threads(threads)
+                    .run_sharded(&external_store, &sharded);
+                assert_eq!(
+                    serial, result,
+                    "{shard_count} shards, {threads} threads mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_on_empty_catalog() {
+        let cmp = comparator();
+        let sharded = crate::shard::ShardedStore::from_records(&[], 4);
+        let result = LinkagePipeline::new(&CartesianBlocker, &cmp)
+            .run_sharded(&RecordStore::from_records(&[]), &sharded);
+        assert_eq!(result.comparisons, 0);
+        assert!(result.matches.is_empty());
+        assert_eq!(result.reduction_ratio, 0.0);
     }
 }

@@ -1,0 +1,499 @@
+//! Sharded catalogs: one logical record set split into per-shard
+//! [`RecordStore`]s on a shared schema.
+//!
+//! The comparison phase of the linkage pipeline is embarrassingly
+//! parallel over candidate pairs, but a single monolithic [`RecordStore`]
+//! forces every worker through one allocation and makes incremental /
+//! distributed growth impossible. A [`ShardedStore`] splits the catalog
+//! into **contiguous, immutable shards** that all intern into one
+//! [`SchemaInterner`], with three consequences:
+//!
+//! * **Global ids are stable.** Shard `s` holds the records
+//!   `offsets[s] .. offsets[s + 1]` of the logical catalog, so the global
+//!   id of shard-local record `i` is simply `offsets[s] + i` — the same
+//!   index the record would have in the equivalent single store. Blockers
+//!   run per shard and their `(external, local)` pairs are offset back to
+//!   global ids by the router; results stay byte-identical to the
+//!   single-store run.
+//! * **One schema, one compile.** Because every shard shares the schema,
+//!   a [`CompiledComparator`](crate::comparator::CompiledComparator) or a
+//!   resolved [`KeySide`](crate::blocking::KeySide) is compiled **once**
+//!   and is valid against every shard (and against sibling stores of the
+//!   same scenario batch).
+//! * **Routing is a binary search.** [`ShardedStore::locate`] maps a
+//!   global id back to `(shard, local)` by binary-searching the offset
+//!   table, which is how [`ShardedStore::route`] splits a global
+//!   candidate list into per-shard task queues for the work-stealing
+//!   comparison phase (see
+//!   [`LinkagePipeline::run_sharded`](crate::pipeline::LinkagePipeline::run_sharded)).
+//!
+//! ```text
+//!  logical catalog (global ids)      0 1 2 3 4 5 6 7 8 9
+//!                                    ├─────────┼───────┼─┤
+//!  shard stores (local ids)          0 1 2 3 4│0 1 2 3│0│
+//!                                    shard 0   shard 1 s2
+//!  offsets = [0, 5, 9, 10]
+//!
+//!  blocker on (external, shard 1) emits (e, 2)
+//!  router offsets it to            (e, offsets[1] + 2) = (e, 7)
+//!  route() sends (e, 7) back to shard 1 as (e, 7 - offsets[1])
+//! ```
+
+use crate::blocking::CandidatePair;
+use crate::intern::{PropertyId, PropertyInterner, SchemaInterner};
+use crate::record::Record;
+use crate::store::{RecordStore, RecordStoreBuilder};
+use classilink_rdf::{Graph, Term};
+use std::sync::Arc;
+
+/// An immutable catalog split into contiguous per-shard [`RecordStore`]s
+/// sharing one property schema. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedStore {
+    /// The per-shard stores, in catalog order.
+    shards: Vec<RecordStore>,
+    /// Global id of each shard's first record; `len = shards + 1`, the
+    /// last entry is the total record count.
+    offsets: Vec<usize>,
+    /// The schema every shard was frozen with.
+    schema: Arc<PropertyInterner>,
+}
+
+impl Default for ShardedStore {
+    /// One empty shard (a derived `Default` would violate the "at least
+    /// one shard, `offsets` seeded with 0" invariant every accessor
+    /// relies on).
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl ShardedStore {
+    /// An empty builder on a fresh schema.
+    pub fn builder() -> ShardedStoreBuilder {
+        ShardedStoreBuilder::default()
+    }
+
+    /// An empty builder interning into an existing shared schema (so the
+    /// sharded catalog can agree on ids with sibling stores, e.g. the
+    /// external side of a scenario).
+    pub fn builder_with_schema(schema: SchemaInterner) -> ShardedStoreBuilder {
+        ShardedStoreBuilder {
+            schema,
+            shards: Vec::new(),
+            record_count: 0,
+        }
+    }
+
+    /// Split a slice of records into `shard_count` contiguous shards
+    /// (sizes as even as a contiguous split allows; trailing shards may
+    /// be empty when `shard_count` exceeds the record count). Record `i`
+    /// of the slice keeps global id `i`.
+    pub fn from_records(records: &[Record], shard_count: usize) -> Self {
+        Self::from_records_with_schema(records, shard_count, SchemaInterner::new())
+    }
+
+    /// [`from_records`](Self::from_records) on an existing shared schema.
+    pub fn from_records_with_schema(
+        records: &[Record],
+        shard_count: usize,
+        schema: SchemaInterner,
+    ) -> Self {
+        let shard_count = shard_count.max(1);
+        let chunk = records.len().div_ceil(shard_count).max(1);
+        let mut builder = Self::builder_with_schema(schema);
+        for shard in records.chunks(chunk) {
+            builder.begin_shard();
+            for record in shard {
+                builder.push(record);
+            }
+        }
+        builder.pad_to(shard_count);
+        builder.build()
+    }
+
+    /// Shard every subject of an RDF graph, one record per subject (the
+    /// sharded equivalent of [`RecordStore::from_graph`]; subject order —
+    /// and therefore global ids — match the single-store constructor).
+    pub fn from_graph(graph: &Graph, shard_count: usize) -> Self {
+        Self::from_graph_with_schema(graph, shard_count, SchemaInterner::new())
+    }
+
+    /// [`from_graph`](Self::from_graph) on an existing shared schema.
+    pub fn from_graph_with_schema(
+        graph: &Graph,
+        shard_count: usize,
+        schema: SchemaInterner,
+    ) -> Self {
+        let subjects = graph.subjects();
+        let shard_count = shard_count.max(1);
+        let chunk = subjects.len().div_ceil(shard_count).max(1);
+        let mut builder = Self::builder_with_schema(schema);
+        for shard in subjects.chunks(chunk) {
+            builder.begin_shard();
+            for subject in shard {
+                builder.push_subject(graph, subject);
+            }
+        }
+        builder.pad_to(shard_count);
+        builder.build()
+    }
+
+    /// Number of shards (always ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard stores, in catalog order.
+    pub fn shards(&self) -> &[RecordStore] {
+        &self.shards
+    }
+
+    /// One shard's store.
+    pub fn shard(&self, shard: usize) -> &RecordStore {
+        &self.shards[shard]
+    }
+
+    /// Total number of records across all shards.
+    pub fn len(&self) -> usize {
+        *self
+            .offsets
+            .last()
+            .expect("offsets always has a last entry")
+    }
+
+    /// `true` when no shard holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared schema every shard was frozen with.
+    pub fn schema(&self) -> &PropertyInterner {
+        &self.schema
+    }
+
+    /// The interned id of a property IRI, valid for **every** shard.
+    pub fn property(&self, iri: &str) -> Option<PropertyId> {
+        self.schema.get(iri)
+    }
+
+    /// Global id of `shard`'s first record.
+    pub fn offset(&self, shard: usize) -> usize {
+        self.offsets[shard]
+    }
+
+    /// Map a global record id to `(shard, shard-local id)`.
+    ///
+    /// Ids at or beyond [`len`](Self::len) are mapped to the last shard
+    /// with an out-of-range local id (the comparison phase skips them,
+    /// mirroring the single-store pipeline's bounds check).
+    pub fn locate(&self, global: usize) -> (usize, usize) {
+        let shard = self
+            .offsets
+            .partition_point(|&offset| offset <= global)
+            .saturating_sub(1)
+            .min(self.shards.len() - 1);
+        (shard, global - self.offsets[shard])
+    }
+
+    /// Offset a shard-local record id back to its global id (the inverse
+    /// of [`locate`](Self::locate)).
+    pub fn global(&self, shard: usize, local: usize) -> usize {
+        self.offsets[shard] + local
+    }
+
+    /// The item identifier of the record with this global id.
+    pub fn id(&self, global: usize) -> &Term {
+        let (shard, local) = self.locate(global);
+        self.shards[shard].id(local)
+    }
+
+    /// The global id of item `id`, if any shard holds it.
+    pub fn index_of(&self, id: &Term) -> Option<usize> {
+        self.shards
+            .iter()
+            .zip(&self.offsets)
+            .find_map(|(shard, offset)| Some(offset + shard.index_of(id)?))
+    }
+
+    /// Split a global candidate list into per-shard lists of
+    /// **shard-local** pairs — the task queues of the work-stealing
+    /// comparison phase. `route(pairs)[s]` preserves the relative order
+    /// of `pairs` within shard `s`.
+    pub fn route(&self, pairs: &[CandidatePair]) -> Vec<Vec<CandidatePair>> {
+        let mut routed = vec![Vec::new(); self.shard_count()];
+        for &(e, l) in pairs {
+            let (shard, local) = self.locate(l);
+            routed[shard].push((e, local));
+        }
+        routed
+    }
+
+    /// Concatenate the shards back into one monolithic store (global ids
+    /// become plain indexes). Mostly useful for tests and for feeding
+    /// APIs that predate sharding; costs a full re-columnarisation.
+    pub fn to_store(&self) -> RecordStore {
+        let mut builder = RecordStore::builder();
+        for shard in &self.shards {
+            for record in shard.to_records() {
+                builder.push(&record);
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Incremental [`ShardedStore`] construction: open shards with
+/// [`begin_shard`](Self::begin_shard), push records into the current
+/// shard, then [`build`](Self::build).
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStoreBuilder {
+    schema: SchemaInterner,
+    shards: Vec<RecordStoreBuilder>,
+    record_count: usize,
+}
+
+impl ShardedStoreBuilder {
+    /// Open a new (empty) shard; subsequent pushes go into it. Returns
+    /// the shard's index.
+    pub fn begin_shard(&mut self) -> usize {
+        self.shards
+            .push(RecordStore::builder_with_schema(self.schema.clone()));
+        self.shards.len() - 1
+    }
+
+    /// Append empty shards until there are at least `shard_count`.
+    pub fn pad_to(&mut self, shard_count: usize) {
+        while self.shards.len() < shard_count {
+            self.begin_shard();
+        }
+    }
+
+    fn current(&mut self) -> &mut RecordStoreBuilder {
+        if self.shards.is_empty() {
+            self.begin_shard();
+        }
+        self.shards
+            .last_mut()
+            .expect("begin_shard pushed a builder")
+    }
+
+    /// Append one [`Record`] to the current shard; returns its global id.
+    pub fn push(&mut self, record: &Record) -> usize {
+        self.current().push(record);
+        self.record_count += 1;
+        self.record_count - 1
+    }
+
+    /// Append one record from borrowed facts (see
+    /// [`RecordStoreBuilder::push_record`]); returns its global id.
+    pub fn push_record<'f, I, F>(&mut self, id: Term, facts: F) -> usize
+    where
+        I: Iterator<Item = (&'f str, &'f str)>,
+        F: FnOnce() -> I,
+    {
+        self.current().push_record(id, facts);
+        self.record_count += 1;
+        self.record_count - 1
+    }
+
+    /// Append the record of one graph subject; returns its global id.
+    pub fn push_subject(&mut self, graph: &Graph, subject: &Term) -> usize {
+        self.current().push_subject(graph, subject);
+        self.record_count += 1;
+        self.record_count - 1
+    }
+
+    /// Number of records pushed so far (across all shards).
+    pub fn len(&self) -> usize {
+        self.record_count
+    }
+
+    /// `true` when no record has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.record_count == 0
+    }
+
+    /// Freeze every shard, all sharing one schema snapshot.
+    pub fn build(mut self) -> ShardedStore {
+        if self.shards.is_empty() {
+            self.begin_shard();
+        }
+        // One snapshot, one `Arc`: taken after every push, so every
+        // shard sees the full schema regardless of which shard interned
+        // a property first.
+        let schema = Arc::new(self.schema.snapshot());
+        let mut offsets = Vec::with_capacity(self.shards.len() + 1);
+        offsets.push(0);
+        let shards: Vec<RecordStore> = self
+            .shards
+            .into_iter()
+            .map(|builder| {
+                let store = builder.finish(schema.clone());
+                offsets.push(offsets.last().expect("non-empty") + store.len());
+                store
+            })
+            .collect();
+        ShardedStore {
+            shards,
+            offsets,
+            schema,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PN: &str = "http://e.org/v#pn";
+    const MFR: &str = "http://e.org/v#mfr";
+
+    fn records(n: usize) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                let mut r = Record::new(Term::iri(format!("http://e.org/item/{i}")));
+                r.add(PN, format!("PN-{i:04}"));
+                if i % 2 == 0 {
+                    r.add(MFR, "Vishay");
+                }
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_split_preserves_global_ids() {
+        let records = records(10);
+        let sharded = ShardedStore::from_records(&records, 3);
+        let single = RecordStore::from_records(&records);
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.len(), single.len());
+        for global in 0..single.len() {
+            assert_eq!(sharded.id(global), single.id(global));
+            let (shard, local) = sharded.locate(global);
+            assert_eq!(sharded.global(shard, local), global);
+            assert_eq!(sharded.shard(shard).id(local), single.id(global));
+        }
+    }
+
+    #[test]
+    fn shards_share_one_schema() {
+        let sharded = ShardedStore::from_records(&records(7), 3);
+        let pn = sharded.property(PN).expect("pn interned");
+        for shard in sharded.shards() {
+            assert_eq!(shard.property(PN), Some(pn));
+            assert!(std::ptr::eq(shard.interner(), sharded.schema()));
+        }
+        // A property present in only some shards still resolves — to
+        // empty values — on the others.
+        let mfr = sharded.property(MFR).expect("mfr interned");
+        for shard in sharded.shards() {
+            for record in 0..shard.len() {
+                let _ = shard.values(record, mfr).count(); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_and_empty_shards() {
+        // 5 records over 4 shards: contiguous split gives 2+2+1 and one
+        // padded empty shard.
+        let sharded = ShardedStore::from_records(&records(5), 4);
+        assert_eq!(sharded.shard_count(), 4);
+        let sizes: Vec<usize> = sharded.shards().iter().map(RecordStore::len).collect();
+        assert_eq!(sizes, vec![2, 2, 1, 0]);
+        assert_eq!(sharded.len(), 5);
+        // Empty input: one (or shard_count) empty shards, len 0.
+        let empty = ShardedStore::from_records(&[], 3);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+    }
+
+    #[test]
+    fn locate_clamps_out_of_range_ids() {
+        let sharded = ShardedStore::from_records(&records(5), 2);
+        let (shard, local) = sharded.locate(100);
+        assert_eq!(shard, sharded.shard_count() - 1);
+        assert!(local >= sharded.shard(shard).len());
+    }
+
+    #[test]
+    fn index_of_searches_all_shards() {
+        let records = records(6);
+        let sharded = ShardedStore::from_records(&records, 3);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(sharded.index_of(&record.id), Some(i));
+        }
+        assert_eq!(sharded.index_of(&Term::iri("http://e.org/nowhere")), None);
+    }
+
+    #[test]
+    fn route_splits_and_localises_pairs() {
+        let sharded = ShardedStore::from_records(&records(6), 3); // shards of 2
+        let pairs = vec![(0, 0), (1, 3), (2, 5), (3, 1)];
+        let routed = sharded.route(&pairs);
+        assert_eq!(routed[0], vec![(0, 0), (3, 1)]);
+        assert_eq!(routed[1], vec![(1, 1)]);
+        assert_eq!(routed[2], vec![(2, 1)]);
+    }
+
+    #[test]
+    fn from_graph_matches_single_store_order() {
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.insert(classilink_rdf::Triple::literal(
+                format!("http://e.org/item/{i}"),
+                PN,
+                format!("PN-{i}"),
+            ));
+        }
+        let sharded = ShardedStore::from_graph(&g, 2);
+        let single = RecordStore::from_graph(&g);
+        assert_eq!(sharded.len(), single.len());
+        for global in 0..single.len() {
+            assert_eq!(sharded.id(global), single.id(global));
+        }
+        assert_eq!(sharded.to_store().to_records(), single.to_records());
+    }
+
+    #[test]
+    fn builder_mixes_push_styles() {
+        let mut builder = ShardedStore::builder();
+        // Pushing before begin_shard auto-opens shard 0.
+        let first = builder.push(&records(1)[0]);
+        assert_eq!(first, 0);
+        builder.begin_shard();
+        let second = builder.push_record(Term::iri("http://e.org/item/x"), || {
+            [(PN, "PN-X")].into_iter()
+        });
+        assert_eq!(second, 1);
+        assert_eq!(builder.len(), 2);
+        let store = builder.build();
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.locate(1), (1, 0));
+    }
+
+    #[test]
+    fn empty_builder_builds_one_empty_shard() {
+        let store = ShardedStore::builder().build();
+        assert_eq!(store.shard_count(), 1);
+        assert!(store.is_empty());
+        assert!(store.route(&[]).iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn default_upholds_the_shard_invariants() {
+        let store = ShardedStore::default();
+        assert_eq!(store.shard_count(), 1);
+        assert!(store.is_empty());
+        assert_eq!(store.len(), 0);
+        // locate on a (necessarily out-of-range) id clamps instead of
+        // underflowing.
+        let (shard, local) = store.locate(0);
+        assert_eq!(shard, 0);
+        assert_eq!(local, 0);
+        assert_eq!(store, ShardedStore::builder().build());
+    }
+}

@@ -1,7 +1,7 @@
 //! Jaro and Jaro-Winkler similarities.
 //!
 //! Jaro similarity is the classic record-linkage measure introduced by Jaro
-//! for the 1985 Tampa census matching (reference [5] of the paper); the
+//! for the 1985 Tampa census matching (reference \[5\] of the paper); the
 //! Winkler variant boosts strings sharing a common prefix.
 
 /// The Jaro similarity between two strings, in `[0, 1]`.

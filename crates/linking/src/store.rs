@@ -1,6 +1,6 @@
 //! The interned, columnar record store.
 //!
-//! [`Record`](crate::record::Record) is a convenient builder — a
+//! [`crate::record::Record`] is a convenient builder — a
 //! `BTreeMap<String, Vec<String>>` per item — but a terrible layout for
 //! the linking hot path: every blocking key, attribute lookup and
 //! similarity call hashes a full property IRI and chases per-record
@@ -21,15 +21,21 @@
 //!
 //! Stores are immutable once built. Build one with
 //! [`RecordStore::from_records`], [`Record::into_store`], or directly
-//! from an RDF graph with [`RecordStore::from_graph`]. The external and
-//! local sources intern independently: resolve an IRI against each store
+//! from an RDF graph with [`RecordStore::from_graph`]. Stores built
+//! standalone intern independently: resolve an IRI against each store
 //! (once, at construction of a blocker or comparator) with
-//! [`RecordStore::property`], never reuse an id across stores.
+//! [`RecordStore::property`], and never reuse an id across stores.
+//! Stores built on one shared
+//! [`crate::intern::SchemaInterner`] (via
+//! [`RecordStore::builder_with_schema`] or the sharded constructors in
+//! [`crate::shard`]) assign identical ids, so one resolution serves every
+//! store of the batch.
 
-use crate::intern::{PropertyId, PropertyInterner};
+use crate::intern::{PropertyId, PropertyInterner, SchemaInterner};
 use crate::record::Record;
 use classilink_rdf::{Graph, Term};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One property's column: all values of that property over all records,
 /// concatenated into a single text arena.
@@ -59,7 +65,10 @@ impl Column {
 /// docs](self) for the layout.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecordStore {
-    interner: PropertyInterner,
+    /// The property symbol table this store was frozen with. Shared (via
+    /// `Arc`) between every shard of a [`ShardedStore`](crate::shard::ShardedStore)
+    /// so that one id resolution serves all of them.
+    interner: Arc<PropertyInterner>,
     /// Item identifier per record index.
     ids: Vec<Term>,
     /// Record index per item identifier.
@@ -74,9 +83,21 @@ pub struct RecordStore {
 }
 
 impl RecordStore {
-    /// An empty builder.
+    /// An empty builder interning into its own private schema.
     pub fn builder() -> RecordStoreBuilder {
         RecordStoreBuilder::default()
+    }
+
+    /// An empty builder interning into a **shared** schema: every store
+    /// built on a handle of the same [`SchemaInterner`] assigns the same
+    /// [`PropertyId`] to the same IRI, so compiled comparators and
+    /// resolved blocking keys can be reused across all of them.
+    pub fn builder_with_schema(schema: SchemaInterner) -> RecordStoreBuilder {
+        RecordStoreBuilder {
+            schema,
+            ids: Vec::new(),
+            raw_columns: Vec::new(),
+        }
     }
 
     /// Columnarise a slice of records (order preserved: record `i` of the
@@ -94,19 +115,7 @@ impl RecordStore {
     /// equivalent of [`Record::all_from_graph`]).
     pub fn from_graph(graph: &Graph) -> Self {
         let mut builder = Self::builder();
-        for subject in graph.subjects() {
-            let facts: Vec<(String, String)> = graph
-                .triples_matching(Some(&subject), None, None)
-                .filter_map(|t| {
-                    let p = t.predicate.as_iri()?.to_string();
-                    let v = t.object.as_literal()?.value.clone();
-                    Some((p, v))
-                })
-                .collect();
-            builder.push_record(subject, || {
-                facts.iter().map(|(p, v)| (p.as_str(), v.as_str()))
-            });
-        }
+        builder.push_graph(graph);
         builder.build()
     }
 
@@ -130,27 +139,43 @@ impl RecordStore {
         self.id_index.get(id).map(|&i| i as usize)
     }
 
-    /// The interned id of a property IRI, if any record has it.
+    /// The interned id of a property IRI, if this store's schema knows it.
+    ///
+    /// With a private schema that means "some record of this store has
+    /// the property"; with a shared [`SchemaInterner`] the IRI may have
+    /// been interned by a sibling store, in which case the id resolves
+    /// but every record's value list is empty.
     pub fn property(&self, iri: &str) -> Option<PropertyId> {
         self.interner.get(iri)
     }
 
-    /// The property interner (ids are local to this store).
+    /// The property interner this store was frozen with (shared between
+    /// all stores built on one [`SchemaInterner`]).
     pub fn interner(&self) -> &PropertyInterner {
         &self.interner
     }
 
-    /// `(id, IRI)` of every property seen in this store.
+    /// `(id, IRI)` of every property of this store's schema (including,
+    /// under a shared schema, properties only sibling stores populate).
     pub fn properties(&self) -> impl Iterator<Item = (PropertyId, &str)> {
         self.interner.iter()
     }
 
-    /// The values of `property` on `record` (empty iterator when absent).
+    /// The values of `property` on `record` (empty iterator when the
+    /// record, or this whole store, has no values for it).
     pub fn values(&self, record: usize, property: PropertyId) -> Values<'_> {
-        let column = &self.columns[property.index()];
-        Values {
-            column,
-            range: column.range(record),
+        // Under a shared schema an id may exceed this store's column
+        // count (property interned by a sibling store, or after this
+        // store was frozen) — such properties are simply absent here.
+        match self.columns.get(property.index()) {
+            Some(column) => Values {
+                column: Some(column),
+                range: column.range(record),
+            },
+            None => Values {
+                column: None,
+                range: 0..0,
+            },
         }
     }
 
@@ -197,7 +222,9 @@ impl RecordStore {
 /// Iterator over one record's values of one property.
 #[derive(Debug, Clone)]
 pub struct Values<'a> {
-    column: &'a Column,
+    /// `None` when the property has no column in this store (the range
+    /// is empty in that case, so the iterator yields nothing).
+    column: Option<&'a Column>,
     range: std::ops::Range<usize>,
 }
 
@@ -205,7 +232,8 @@ impl<'a> Iterator for Values<'a> {
     type Item = &'a str;
 
     fn next(&mut self) -> Option<&'a str> {
-        self.range.next().map(|i| self.column.value(i))
+        let i = self.range.next()?;
+        Some(self.column?.value(i))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -217,9 +245,13 @@ impl ExactSizeIterator for Values<'_> {}
 
 /// Incremental [`RecordStore`] construction: push records one at a time,
 /// then [`build`](RecordStoreBuilder::build).
+///
+/// Builders made with [`RecordStore::builder`] intern into a private
+/// schema; builders made with [`RecordStore::builder_with_schema`] share
+/// a [`SchemaInterner`] with sibling builders (see [`crate::shard`]).
 #[derive(Debug, Clone, Default)]
 pub struct RecordStoreBuilder {
-    interner: PropertyInterner,
+    schema: SchemaInterner,
     ids: Vec<Term>,
     /// Per property: `(record, value)` in non-decreasing record order.
     raw_columns: Vec<Vec<(u32, String)>>,
@@ -238,8 +270,10 @@ impl RecordStoreBuilder {
         let record_u32 = u32::try_from(record).expect("more than u32::MAX records");
         self.ids.push(id);
         for (property, value) in facts() {
-            let pid = self.interner.intern(property);
-            if pid.index() == self.raw_columns.len() {
+            let pid = self.schema.intern(property);
+            // Under a shared schema sibling builders advance the id
+            // sequence, so ids may skip: pad with empty columns.
+            while self.raw_columns.len() <= pid.index() {
                 self.raw_columns.push(Vec::new());
             }
             self.raw_columns[pid.index()].push((record_u32, value.to_string()));
@@ -257,8 +291,50 @@ impl RecordStoreBuilder {
         })
     }
 
-    /// Freeze into an immutable store.
+    /// Append the record of one graph subject: its literal-valued triples
+    /// become the record's facts.
+    pub fn push_subject(&mut self, graph: &Graph, subject: &Term) -> usize {
+        let facts: Vec<(String, String)> = graph
+            .triples_matching(Some(subject), None, None)
+            .filter_map(|t| {
+                let p = t.predicate.as_iri()?.to_string();
+                let v = t.object.as_literal()?.value.clone();
+                Some((p, v))
+            })
+            .collect();
+        self.push_record(subject.clone(), || {
+            facts.iter().map(|(p, v)| (p.as_str(), v.as_str()))
+        })
+    }
+
+    /// Append one record per subject of `graph`, in subject order.
+    pub fn push_graph(&mut self, graph: &Graph) {
+        for subject in graph.subjects() {
+            self.push_subject(graph, &subject);
+        }
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no record has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Freeze into an immutable store, snapshotting the schema as it
+    /// stands now.
     pub fn build(self) -> RecordStore {
+        let interner = Arc::new(self.schema.snapshot());
+        self.finish(interner)
+    }
+
+    /// Freeze into an immutable store carrying the given (already
+    /// snapshotted) schema — the shard path, where every shard of a
+    /// [`ShardedStore`](crate::shard::ShardedStore) must share one `Arc`.
+    pub(crate) fn finish(self, interner: Arc<PropertyInterner>) -> RecordStore {
         // Offsets are u32 to halve the index footprint; overflow must
         // fail loudly, not wrap into corrupt column slices.
         fn offset(n: usize) -> u32 {
@@ -296,17 +372,19 @@ impl RecordStoreBuilder {
 
         // Precompute full text per record, joining values in sorted
         // property order (mirrors `Record::full_text`, which iterates a
-        // BTreeMap).
-        let mut sorted_properties: Vec<PropertyId> =
-            self.interner.iter().map(|(id, _)| id).collect();
-        sorted_properties.sort_by(|a, b| self.interner.resolve(*a).cmp(self.interner.resolve(*b)));
+        // BTreeMap). Schema properties this builder never saw have no
+        // column and contribute nothing.
+        let mut sorted_properties: Vec<PropertyId> = interner.iter().map(|(id, _)| id).collect();
+        sorted_properties.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b)));
         let mut full_text = String::new();
         let mut full_text_bounds = Vec::with_capacity(record_count + 1);
         full_text_bounds.push(0u32);
         for record in 0..record_count {
             let mut first = true;
             for &pid in &sorted_properties {
-                let column = &columns[pid.index()];
+                let Some(column) = columns.get(pid.index()) else {
+                    continue;
+                };
                 for value_index in column.range(record) {
                     if !first {
                         full_text.push(' ');
@@ -325,7 +403,7 @@ impl RecordStoreBuilder {
             .map(|(i, id)| (id.clone(), offset(i)))
             .collect();
         RecordStore {
-            interner: self.interner,
+            interner,
             ids: self.ids,
             id_index,
             columns,
@@ -463,6 +541,57 @@ mod tests {
         let pn = store.property(PN).unwrap();
         let values: Vec<&str> = store.values(0, pn).collect();
         assert_eq!(values, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn shared_schema_stores_agree_on_ids() {
+        let schema = SchemaInterner::new();
+        let mut a = RecordStore::builder_with_schema(schema.clone());
+        let mut b = RecordStore::builder_with_schema(schema.clone());
+        // Interleave interning so b's first property is not id 0.
+        a.push(&sample_records()[0]); // interns PN, MFR
+        let mut r = Record::new(Term::iri("http://e.org/q1"));
+        r.add("http://e.org/v#other", "x").add(PN, "T83A225");
+        b.push(&r);
+        let (a, b) = (a.build(), b.build());
+        assert_eq!(a.property(PN), b.property(PN));
+        // Record attributes intern in BTreeMap (IRI) order: mfr, then pn.
+        assert_eq!(a.property(MFR).unwrap().index(), 0);
+        assert_eq!(a.property(PN).unwrap().index(), 1);
+        // A property only the sibling store populates resolves to an
+        // empty value list, not a panic.
+        let other = a.property("http://e.org/v#other").unwrap();
+        assert_eq!(a.values(0, other).count(), 0);
+        assert_eq!(b.first(0, other), Some("x"));
+        // full_text joins only this store's own values (sorted by IRI:
+        // #other before #pn).
+        assert_eq!(b.full_text(0), "x T83A225");
+    }
+
+    #[test]
+    fn ids_interned_after_freezing_resolve_to_empty_values() {
+        let schema = SchemaInterner::new();
+        let mut builder = RecordStore::builder_with_schema(schema.clone());
+        builder.push(&sample_records()[0]);
+        let store = builder.build();
+        // A sibling interns a brand-new property after this store froze:
+        // the id exceeds the store's column count.
+        let late = schema.intern("http://e.org/v#late");
+        assert!(late.index() >= store.interner().len());
+        assert_eq!(store.values(0, late).count(), 0);
+        assert_eq!(store.first(0, late), None);
+    }
+
+    #[test]
+    fn graph_push_helpers_match_from_graph() {
+        let mut g = Graph::new();
+        g.insert(Triple::literal("http://e.org/p1", PN, "CRCW0805-10K"));
+        g.insert(Triple::literal("http://e.org/p2", PN, "T83A225"));
+        let mut builder = RecordStore::builder();
+        builder.push_graph(&g);
+        assert_eq!(builder.len(), 2);
+        assert!(!builder.is_empty());
+        assert_eq!(builder.build(), RecordStore::from_graph(&g));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! The shard-router contract: a sharded, work-stealing pipeline run is
+//! **byte-identical** to the single-store serial run, for every blocker,
+//! for any shard layout — even shard sizes, uneven sizes, more shards
+//! than records (so trailing shards are empty), and a shared schema.
+//!
+//! The property test sweeps record counts, shard counts and thread
+//! counts; the per-blocker tests pin the five concrete strategies on a
+//! dataset big enough to exercise the work-stealing path.
+
+use classilink_core::{ClassificationRule, Contingency, RuleClassifier};
+use classilink_linking::blocking::{
+    BigramBlocker, Blocker, BlockingKey, CartesianBlocker, RuleBasedBlocker,
+    SortedNeighborhoodBlocker, StandardBlocker,
+};
+use classilink_linking::{
+    LinkagePipeline, Record, RecordComparator, RecordStore, SchemaInterner, ShardedStore,
+    SimilarityMeasure,
+};
+use classilink_ontology::{ClassId, InstanceStore, Ontology, OntologyBuilder};
+use classilink_rdf::Term;
+use classilink_segment::SegmenterKind;
+use proptest::prelude::*;
+
+const EXT_PN: &str = "http://provider.e.org/v#ref";
+const LOC_PN: &str = "http://local.e.org/v#partNumber";
+
+fn ext_records(n: usize) -> Vec<Record> {
+    let families = ["CR", "T8", "LM", "GR"];
+    (0..n)
+        .map(|i| {
+            let mut r = Record::new(Term::iri(format!("http://provider.e.org/item/{i}")));
+            r.add(EXT_PN, format!("{}{:04}", families[i % 2], i / 2));
+            r
+        })
+        .collect()
+}
+
+fn loc_records(n: usize) -> Vec<Record> {
+    let families = ["CR", "T8", "LM", "GR"];
+    (0..n)
+        .map(|i| {
+            let mut r = Record::new(Term::iri(format!("http://local.e.org/prod/{i}")));
+            r.add(LOC_PN, format!("{}{:04}", families[i % 2], i / 2));
+            r
+        })
+        .collect()
+}
+
+fn comparator() -> RecordComparator {
+    RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::Levenshtein)
+        .with_thresholds(0.95, 0.4)
+}
+
+fn rule_setup(catalog: usize) -> (Ontology, InstanceStore, RuleClassifier) {
+    let mut b = OntologyBuilder::new("http://e.org/c#");
+    let root = b.class("Component", None);
+    let resistor = b.class("Resistor", Some(root));
+    let onto = b.build();
+    let mut instances = InstanceStore::new();
+    for i in (0..catalog).step_by(2) {
+        instances.assert_type(&Term::iri(format!("http://local.e.org/prod/{i}")), resistor);
+    }
+    let rule = |segment: &str, class: ClassId| ClassificationRule {
+        property: EXT_PN.to_string(),
+        segment: segment.to_string(),
+        class,
+        class_iri: "http://e.org/c#Resistor".to_string(),
+        class_label: "Resistor".to_string(),
+        quality: Contingency::new(100, 10, 20, 10).quality(),
+    };
+    let rules = (0..20)
+        .map(|i| rule(&format!("cr{i:04}"), resistor))
+        .collect();
+    (
+        onto,
+        instances,
+        RuleClassifier::new(rules, SegmenterKind::Separator, true),
+    )
+}
+
+/// The contract under test: serial single-store run vs sharded runs at
+/// several shard layouts and thread counts.
+fn assert_sharded_byte_identical(
+    blocker: &dyn Blocker,
+    external_records: &[Record],
+    local_records: &[Record],
+    shard_counts: &[usize],
+) {
+    let cmp = comparator();
+    let external = RecordStore::from_records(external_records);
+    let local = RecordStore::from_records(local_records);
+    let serial = LinkagePipeline::new(blocker, &cmp).run_stores(&external, &local);
+    for &shard_count in shard_counts {
+        let sharded = ShardedStore::from_records(local_records, shard_count);
+        for threads in [1, 4] {
+            let result = LinkagePipeline::new(blocker, &cmp)
+                .with_threads(threads)
+                .run_sharded(&external, &sharded);
+            assert_eq!(
+                serial,
+                result,
+                "{}: {shard_count} shards / {threads} threads diverged from serial single-store",
+                blocker.name()
+            );
+        }
+    }
+}
+
+/// Shard layouts covering the edge cases: one shard, uneven sizes, and
+/// more shards than records (guaranteed empty shards).
+fn layouts(records: usize) -> Vec<usize> {
+    vec![1, 3, 7, records + 2]
+}
+
+#[test]
+fn cartesian_sharded_identical() {
+    let (external, local) = (ext_records(40), loc_records(40));
+    assert_sharded_byte_identical(&CartesianBlocker, &external, &local, &layouts(40));
+}
+
+#[test]
+fn standard_blocking_sharded_identical() {
+    let (external, local) = (ext_records(64), loc_records(64));
+    let blocker = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 2));
+    assert_sharded_byte_identical(&blocker, &external, &local, &layouts(64));
+}
+
+#[test]
+fn sorted_neighborhood_sharded_identical() {
+    let (external, local) = (ext_records(64), loc_records(64));
+    // A window large enough that it always straddles shard boundaries.
+    let blocker = SortedNeighborhoodBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 60);
+    assert_sharded_byte_identical(&blocker, &external, &local, &layouts(64));
+}
+
+#[test]
+fn bigram_sharded_identical() {
+    let (external, local) = (ext_records(64), loc_records(64));
+    let blocker = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.2);
+    assert_sharded_byte_identical(&blocker, &external, &local, &layouts(64));
+}
+
+#[test]
+fn rule_based_sharded_identical() {
+    let (external, local) = (ext_records(64), loc_records(64));
+    let (onto, instances, classifier) = rule_setup(64);
+    let blocker = RuleBasedBlocker::new(&classifier, &instances, &onto).with_fallback(true);
+    assert_sharded_byte_identical(&blocker, &external, &local, &layouts(64));
+}
+
+#[test]
+fn sharded_run_against_empty_catalog() {
+    let external = ext_records(8);
+    assert_sharded_byte_identical(&CartesianBlocker, &external, &[], &[1, 4]);
+}
+
+/// One compiled comparator (against the shared schema) must serve every
+/// shard — the "compile once, reuse across all store pairs" guarantee.
+#[test]
+fn compiled_comparator_is_reusable_across_shards() {
+    let schema = SchemaInterner::new();
+    let mut external_builder = RecordStore::builder_with_schema(schema.clone());
+    for r in ext_records(10) {
+        external_builder.push(&r);
+    }
+    let external = external_builder.build();
+    let local_records = loc_records(10);
+    let sharded = ShardedStore::from_records_with_schema(&local_records, 3, schema);
+    let cmp = comparator();
+    let shared = cmp.compile_schemas(external.interner(), sharded.schema());
+    for (s, shard) in sharded.shards().iter().enumerate() {
+        // Per-shard compilation must agree with the shared compilation
+        // for every pair — same ids, same schema.
+        let per_shard = cmp.compile(&external, shard);
+        for e in 0..external.len() {
+            for l in 0..shard.len() {
+                assert_eq!(
+                    shared.compare(&external, e, shard, l),
+                    per_shard.compare(&external, e, shard, l),
+                    "shard {s}, pair ({e}, {l})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random record counts, shard counts and thread counts: the sharded
+    /// work-stealing pipeline always reproduces the serial single-store
+    /// result byte for byte, for a per-record blocker and for the
+    /// window-based sorted-neighbourhood blocker.
+    #[test]
+    fn prop_sharded_pipeline_byte_identical(
+        external_count in 0usize..24,
+        local_count in 0usize..24,
+        shard_count in 1usize..9,
+        window in 2usize..12,
+        threads in 1usize..5,
+    ) {
+        let external_records = ext_records(external_count);
+        let local_records = loc_records(local_count);
+        let cmp = comparator();
+        let external = RecordStore::from_records(&external_records);
+        let local = RecordStore::from_records(&local_records);
+        let sharded = ShardedStore::from_records(&local_records, shard_count);
+
+        let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 2));
+        let sorted = SortedNeighborhoodBlocker::new(
+            BlockingKey::per_side(EXT_PN, LOC_PN, 0),
+            window,
+        );
+        let blockers: [&dyn Blocker; 3] = [&CartesianBlocker, &standard, &sorted];
+        for blocker in blockers {
+            let serial = LinkagePipeline::new(blocker, &cmp).run_stores(&external, &local);
+            let result = LinkagePipeline::new(blocker, &cmp)
+                .with_threads(threads)
+                .run_sharded(&external, &sharded);
+            prop_assert_eq!(&serial, &result, "{} diverged", blocker.name());
+        }
+    }
+}
