@@ -9,14 +9,32 @@
 //! A comparator is a schema-level *configuration* (property IRIs, measures,
 //! weights). Before comparing it is [`compile`](RecordComparator::compile)d
 //! against the two [`RecordStore`]s, resolving each rule's property IRIs to
-//! interned ids **once**; the per-pair [`CompiledComparator::compare`] then
-//! performs only id-indexed column reads — no string hashing, no record
-//! cloning, and the full-text fallback reads the store's precomputed
-//! per-record text instead of re-joining attributes per pair.
+//! interned ids **once** and lowering each rule's measure to a *kernel*:
+//! either a scratch-buffer string kernel
+//! (see [`SimScratch`]) or a precomputed-token-set kernel (see
+//! [`crate::token_index`]).
+//!
+//! Two per-pair entry points share one evaluation core:
+//!
+//! * [`CompiledComparator::score`] — the pipeline's hot path: returns
+//!   only `(score, decision)` and performs **zero heap allocations** in
+//!   steady state (the caller owns the [`SimScratch`]; token sets come
+//!   from the stores' [`TokenIndex`]).
+//! * [`CompiledComparator::compare`] — the eval/report path: same
+//!   arithmetic, but also materialises the per-rule
+//!   [`details`](Comparison::details) vector.
 
 use crate::intern::PropertyId;
-use crate::similarity::SimilarityMeasure;
+use crate::similarity::scratch::SimScratch;
+use crate::similarity::{
+    damerau_levenshtein_similarity_with, jaro_winkler_with, jaro_with, levenshtein_similarity_with,
+    SimilarityMeasure,
+};
 use crate::store::RecordStore;
+use crate::token_index::{
+    dice_bigrams_kernel, jaccard_bigrams_kernel, jaccard_tokens_kernel, monge_elkan_kernel,
+    TokenIndex,
+};
 use serde::{Deserialize, Serialize};
 
 /// How one attribute pair contributes to the overall record similarity.
@@ -114,12 +132,17 @@ impl RecordComparator {
     /// Resolve every rule's property IRIs against two schemas directly —
     /// the sharded path: compiled once against
     /// [`ShardedStore::schema`](crate::shard::ShardedStore::schema), the
-    /// comparator serves every shard.
+    /// comparator serves every shard. Each rule's measure (and the
+    /// fallback, if any) is lowered to its kernel here, so the per-pair
+    /// loop performs no dispatch set-up.
     pub fn compile_schemas(
         &self,
         external: &crate::intern::PropertyInterner,
         local: &crate::intern::PropertyInterner,
     ) -> CompiledComparator<'_> {
+        let kernels: Vec<Kernel> = self.rules.iter().map(|r| Kernel::of(r.measure)).collect();
+        let fallback_kernel = self.fallback.map(Kernel::of);
+        let rules_use_sets = kernels.iter().any(|k| matches!(k, Kernel::Set(_)));
         CompiledComparator {
             comparator: self,
             properties: self
@@ -132,6 +155,9 @@ impl RecordComparator {
                     )
                 })
                 .collect(),
+            kernels,
+            fallback_kernel,
+            rules_use_sets,
         }
     }
 
@@ -150,19 +176,110 @@ impl RecordComparator {
     }
 }
 
+/// One attribute rule's measure, lowered to its execution strategy at
+/// compile time.
+#[derive(Debug, Clone, Copy)]
+enum Kernel {
+    /// A scratch-buffer string kernel (edit/Jaro family).
+    Str(fn(&mut SimScratch, &str, &str) -> f64),
+    /// A precomputed-token-set kernel (Jaccard/Dice/Monge-Elkan family).
+    Set(SetKernel),
+}
+
+/// The set-measure kernels backed by the stores' token indexes.
+#[derive(Debug, Clone, Copy)]
+enum SetKernel {
+    /// Jaccard over token sets.
+    JaccardTokens,
+    /// Jaccard over bigram sets.
+    JaccardBigrams,
+    /// Dice over bigram sets.
+    DiceBigrams,
+    /// Monge-Elkan over token lists.
+    MongeElkan,
+}
+
+impl Kernel {
+    fn of(measure: SimilarityMeasure) -> Kernel {
+        match measure {
+            SimilarityMeasure::Levenshtein => Kernel::Str(levenshtein_similarity_with),
+            SimilarityMeasure::DamerauLevenshtein => {
+                Kernel::Str(damerau_levenshtein_similarity_with)
+            }
+            SimilarityMeasure::Jaro => Kernel::Str(jaro_with),
+            SimilarityMeasure::JaroWinkler => Kernel::Str(jaro_winkler_with),
+            SimilarityMeasure::JaccardTokens => Kernel::Set(SetKernel::JaccardTokens),
+            SimilarityMeasure::JaccardChars => Kernel::Set(SetKernel::JaccardBigrams),
+            SimilarityMeasure::DiceBigrams => Kernel::Set(SetKernel::DiceBigrams),
+            SimilarityMeasure::MongeElkan => Kernel::Set(SetKernel::MongeElkan),
+        }
+    }
+}
+
+impl SetKernel {
+    fn eval(
+        self,
+        a: &crate::token_index::ValueTokens<'_>,
+        b: &crate::token_index::ValueTokens<'_>,
+        scratch: &mut SimScratch,
+    ) -> f64 {
+        match self {
+            SetKernel::JaccardTokens => jaccard_tokens_kernel(a, b),
+            SetKernel::JaccardBigrams => jaccard_bigrams_kernel(a, b),
+            SetKernel::DiceBigrams => dice_bigrams_kernel(a, b),
+            SetKernel::MongeElkan => monge_elkan_kernel(a, b, scratch),
+        }
+    }
+}
+
 /// A [`RecordComparator`] with its property IRIs resolved to the interned
-/// ids of one `(external, local)` store pair.
+/// ids of one `(external, local)` store pair and its measures lowered to
+/// kernels.
 #[derive(Debug, Clone)]
 pub struct CompiledComparator<'a> {
     comparator: &'a RecordComparator,
     /// `(left id on the external store, right id on the local store)` per
     /// attribute rule; `None` when a store never saw the IRI.
     properties: Vec<(Option<PropertyId>, Option<PropertyId>)>,
+    /// The per-rule kernels, parallel to `properties`.
+    kernels: Vec<Kernel>,
+    /// The fallback measure's kernel, if a fallback is configured.
+    fallback_kernel: Option<Kernel>,
+    /// `true` when any *rule* kernel needs the stores' token indexes
+    /// (the fallback builds lazily instead — it may never fire).
+    rules_use_sets: bool,
 }
 
 impl CompiledComparator<'_> {
+    /// `true` when scoring will read the stores'
+    /// [`TokenIndex`]es on every pair —
+    /// the pipeline pre-warms the indexes in that case so parallel
+    /// workers never serialise on the lazy build.
+    pub fn uses_token_index(&self) -> bool {
+        self.rules_use_sets
+    }
+
+    /// Score one candidate pair: the aggregated similarity and its
+    /// threshold decision, nothing else.
+    ///
+    /// This is the pipeline's per-pair hot path: all working memory
+    /// comes from `scratch` and the stores' precomputed token indexes,
+    /// so the call performs **no heap allocation** in steady state.
+    /// Bit-identical to [`compare`](Self::compare)'s score and decision.
+    pub fn score(
+        &self,
+        external: &RecordStore,
+        left: usize,
+        local: &RecordStore,
+        right: usize,
+        scratch: &mut SimScratch,
+    ) -> (f64, MatchDecision) {
+        self.eval(external, left, local, right, scratch, |_| {})
+    }
+
     /// Compare one candidate pair, given as record indexes into the stores
-    /// this comparator was compiled against.
+    /// this comparator was compiled against, materialising per-rule
+    /// details.
     pub fn compare(
         &self,
         external: &RecordStore,
@@ -170,40 +287,112 @@ impl CompiledComparator<'_> {
         local: &RecordStore,
         right: usize,
     ) -> Comparison {
+        let mut details = Vec::with_capacity(self.comparator.rules.len());
+        let mut scratch = SimScratch::new();
+        let (score, decision) = self.eval(external, left, local, right, &mut scratch, |detail| {
+            details.push(detail)
+        });
+        Comparison {
+            score,
+            decision,
+            details,
+        }
+    }
+
+    /// The shared evaluation core of [`score`](Self::score) and
+    /// [`compare`](Self::compare): `detail` observes each rule's
+    /// similarity (`score` passes a no-op, which inlines away).
+    #[inline]
+    fn eval(
+        &self,
+        external: &RecordStore,
+        left: usize,
+        local: &RecordStore,
+        right: usize,
+        scratch: &mut SimScratch,
+        mut detail: impl FnMut(Option<f64>),
+    ) -> (f64, MatchDecision) {
         let comparator = self.comparator;
-        let mut details = Vec::with_capacity(comparator.rules.len());
+        // Resolved once per call; `token_index()` is an atomic load once
+        // the index exists (the pipeline pre-warms it).
+        let token_indexes: Option<(&TokenIndex, &TokenIndex)> = self
+            .rules_use_sets
+            .then(|| (external.token_index(), local.token_index()));
         let mut weighted_sum = 0.0;
         let mut weight_total = 0.0;
-        for (rule, &(left_property, right_property)) in
-            comparator.rules.iter().zip(&self.properties)
+        for ((rule, &(left_property, right_property)), kernel) in comparator
+            .rules
+            .iter()
+            .zip(&self.properties)
+            .zip(&self.kernels)
         {
             let (Some(lp), Some(rp)) = (left_property, right_property) else {
-                details.push(None);
+                detail(None);
                 continue;
             };
-            let left_values = external.values(left, lp);
-            let right_values = local.values(right, rp);
-            if left_values.len() == 0 || right_values.len() == 0 {
-                details.push(None);
+            let left_values = external.value_list(left, lp);
+            let right_values = local.value_list(right, rp);
+            if left_values.is_empty() || right_values.is_empty() {
+                detail(None);
                 continue;
             }
-            // Best pairing across multi-valued attributes.
+            // Best pairing across multi-valued attributes, indexing the
+            // column slices directly (no per-left iterator clone).
             let mut best = 0.0f64;
-            for lv in left_values {
-                for rv in right_values.clone() {
-                    best = best.max(rule.measure.compare(lv, rv));
+            match *kernel {
+                Kernel::Str(kernel) => {
+                    for i in 0..left_values.len() {
+                        let lv = left_values.get(i);
+                        for j in 0..right_values.len() {
+                            best = best.max(kernel(scratch, lv, right_values.get(j)));
+                        }
+                    }
+                }
+                Kernel::Set(kernel) => {
+                    let (external_index, local_index) =
+                        token_indexes.expect("set kernels imply rules_use_sets");
+                    for i in 0..left_values.len() {
+                        let lv = external_index.value_tokens(
+                            lp.index(),
+                            left_values.value_index(i),
+                            left_values.get(i),
+                        );
+                        for j in 0..right_values.len() {
+                            let rv = local_index.value_tokens(
+                                rp.index(),
+                                right_values.value_index(j),
+                                right_values.get(j),
+                            );
+                            best = best.max(kernel.eval(&lv, &rv, scratch));
+                        }
+                    }
                 }
             }
-            details.push(Some(best));
+            detail(Some(best));
             weighted_sum += best * rule.weight;
             weight_total += rule.weight;
         }
         let score = if weight_total > 0.0 {
             weighted_sum / weight_total
-        } else if let Some(fallback) = comparator.fallback {
-            fallback.compare(external.full_text(left), local.full_text(right))
         } else {
-            0.0
+            match self.fallback_kernel {
+                Some(Kernel::Str(kernel)) => {
+                    kernel(scratch, external.full_text(left), local.full_text(right))
+                }
+                Some(Kernel::Set(kernel)) => {
+                    // The fallback rarely fires; the dedicated full-text
+                    // index builds lazily here, without taxing the
+                    // per-value pre-warm (and vice versa).
+                    let lv = external
+                        .full_token_index()
+                        .full_tokens(left, external.full_text(left));
+                    let rv = local
+                        .full_token_index()
+                        .full_tokens(right, local.full_text(right));
+                    kernel.eval(&lv, &rv, scratch)
+                }
+                None => 0.0,
+            }
         };
         let decision = if score >= comparator.match_threshold {
             MatchDecision::Match
@@ -212,11 +401,7 @@ impl CompiledComparator<'_> {
         } else {
             MatchDecision::Possible
         };
-        Comparison {
-            score,
-            decision,
-            details,
-        }
+        (score, decision)
     }
 
     /// `true` when the pair is decided as a match.
@@ -227,7 +412,8 @@ impl CompiledComparator<'_> {
         local: &RecordStore,
         right: usize,
     ) -> bool {
-        self.compare(external, left, local, right).decision == MatchDecision::Match
+        let mut scratch = SimScratch::new();
+        self.score(external, left, local, right, &mut scratch).1 == MatchDecision::Match
     }
 }
 
@@ -385,5 +571,37 @@ mod tests {
         assert_eq!(compiled.compare(&external, 1, &local, 0).score, 0.0);
         // The one-shot convenience agrees with the compiled path.
         assert_eq!(cmp.compare(&external, 1, &local, 0).score, 0.0);
+    }
+
+    #[test]
+    fn score_agrees_with_compare_for_every_measure() {
+        let mut scratch = SimScratch::new();
+        for &measure in SimilarityMeasure::all() {
+            let cmp = RecordComparator::single(EXT_PN, LOC_PN, measure);
+            for (a, b) in [
+                ("CRCW0805-10K", "CRCW0806-10K"),
+                ("fixed film resistor", "film resistor"),
+                ("", "x"),
+                ("café", "cafe"),
+            ] {
+                let (e, l) = (ext(a), loc(b, "label"));
+                let compiled = cmp.compile(&e, &l);
+                let full = compiled.compare(&e, 0, &l, 0);
+                let (score, decision) = compiled.score(&e, 0, &l, 0, &mut scratch);
+                assert_eq!(full.score.to_bits(), score.to_bits(), "{}", measure.name());
+                assert_eq!(full.decision, decision, "{}", measure.name());
+            }
+        }
+    }
+
+    #[test]
+    fn uses_token_index_reflects_rule_measures() {
+        let set = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::DiceBigrams);
+        let string = RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler);
+        let (e, l) = (ext("x"), loc("x", "y"));
+        assert!(set.compile(&e, &l).uses_token_index());
+        // A string-measure rule set never touches the index, even though
+        // the default fallback is Monge-Elkan (it builds lazily).
+        assert!(!string.compile(&e, &l).uses_token_index());
     }
 }

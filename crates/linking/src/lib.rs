@@ -11,7 +11,11 @@
 //!
 //! * [`similarity`] — string similarity measures (Levenshtein,
 //!   Damerau-Levenshtein, Jaro, Jaro-Winkler, Jaccard, Dice, Monge-Elkan,
-//!   TF-IDF cosine).
+//!   TF-IDF cosine), each with an allocation-free scratch-buffer kernel
+//!   variant (`*_with(scratch, a, b)`, see [`similarity::SimScratch`]).
+//! * [`token_index`] — store-level token/bigram precomputation: each
+//!   attribute value is tokenised once, so the set-based measures run as
+//!   sorted-merge intersections in the per-pair loop.
 //! * [`record`] — flat attribute/value records extracted from RDF items
 //!   (the builder-side representation).
 //! * [`intern`] / [`store`] — the execution-side representation: property
@@ -66,6 +70,7 @@ pub mod record;
 pub mod shard;
 pub mod similarity;
 pub mod store;
+pub mod token_index;
 
 pub use blocking::{
     BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CartesianBlocker,
@@ -79,5 +84,6 @@ pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
 pub use shard::{ShardedStore, ShardedStoreBuilder};
-pub use similarity::SimilarityMeasure;
-pub use store::{RecordStore, RecordStoreBuilder};
+pub use similarity::{SimScratch, SimilarityMeasure};
+pub use store::{RecordStore, RecordStoreBuilder, ValueList};
+pub use token_index::TokenIndex;

@@ -23,6 +23,7 @@ use crate::blocking::{Blocker, CandidatePair};
 use crate::comparator::{CompiledComparator, MatchDecision, RecordComparator};
 use crate::record::Record;
 use crate::shard::ShardedStore;
+use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use classilink_rdf::Term;
 use serde::{Deserialize, Serialize};
@@ -112,6 +113,12 @@ impl<'a> LinkagePipeline<'a> {
         let candidates = self.blocker.candidate_pairs(external, local);
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self.comparator.compile(external, local);
+        if compiled.uses_token_index() {
+            // Build the token indexes before the workers start, so the
+            // per-pair loop only ever sees the cached index.
+            external.token_index();
+            local.token_index();
+        }
         // A monolithic store is one task queue; workers still steal
         // blocks from it instead of folding fixed `len / threads` chunks,
         // so stragglers no longer serialise the join.
@@ -142,6 +149,12 @@ impl<'a> LinkagePipeline<'a> {
         let compiled = self
             .comparator
             .compile_schemas(external.interner(), local.schema());
+        if compiled.uses_token_index() {
+            external.token_index();
+            for shard in local.shards() {
+                shard.token_index();
+            }
+        }
         let routed = local.route(&candidates);
         let queues: Vec<TaskQueue<'_>> = routed
             .iter()
@@ -172,6 +185,7 @@ impl<'a> LinkagePipeline<'a> {
         if self.threads <= 1 || candidate_count < STEAL_BLOCK {
             let mut matches = Vec::new();
             let mut possible = Vec::new();
+            let mut scratch = SimScratch::new();
             for queue in queues {
                 score_block(
                     compiled,
@@ -179,6 +193,7 @@ impl<'a> LinkagePipeline<'a> {
                     external,
                     queue.store,
                     queue.base,
+                    &mut scratch,
                     &mut matches,
                     &mut possible,
                 );
@@ -275,6 +290,9 @@ fn score_stealing(
                 scope.spawn(move || {
                     let mut matches = Vec::new();
                     let mut possible = Vec::new();
+                    // Each worker owns one scratch for its whole run:
+                    // every pair it scores reuses the same buffers.
+                    let mut scratch = SimScratch::new();
                     for hop in 0..queues.len() {
                         let queue = &queues[(worker + hop) % queues.len()];
                         while let Some(block) = queue.claim() {
@@ -284,6 +302,7 @@ fn score_stealing(
                                 external,
                                 queue.store,
                                 queue.base,
+                                &mut scratch,
                                 &mut matches,
                                 &mut possible,
                             );
@@ -306,7 +325,9 @@ fn score_stealing(
 }
 
 /// Compare every candidate of one block, keeping index pairs only (the
-/// local side offset back to global ids).
+/// local side offset back to global ids). Runs on the detail-free
+/// [`CompiledComparator::score`] path: the only allocations are the
+/// (amortised) pushes of surviving pairs.
 #[allow(clippy::too_many_arguments)]
 fn score_block(
     compiled: &CompiledComparator<'_>,
@@ -314,6 +335,7 @@ fn score_block(
     external: &RecordStore,
     local: &RecordStore,
     base: usize,
+    scratch: &mut SimScratch,
     matches: &mut Vec<ScoredPair>,
     possible: &mut Vec<ScoredPair>,
 ) {
@@ -321,10 +343,10 @@ fn score_block(
         if e >= external.len() || l >= local.len() {
             continue;
         }
-        let comparison = compiled.compare(external, e, local, l);
-        match comparison.decision {
-            MatchDecision::Match => matches.push((e, base + l, comparison.score)),
-            MatchDecision::Possible => possible.push((e, base + l, comparison.score)),
+        let (score, decision) = compiled.score(external, e, local, l, scratch);
+        match decision {
+            MatchDecision::Match => matches.push((e, base + l, score)),
+            MatchDecision::Possible => possible.push((e, base + l, score)),
             MatchDecision::NonMatch => {}
         }
     }

@@ -27,6 +27,13 @@
 //!   comparison phase (see
 //!   [`LinkagePipeline::run_sharded`](crate::pipeline::LinkagePipeline::run_sharded)).
 //!
+//! Each shard, being a plain [`RecordStore`], also owns its lazily-built
+//! [`TokenIndex`](crate::token_index::TokenIndex); when the compiled
+//! comparator uses set-measure kernels the pipeline pre-warms every
+//! shard's index before spawning workers (each of which owns one
+//! [`SimScratch`](crate::similarity::SimScratch) for its whole run), so
+//! the per-pair loop stays allocation-free across shard boundaries.
+//!
 //! ```text
 //!  logical catalog (global ids)      0 1 2 3 4 5 6 7 8 9
 //!                                    ├─────────┼───────┼─┤

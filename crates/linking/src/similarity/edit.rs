@@ -1,84 +1,203 @@
 //! Edit-distance based similarities (Levenshtein, Damerau-Levenshtein).
+//!
+//! Each measure comes in two forms: the classic allocating entry points
+//! (`levenshtein(a, b)`, …) and the scratch-buffer kernels
+//! (`levenshtein_with(scratch, a, b)`, …) the comparison hot path uses.
+//! The kernels borrow their DP rows and char buffers from a
+//! [`SimScratch`], take an ASCII byte-slice fast path when both inputs
+//! are ASCII (no char decode), trim common prefixes/suffixes, and
+//! early-exit on equal or empty inputs — while staying **bit-identical**
+//! to the naive reference implementations (asserted by the equivalence
+//! property tests against [`crate::similarity::naive`]).
+
+use super::scratch::SimScratch;
+
+/// Drop the common prefix and suffix of two slices (edit operations can
+/// only occur in the differing middle, so the Levenshtein distance of
+/// the trimmed slices equals the distance of the originals).
+fn trim_common<'s, T: PartialEq>(a: &'s [T], b: &'s [T]) -> (&'s [T], &'s [T]) {
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let (a, b) = (&a[prefix..], &b[prefix..]);
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count();
+    (&a[..a.len() - suffix], &b[..b.len() - suffix])
+}
+
+/// Two-row Levenshtein DP over already-trimmed, non-empty slices.
+fn levenshtein_rows<T: PartialEq>(
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+    a: &[T],
+    b: &[T],
+) -> usize {
+    prev.clear();
+    prev.extend(0..=b.len());
+    curr.clear();
+    curr.resize(b.len() + 1, 0);
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let substitution_cost = if ca == cb { 0 } else { 1 };
+            curr[j + 1] = (prev[j + 1] + 1)
+                .min(curr[j] + 1)
+                .min(prev[j] + substitution_cost);
+        }
+        std::mem::swap(prev, curr);
+    }
+    prev[b.len()]
+}
+
+/// The Levenshtein edit distance between two strings (insertions,
+/// deletions, substitutions each cost 1), computed over Unicode scalar
+/// values, using `scratch` for all working memory.
+pub fn levenshtein_with(scratch: &mut SimScratch, a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let SimScratch {
+        a_chars,
+        b_chars,
+        prev,
+        curr,
+        ..
+    } = scratch;
+    if a.is_ascii() && b.is_ascii() {
+        let (a, b) = trim_common(a.as_bytes(), b.as_bytes());
+        if a.is_empty() || b.is_empty() {
+            return a.len().max(b.len());
+        }
+        levenshtein_rows(prev, curr, a, b)
+    } else {
+        a_chars.clear();
+        a_chars.extend(a.chars());
+        b_chars.clear();
+        b_chars.extend(b.chars());
+        let (a, b) = trim_common(a_chars.as_slice(), b_chars.as_slice());
+        if a.is_empty() || b.is_empty() {
+            return a.len().max(b.len());
+        }
+        levenshtein_rows(prev, curr, a, b)
+    }
+}
+
+/// The number of Unicode scalar values of `s` (free for ASCII input).
+fn scalar_len(s: &str) -> usize {
+    if s.is_ascii() {
+        s.len()
+    } else {
+        s.chars().count()
+    }
+}
+
+/// Levenshtein similarity in `[0, 1]` (`1 − distance / max(|a|, |b|)`),
+/// using `scratch` for all working memory. Two empty strings are fully
+/// similar.
+pub fn levenshtein_similarity_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    let max_len = scalar_len(a).max(scalar_len(b));
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_with(scratch, a, b) as f64 / max_len as f64
+}
+
+/// Three-row Damerau (optimal string alignment) DP over non-empty
+/// slices: row `i` needs rows `i − 1` and `i − 2` only.
+fn damerau_rows<T: PartialEq>(
+    prev2: &mut Vec<usize>,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+    a: &[T],
+    b: &[T],
+) -> usize {
+    prev.clear();
+    prev.extend(0..=b.len());
+    prev2.clear();
+    prev2.resize(b.len() + 1, 0);
+    curr.clear();
+    curr.resize(b.len() + 1, 0);
+    for i in 1..=a.len() {
+        curr[0] = i;
+        for j in 1..=b.len() {
+            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut best = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            curr[j] = best;
+        }
+        // Rotate the rows: (i − 2, i − 1, i) ← (i − 1, i, scrap).
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, curr);
+    }
+    prev[b.len()]
+}
+
+/// The Damerau-Levenshtein distance (restricted / "optimal string
+/// alignment" variant): like Levenshtein but a transposition of two
+/// adjacent characters counts as a single edit. Uses `scratch` for all
+/// working memory.
+pub fn damerau_levenshtein_with(scratch: &mut SimScratch, a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return scalar_len(a).max(scalar_len(b));
+    }
+    let SimScratch {
+        a_chars,
+        b_chars,
+        prev,
+        curr,
+        prev2,
+        ..
+    } = scratch;
+    if a.is_ascii() && b.is_ascii() {
+        damerau_rows(prev2, prev, curr, a.as_bytes(), b.as_bytes())
+    } else {
+        a_chars.clear();
+        a_chars.extend(a.chars());
+        b_chars.clear();
+        b_chars.extend(b.chars());
+        damerau_rows(prev2, prev, curr, a_chars.as_slice(), b_chars.as_slice())
+    }
+}
+
+/// Damerau-Levenshtein similarity in `[0, 1]`, using `scratch` for all
+/// working memory.
+pub fn damerau_levenshtein_similarity_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    let max_len = scalar_len(a).max(scalar_len(b));
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein_with(scratch, a, b) as f64 / max_len as f64
+}
 
 /// The Levenshtein edit distance between two strings (insertions, deletions,
 /// substitutions each cost 1), computed over Unicode scalar values.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() {
-        return b.len();
-    }
-    if b.is_empty() {
-        return a.len();
-    }
-    // Single-row dynamic programming.
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut current = vec![0usize; b.len() + 1];
-    for (i, ca) in a.iter().enumerate() {
-        current[0] = i + 1;
-        for (j, cb) in b.iter().enumerate() {
-            let substitution_cost = if ca == cb { 0 } else { 1 };
-            current[j + 1] = (prev[j + 1] + 1)
-                .min(current[j] + 1)
-                .min(prev[j] + substitution_cost);
-        }
-        std::mem::swap(&mut prev, &mut current);
-    }
-    prev[b.len()]
+    levenshtein_with(&mut SimScratch::new(), a, b)
 }
 
 /// Levenshtein distance normalised into a similarity in `[0, 1]`:
 /// `1 − distance / max(|a|, |b|)`. Two empty strings are fully similar.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    levenshtein_similarity_with(&mut SimScratch::new(), a, b)
 }
 
 /// The Damerau-Levenshtein distance (restricted / "optimal string alignment"
 /// variant): like Levenshtein but a transposition of two adjacent characters
 /// counts as a single edit.
 pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() {
-        return b.len();
-    }
-    if b.is_empty() {
-        return a.len();
-    }
-    let width = b.len() + 1;
-    let mut d = vec![0usize; (a.len() + 1) * width];
-    for i in 0..=a.len() {
-        d[i * width] = i;
-    }
-    for (j, cell) in d.iter_mut().enumerate().take(b.len() + 1) {
-        *cell = j;
-    }
-    for i in 1..=a.len() {
-        for j in 1..=b.len() {
-            let cost = if a[i - 1] == b[j - 1] { 0 } else { 1 };
-            let mut best = (d[(i - 1) * width + j] + 1)
-                .min(d[i * width + j - 1] + 1)
-                .min(d[(i - 1) * width + j - 1] + cost);
-            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
-                best = best.min(d[(i - 2) * width + j - 2] + 1);
-            }
-            d[i * width + j] = best;
-        }
-    }
-    d[a.len() * width + b.len()]
+    damerau_levenshtein_with(&mut SimScratch::new(), a, b)
 }
 
 /// Damerau-Levenshtein distance normalised into a similarity in `[0, 1]`.
 pub fn damerau_levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
-    if max_len == 0 {
-        return 1.0;
-    }
-    1.0 - damerau_levenshtein(a, b) as f64 / max_len as f64
+    damerau_levenshtein_similarity_with(&mut SimScratch::new(), a, b)
 }
 
 #[cfg(test)]
@@ -124,6 +243,23 @@ mod tests {
     fn unicode_is_counted_per_scalar() {
         assert_eq!(levenshtein("café", "cafe"), 1);
         assert_eq!(levenshtein("résistance", "resistance"), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_across_measures_and_lengths() {
+        // One scratch, many calls of varying length and script: results
+        // must not depend on what the previous call left in the buffers.
+        let mut scratch = SimScratch::new();
+        assert_eq!(levenshtein_with(&mut scratch, "kitten", "sitting"), 3);
+        assert_eq!(levenshtein_with(&mut scratch, "a", "ab"), 1);
+        assert_eq!(damerau_levenshtein_with(&mut scratch, "ca", "ac"), 1);
+        assert_eq!(levenshtein_with(&mut scratch, "café", "cafe"), 1);
+        assert_eq!(levenshtein_with(&mut scratch, "", ""), 0);
+        assert_eq!(
+            damerau_levenshtein_with(&mut scratch, "CRCW0850", "CRCW0805"),
+            1
+        );
+        assert_eq!(levenshtein_with(&mut scratch, "kitten", "sitting"), 3);
     }
 
     proptest! {

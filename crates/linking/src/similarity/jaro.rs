@@ -3,27 +3,107 @@
 //! Jaro similarity is the classic record-linkage measure introduced by Jaro
 //! for the 1985 Tampa census matching (reference \[5\] of the paper); the
 //! Winkler variant boosts strings sharing a common prefix.
+//!
+//! The `*_with(scratch, a, b)` kernels reuse a [`SimScratch`]'s match
+//! bitmap and buffers (plus an ASCII byte fast path and equal/empty
+//! early exits) and are bit-identical to the naive reference versions in
+//! [`crate::similarity::naive`].
 
-/// The Jaro similarity between two strings, in `[0, 1]`.
-pub fn jaro(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
+use super::scratch::SimScratch;
+
+/// The Jaro score formula, shared by the two bitmap strategies:
+/// `matches` holds a's matched symbols, `mismatched` the number of
+/// positions where a's and b's matched sequences disagree.
+fn jaro_score(a_len: usize, b_len: usize, matches: &[u32], mismatched: usize) -> f64 {
+    let transpositions = mismatched as f64 / 2.0;
+    let m = matches.len() as f64;
+    (m / a_len as f64 + m / b_len as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Bit-parallel Jaro matching for ASCII byte slices with `|b| ≤ 64`:
+/// one pass over `b` builds per-byte position masks, then each `a[i]`
+/// resolves its match with three bitwise ops — `positions[a[i]] ∧
+/// window ∧ ¬matched` — and takes the **lowest** set bit, which is
+/// exactly the naive scan's "first unmatched equal position in the
+/// window" rule, so matches, their order, and the transposition count
+/// are identical to the reference implementation.
+fn jaro_ascii_bitparallel(
+    positions: &mut Vec<u64>,
+    matches: &mut Vec<u32>,
+    a: &[u8],
+    b: &[u8],
+) -> f64 {
+    debug_assert!(b.len() <= 64);
+    if positions.is_empty() {
+        positions.resize(256, 0);
     }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
+    for (j, &cb) in b.iter().enumerate() {
+        positions[cb as usize] |= 1u64 << j;
     }
     let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_matched = vec![false; b.len()];
-    let mut matches: Vec<char> = Vec::new();
-    for (i, ca) in a.iter().enumerate() {
+    let mut b_matched: u64 = 0;
+    matches.clear();
+    for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(match_window);
         let hi = (i + match_window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_matched[j] && b[j] == *ca {
-                b_matched[j] = true;
-                matches.push(*ca);
+        if lo >= hi {
+            continue;
+        }
+        let window = (u64::MAX >> (64 - (hi - lo))) << lo;
+        let available = positions[ca as usize] & window & !b_matched;
+        if available != 0 {
+            b_matched |= available & available.wrapping_neg(); // lowest bit
+            matches.push(ca as u32);
+        }
+    }
+    // Restore the zeroed-between-calls invariant (duplicates are fine:
+    // zeroing is idempotent).
+    for &cb in b {
+        positions[cb as usize] = 0;
+    }
+    if matches.is_empty() {
+        return 0.0;
+    }
+    let mut mismatched = 0usize;
+    let mut next_match = 0usize;
+    let mut mask = b_matched;
+    while mask != 0 {
+        let j = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        if u32::from(b[j]) != matches[next_match] {
+            mismatched += 1;
+        }
+        next_match += 1;
+    }
+    jaro_score(a.len(), b.len(), matches, mismatched)
+}
+
+/// Jaro over symbol slices with the right side's "already matched"
+/// bitmap packed into one `u64` — the fast path for `|b| ≤ 64`, which
+/// covers essentially every attribute value. Bit-identical to the
+/// `Vec<bool>` strategy: same window scan, same first-free-match rule,
+/// same in-order transposition pairing.
+fn jaro_symbols_bitmask<T: Copy + PartialEq + Into<u32>>(
+    matches: &mut Vec<u32>,
+    a: &[T],
+    b: &[T],
+) -> f64 {
+    debug_assert!(b.len() <= 64);
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched: u64 = 0;
+    matches.clear();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        if lo >= hi {
+            // a's tail lies beyond b's window entirely.
+            continue;
+        }
+        for (offset, &cb) in b[lo..hi].iter().enumerate() {
+            let j = lo + offset;
+            if b_matched & (1u64 << j) == 0 && cb == ca {
+                b_matched |= 1u64 << j;
+                matches.push(ca.into());
                 break;
             }
         }
@@ -31,32 +111,131 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if matches.is_empty() {
         return 0.0;
     }
-    // Count transpositions: compare matched characters in order.
-    let b_matches: Vec<char> = b
-        .iter()
-        .zip(b_matched.iter())
-        .filter_map(|(c, m)| m.then_some(*c))
-        .collect();
-    let transpositions = matches
-        .iter()
-        .zip(b_matches.iter())
-        .filter(|(x, y)| x != y)
-        .count() as f64
-        / 2.0;
-    let m = matches.len() as f64;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+    // Count transpositions: walk b's matched symbols in b order (set
+    // bits, ascending) and compare against a's matches.
+    let mut mismatched = 0usize;
+    let mut next_match = 0usize;
+    let mut mask = b_matched;
+    while mask != 0 {
+        let j = mask.trailing_zeros() as usize;
+        mask &= mask - 1;
+        if b[j].into() != matches[next_match] {
+            mismatched += 1;
+        }
+        next_match += 1;
+    }
+    jaro_score(a.len(), b.len(), matches, mismatched)
+}
+
+/// Jaro over decoded symbol slices, with the match bitmap and the
+/// matched-symbol buffer borrowed from the scratch (the general path
+/// for right strings longer than 64 symbols). Symbols are widened
+/// to `u32` so byte and char inputs share one implementation.
+fn jaro_symbols<T: Copy + PartialEq + Into<u32>>(
+    b_matched: &mut Vec<bool>,
+    matches: &mut Vec<u32>,
+    a: &[T],
+    b: &[T],
+) -> f64 {
+    if b.len() <= 64 {
+        return jaro_symbols_bitmask(matches, a, b);
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    b_matched.clear();
+    b_matched.resize(b.len(), false);
+    matches.clear();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                matches.push(ca.into());
+                break;
+            }
+        }
+    }
+    if matches.is_empty() {
+        return 0.0;
+    }
+    // Count transpositions: walk b's matched symbols in order and compare
+    // against a's matches (the naive version materialises `b_matches`
+    // first; pairing in place is the same zip).
+    let mut mismatched = 0usize;
+    let mut next_match = 0usize;
+    for (j, &flag) in b_matched.iter().enumerate() {
+        if flag {
+            if b[j].into() != matches[next_match] {
+                mismatched += 1;
+            }
+            next_match += 1;
+        }
+    }
+    jaro_score(a.len(), b.len(), matches, mismatched)
+}
+
+/// The Jaro similarity between two strings, in `[0, 1]`, using `scratch`
+/// for the match bitmap and buffers.
+pub fn jaro_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    if a == b {
+        // Covers two empty strings (1.0 by convention) and the common
+        // identical-value case without touching the buffers.
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let SimScratch {
+        a_chars,
+        b_chars,
+        b_matched,
+        matches,
+        positions,
+        ..
+    } = scratch;
+    if a.is_ascii() && b.is_ascii() {
+        if b.len() <= 64 {
+            jaro_ascii_bitparallel(positions, matches, a.as_bytes(), b.as_bytes())
+        } else {
+            jaro_symbols(b_matched, matches, a.as_bytes(), b.as_bytes())
+        }
+    } else {
+        a_chars.clear();
+        a_chars.extend(a.chars());
+        b_chars.clear();
+        b_chars.extend(b.chars());
+        jaro_symbols(b_matched, matches, a_chars.as_slice(), b_chars.as_slice())
+    }
+}
+
+/// The Jaro-Winkler similarity (standard 0.1 scale, 4-char maximum
+/// prefix), using `scratch` for all working memory.
+pub fn jaro_winkler_with(scratch: &mut SimScratch, a: &str, b: &str) -> f64 {
+    let base = jaro_with(scratch, a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    base + prefix * 0.1 * (1.0 - base)
+}
+
+/// The Jaro similarity between two strings, in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    jaro_with(&mut SimScratch::new(), a, b)
 }
 
 /// The Jaro-Winkler similarity: Jaro boosted by the length of the common
 /// prefix (up to 4 characters) with the standard scaling factor 0.1.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    jaro_winkler_with(a, b, 0.1, 4)
+    jaro_winkler_with(&mut SimScratch::new(), a, b)
 }
 
 /// Jaro-Winkler with an explicit prefix scaling factor and maximum prefix
 /// length. The scaling factor is clamped to `[0, 0.25]` so the result stays
 /// within `[0, 1]`.
-pub fn jaro_winkler_with(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
+pub fn jaro_winkler_params(a: &str, b: &str, prefix_scale: f64, max_prefix: usize) -> f64 {
     let base = jaro(a, b);
     let scale = prefix_scale.clamp(0.0, 0.25);
     let prefix = a
@@ -107,9 +286,9 @@ mod tests {
 
     #[test]
     fn custom_prefix_scale_is_clamped() {
-        let huge = jaro_winkler_with("prefix-match", "prefix-xxxxx", 5.0, 4);
+        let huge = jaro_winkler_params("prefix-match", "prefix-xxxxx", 5.0, 4);
         assert!(huge <= 1.0);
-        let none = jaro_winkler_with("prefix-match", "prefix-xxxxx", 0.0, 4);
+        let none = jaro_winkler_params("prefix-match", "prefix-xxxxx", 0.0, 4);
         assert!(close(none, jaro("prefix-match", "prefix-xxxxx")));
     }
 
@@ -117,6 +296,17 @@ mod tests {
     fn single_char_strings() {
         assert_eq!(jaro("a", "a"), 1.0);
         assert_eq!(jaro("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_matches() {
+        // A long pair followed by a short pair: stale bitmap/match state
+        // from the first call must not affect the second.
+        let mut scratch = SimScratch::new();
+        assert!(jaro_with(&mut scratch, "JELLYFISH", "SMELLYFISH") > 0.8);
+        assert_eq!(jaro_with(&mut scratch, "a", "b"), 0.0);
+        assert_eq!(jaro_with(&mut scratch, "ab", "ab"), 1.0);
+        assert!(close(jaro_with(&mut scratch, "MARTHA", "MARHTA"), 0.944));
     }
 
     proptest! {

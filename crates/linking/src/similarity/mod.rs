@@ -5,15 +5,29 @@
 //! (section 1). This module provides the classic measures such a method
 //! needs; every function returns a similarity in `[0, 1]`, where `1` means
 //! identical.
+//!
+//! The comparison hot path uses the **scratch-buffer kernels** — the
+//! `*_with(scratch, a, b)` variants threading a [`SimScratch`] through
+//! [`edit`] and [`mod@jaro`] — and the precomputed token-index kernels of
+//! [`crate::token_index`] for the set measures. The plain functions
+//! re-exported here keep the classic one-call API (each allocates a
+//! fresh scratch); [`naive`] holds the reference implementations the
+//! kernels are equivalence-tested against.
 
 pub mod edit;
 pub mod jaro;
+#[doc(hidden)]
+pub mod naive;
+pub mod scratch;
 pub mod token;
 
 pub use edit::{
-    damerau_levenshtein, damerau_levenshtein_similarity, levenshtein, levenshtein_similarity,
+    damerau_levenshtein, damerau_levenshtein_similarity, damerau_levenshtein_similarity_with,
+    damerau_levenshtein_with, levenshtein, levenshtein_similarity, levenshtein_similarity_with,
+    levenshtein_with,
 };
-pub use jaro::{jaro, jaro_winkler};
+pub use jaro::{jaro, jaro_winkler, jaro_winkler_params, jaro_winkler_with, jaro_with};
+pub use scratch::SimScratch;
 pub use token::{
     cosine_tfidf, dice_bigrams, jaccard_chars, jaccard_tokens, monge_elkan, overlap_tokens,
     TfIdfModel,
@@ -52,6 +66,29 @@ impl SimilarityMeasure {
             SimilarityMeasure::DamerauLevenshtein => damerau_levenshtein_similarity(a, b),
             SimilarityMeasure::Jaro => jaro(a, b),
             SimilarityMeasure::JaroWinkler => jaro_winkler(a, b),
+            SimilarityMeasure::JaccardTokens => jaccard_tokens(a, b),
+            SimilarityMeasure::JaccardChars => jaccard_chars(a, b),
+            SimilarityMeasure::DiceBigrams => dice_bigrams(a, b),
+            SimilarityMeasure::MongeElkan => monge_elkan(a, b),
+        }
+    }
+
+    /// Compute the similarity using `scratch` for working memory.
+    ///
+    /// The edit/Jaro measures run allocation-free on the scratch
+    /// kernels; the token/bigram measures still build per-pair sets (the
+    /// allocation-free path for those is the precomputed
+    /// [`TokenIndex`](crate::token_index::TokenIndex) used by
+    /// [`CompiledComparator::score`](crate::comparator::CompiledComparator::score)).
+    /// Results are bit-identical to [`Self::compare`].
+    pub fn compare_with(&self, scratch: &mut scratch::SimScratch, a: &str, b: &str) -> f64 {
+        match self {
+            SimilarityMeasure::Levenshtein => levenshtein_similarity_with(scratch, a, b),
+            SimilarityMeasure::DamerauLevenshtein => {
+                damerau_levenshtein_similarity_with(scratch, a, b)
+            }
+            SimilarityMeasure::Jaro => jaro_with(scratch, a, b),
+            SimilarityMeasure::JaroWinkler => jaro_winkler_with(scratch, a, b),
             SimilarityMeasure::JaccardTokens => jaccard_tokens(a, b),
             SimilarityMeasure::JaccardChars => jaccard_chars(a, b),
             SimilarityMeasure::DiceBigrams => dice_bigrams(a, b),

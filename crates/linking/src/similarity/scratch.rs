@@ -1,0 +1,50 @@
+//! Reusable scratch buffers for the allocation-free similarity kernels.
+//!
+//! Every `*_with(scratch, a, b)` kernel variant (see
+//! [`crate::similarity::edit`] and [`mod@crate::similarity::jaro`]) borrows
+//! its working memory — char buffers, DP rows, match bitmaps — from a
+//! [`SimScratch`] instead of heap-allocating per call. One scratch is
+//! owned per comparison worker thread and amortises to zero allocations
+//! once the buffers have grown to the longest strings seen, which is
+//! what makes the pipeline's per-pair loop allocation-free in steady
+//! state.
+//!
+//! A `SimScratch` carries no result state between calls: every kernel
+//! fully re-initialises the prefix of each buffer it reads, so reusing
+//! one scratch across measures, pairs and stores is always safe.
+
+/// Reusable working memory for the scratch-buffer similarity kernels.
+///
+/// Create one per worker thread ([`SimScratch::new`] performs no
+/// allocation; buffers grow on first use) and thread it through the
+/// `*_with` kernel variants and
+/// [`CompiledComparator::score`](crate::comparator::CompiledComparator::score).
+#[derive(Debug, Clone, Default)]
+pub struct SimScratch {
+    /// Decoded scalar values of the left string (non-ASCII paths only).
+    pub(crate) a_chars: Vec<char>,
+    /// Decoded scalar values of the right string (non-ASCII paths only).
+    pub(crate) b_chars: Vec<char>,
+    /// DP row `i − 1` (edit-distance kernels).
+    pub(crate) prev: Vec<usize>,
+    /// DP row `i` (edit-distance kernels).
+    pub(crate) curr: Vec<usize>,
+    /// DP row `i − 2` (the Damerau transposition lookback).
+    pub(crate) prev2: Vec<usize>,
+    /// Per-position "already matched" bitmap over the right string (Jaro).
+    pub(crate) b_matched: Vec<bool>,
+    /// Matched scalar values of the left string, in match order (Jaro).
+    pub(crate) matches: Vec<u32>,
+    /// Per-byte position masks over the right string (the bit-parallel
+    /// ASCII Jaro path): `positions[c]` has bit `j` set iff `b[j] == c`.
+    /// Invariant: zeroed between calls (each kernel invocation clears
+    /// exactly the entries it set).
+    pub(crate) positions: Vec<u64>,
+}
+
+impl SimScratch {
+    /// An empty scratch; buffers are lazily grown by the kernels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

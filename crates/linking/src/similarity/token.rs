@@ -1,22 +1,62 @@
 //! Token- and set-based similarities: Jaccard, Dice, overlap, Monge-Elkan and
 //! TF-IDF cosine.
+//!
+//! # Tokenisation and bigram conventions
+//!
+//! All token measures share one tokenisation: split on non-alphanumeric
+//! characters, drop empty fragments, lowercase each token.
+//!
+//! All character-bigram measures share one **short-string convention**:
+//! bigrams are adjacent pairs of the *lowercased*
+//! string's scalar values, and a string with fewer than two scalar
+//! values has **no** bigrams (it is never smuggled in as a unigram, so a
+//! unigram can never "intersect" a bigram). When *both* sides of a
+//! bigram measure have no bigrams the measure falls back to lowercased
+//! string equality (`1.0` if equal, `0.0` otherwise); when exactly one
+//! side has no bigrams the similarity is `0.0`. The same convention is
+//! shared verbatim by the precomputed token-index kernels in
+//! [`crate::token_index`].
 
 use super::jaro::jaro_winkler;
 use std::collections::{HashMap, HashSet};
 
-fn tokens(s: &str) -> Vec<String> {
+/// The shared tokenisation: lowercased alphanumeric runs, in order of
+/// appearance (duplicates preserved).
+pub(crate) fn tokens(s: &str) -> Vec<String> {
     s.split(|c: char| !c.is_alphanumeric())
         .filter(|t| !t.is_empty())
         .map(|t| t.to_lowercase())
         .collect()
 }
 
-fn char_bigrams(s: &str) -> Vec<String> {
-    let chars: Vec<char> = s.to_lowercase().chars().collect();
-    if chars.len() < 2 {
-        return chars.iter().map(|c| c.to_string()).collect();
-    }
-    chars.windows(2).map(|w| w.iter().collect()).collect()
+/// Adjacent scalar-value pairs of the lowercased string — the shared
+/// bigram alphabet of [`char_bigrams`] and the token-index kernels.
+pub(crate) fn bigram_pairs(s: &str) -> impl Iterator<Item = (char, char)> {
+    let lowered: Vec<char> = s.to_lowercase().chars().collect();
+    (1..lowered.len()).map(move |i| (lowered[i - 1], lowered[i]))
+}
+
+/// The character bigrams of the lowercased string. A string with fewer
+/// than two scalar values (after lowercasing) has **no** bigrams — see
+/// the short-string convention in the [module docs](self).
+pub(crate) fn char_bigrams(s: &str) -> Vec<String> {
+    bigram_pairs(s)
+        .map(|(a, b)| {
+            let mut gram = String::with_capacity(a.len_utf8() + b.len_utf8());
+            gram.push(a);
+            gram.push(b);
+            gram
+        })
+        .collect()
+}
+
+/// Case-insensitive string equality without allocating (compares the
+/// `char::to_lowercase` expansions) — the bigram measures' tie-breaker
+/// when neither side has any bigram.
+pub(crate) fn lowercase_eq(a: &str, b: &str) -> bool {
+    a.chars()
+        .flat_map(char::to_lowercase)
+        .eq(b.chars().flat_map(char::to_lowercase))
 }
 
 fn jaccard_of_sets(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
@@ -39,27 +79,33 @@ pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
     jaccard_of_sets(&sa, &sb)
 }
 
-/// Jaccard similarity over character bigrams.
+/// Jaccard similarity over character bigrams (short-string convention:
+/// see the [module docs](self)).
 pub fn jaccard_chars(a: &str, b: &str) -> f64 {
     let sa: HashSet<String> = char_bigrams(a).into_iter().collect();
     let sb: HashSet<String> = char_bigrams(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return if lowercase_eq(a, b) { 1.0 } else { 0.0 };
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
     jaccard_of_sets(&sa, &sb)
 }
 
-/// Dice coefficient over character bigrams: `2·|A∩B| / (|A| + |B|)`.
+/// Dice coefficient over character bigrams: `2·|A∩B| / (|A| + |B|)`
+/// (short-string convention: see the [module docs](self)).
 pub fn dice_bigrams(a: &str, b: &str) -> f64 {
     let sa: HashSet<String> = char_bigrams(a).into_iter().collect();
     let sb: HashSet<String> = char_bigrams(b).into_iter().collect();
     if sa.is_empty() && sb.is_empty() {
-        return 1.0;
+        return if lowercase_eq(a, b) { 1.0 } else { 0.0 };
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
     }
     let intersection = sa.intersection(&sb).count() as f64;
-    let denom = (sa.len() + sb.len()) as f64;
-    if denom == 0.0 {
-        1.0
-    } else {
-        2.0 * intersection / denom
-    }
+    2.0 * intersection / (sa.len() + sb.len()) as f64
 }
 
 /// Overlap coefficient over tokens: `|A∩B| / min(|A|, |B|)`.
@@ -198,6 +244,22 @@ mod tests {
         assert!(dice_bigrams("night", "nacht") >= jaccard_chars("night", "nacht"));
         assert_eq!(dice_bigrams("", ""), 1.0);
         assert_eq!(dice_bigrams("a", "a"), 1.0);
+    }
+
+    #[test]
+    fn short_string_convention() {
+        // Fewer than two chars → no bigrams; never a unigram-vs-bigram
+        // comparison.
+        assert!(char_bigrams("a").is_empty());
+        assert!(char_bigrams("").is_empty());
+        assert_eq!(char_bigrams("ab"), vec!["ab".to_string()]);
+        // Both sides bigram-less: lowercased equality decides.
+        assert_eq!(dice_bigrams("a", "A"), 1.0);
+        assert_eq!(jaccard_chars("a", "b"), 0.0);
+        assert_eq!(jaccard_chars("a", ""), 0.0);
+        // One side bigram-less: 0, not a unigram intersection.
+        assert_eq!(dice_bigrams("a", "ab"), 0.0);
+        assert_eq!(jaccard_chars("x", "xyz"), 0.0);
     }
 
     #[test]

@@ -33,9 +33,10 @@
 
 use crate::intern::{PropertyId, PropertyInterner, SchemaInterner};
 use crate::record::Record;
+use crate::token_index::TokenIndex;
 use classilink_rdf::{Graph, Term};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One property's column: all values of that property over all records,
 /// concatenated into a single text arena.
@@ -63,7 +64,7 @@ impl Column {
 
 /// Immutable, columnar store of flat records. See the [module
 /// docs](self) for the layout.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RecordStore {
     /// The property symbol table this store was frozen with. Shared (via
     /// `Arc`) between every shard of a [`ShardedStore`](crate::shard::ShardedStore)
@@ -80,6 +81,26 @@ pub struct RecordStore {
     /// Byte boundaries of `full_text`: record `r`'s text is
     /// `full_text[full_text_bounds[r] .. full_text_bounds[r + 1]]`.
     full_text_bounds: Vec<u32>,
+    /// Lazily-built per-value token/bigram precomputation (see
+    /// [`RecordStore::token_index`]); a cache, excluded from equality.
+    token_index: OnceLock<TokenIndex>,
+    /// Lazily-built full-text token/bigram precomputation (see
+    /// [`RecordStore::full_token_index`]); a cache, excluded from
+    /// equality.
+    full_token_index: OnceLock<TokenIndex>,
+}
+
+impl PartialEq for RecordStore {
+    /// Structural equality over the stored data; the lazily-built
+    /// [`TokenIndex`] cache is derived state and deliberately ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.interner == other.interner
+            && self.ids == other.ids
+            && self.id_index == other.id_index
+            && self.columns == other.columns
+            && self.full_text == other.full_text
+            && self.full_text_bounds == other.full_text_bounds
+    }
 }
 
 impl RecordStore {
@@ -179,9 +200,67 @@ impl RecordStore {
         }
     }
 
+    /// The values of `property` on `record` as a random-access list —
+    /// the comparison hot path's view: `get` indexes the column slice
+    /// directly (no iterator cloning for the multi-value best-pairing
+    /// loop) and the list addresses the matching [`TokenIndex`]
+    /// entries by column-global value index.
+    pub fn value_list(&self, record: usize, property: PropertyId) -> ValueList<'_> {
+        match self.columns.get(property.index()) {
+            Some(column) => {
+                let range = column.range(record);
+                ValueList {
+                    column: Some(column),
+                    start: range.start,
+                    len: range.len(),
+                }
+            }
+            None => ValueList {
+                column: None,
+                start: 0,
+                len: 0,
+            },
+        }
+    }
+
     /// The first value of `property` on `record`, if any.
     pub fn first(&self, record: usize, property: PropertyId) -> Option<&str> {
         self.values(record, property).next()
+    }
+
+    /// The lazily-built per-value token/bigram precomputation of this
+    /// store (tokenises every attribute value exactly once, on first
+    /// call; subsequent calls return the cache). Used by the
+    /// set-measure kernels of
+    /// [`CompiledComparator::score`](crate::comparator::CompiledComparator::score);
+    /// the pipeline pre-warms it before spawning comparison workers.
+    /// Note the first-call cost is `O(store)`, not `O(pair)` — one-shot
+    /// set-measure [`compare`](crate::comparator::CompiledComparator::compare)
+    /// calls on a large store pay it too.
+    pub fn token_index(&self) -> &TokenIndex {
+        self.token_index.get_or_init(|| TokenIndex::build(self))
+    }
+
+    /// The lazily-built full-text token/bigram precomputation (the
+    /// set-measure fallback's input), independent of
+    /// [`token_index`](Self::token_index) so a fallback that never
+    /// fires never tokenises the full texts.
+    pub fn full_token_index(&self) -> &TokenIndex {
+        self.full_token_index
+            .get_or_init(|| TokenIndex::build_full(self))
+    }
+
+    /// Number of per-property columns (≤ the schema's property count:
+    /// properties interned only by sibling stores have no column here).
+    pub(crate) fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Every value of column `column`, in column-global value order (the
+    /// order [`ValueList::value_index`] addresses).
+    pub(crate) fn column_values(&self, column: usize) -> impl Iterator<Item = &str> {
+        let column = &self.columns[column];
+        (0..column.bounds.len().saturating_sub(1)).map(move |i| column.value(i))
     }
 
     /// Number of attribute values on `record`.
@@ -242,6 +321,64 @@ impl<'a> Iterator for Values<'a> {
 }
 
 impl ExactSizeIterator for Values<'_> {}
+
+/// Random-access view of one record's values of one property (see
+/// [`RecordStore::value_list`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ValueList<'a> {
+    /// `None` when the property has no column in this store.
+    column: Option<&'a Column>,
+    /// Column-global index of the record's first value.
+    start: usize,
+    /// Number of values the record holds for the property.
+    len: usize,
+}
+
+impl<'a> ValueList<'a> {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the record has no value for the property.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th value (a direct column-slice read).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> &'a str {
+        assert!(i < self.len, "value index {i} out of range ({})", self.len);
+        self.column
+            .expect("non-empty ValueList always has a column")
+            .value(self.start + i)
+    }
+
+    /// The column-global value index of the `i`-th value — the key the
+    /// per-value [`TokenIndex`] lists are addressed by.
+    pub(crate) fn value_index(&self, i: usize) -> usize {
+        self.start + i
+    }
+
+    /// Iterate the values in order.
+    pub fn iter(&self) -> Values<'a> {
+        Values {
+            column: self.column,
+            range: self.start..self.start + self.len,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ValueList<'a> {
+    type Item = &'a str;
+    type IntoIter = Values<'a>;
+
+    fn into_iter(self) -> Values<'a> {
+        self.iter()
+    }
+}
 
 /// Incremental [`RecordStore`] construction: push records one at a time,
 /// then [`build`](RecordStoreBuilder::build).
@@ -409,6 +546,8 @@ impl RecordStoreBuilder {
             columns,
             full_text,
             full_text_bounds,
+            token_index: OnceLock::new(),
+            full_token_index: OnceLock::new(),
         }
     }
 }

@@ -1,0 +1,496 @@
+//! Store-level token and bigram precomputation for the set-based
+//! similarity kernels.
+//!
+//! The naive token measures (`jaccard_tokens`, `jaccard_chars`,
+//! `dice_bigrams`, `monge_elkan`) tokenise, lowercase and build
+//! `HashSet<String>`s **per candidate pair** — `O(candidates × string
+//! work)` with several heap allocations per comparison. A [`TokenIndex`]
+//! moves all of that string work to the store: each attribute value (and
+//! each record's full text) is processed **once**, yielding
+//!
+//! * its tokens as dense ids into a per-store token arena, in appearance
+//!   order (Monge-Elkan walks these),
+//! * the same ids **sorted by token text and deduplicated** (the set
+//!   measures intersect these with a branch-light sorted merge), and
+//! * its character bigrams packed into `u64`s (two scalar values), sorted
+//!   and deduplicated — bigram intersections are pure integer merges.
+//!
+//! Token ids are local to one store, so cross-store merges compare the
+//! resolved token bytes (each comparison usually fails on the first
+//! byte); bigram ids are a pure function of the two characters, so they
+//! agree across stores and merge without any resolution. Tokenisation
+//! and the bigram short-string convention are shared verbatim with the
+//! naive reference path (see [`crate::similarity::token`]), which keeps
+//! the kernels bit-identical to the per-pair set construction.
+//!
+//! A store builds its index lazily on first use
+//! ([`RecordStore::token_index`](crate::store::RecordStore::token_index))
+//! and caches it for the store's lifetime; the pipeline pre-warms it
+//! before spawning comparison workers when the compiled comparator has
+//! any set-measure rule.
+
+use crate::similarity::jaro::jaro_winkler_with;
+use crate::similarity::scratch::SimScratch;
+use crate::similarity::token::{bigram_pairs, lowercase_eq, tokens};
+use crate::store::RecordStore;
+use std::collections::HashMap;
+
+/// Distinct lowercased tokens of one store, concatenated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct TokenArena {
+    text: String,
+    /// Byte boundaries: token `t` is `text[bounds[t] .. bounds[t + 1]]`.
+    bounds: Vec<u32>,
+}
+
+impl TokenArena {
+    fn token(&self, id: u32) -> &str {
+        &self.text[self.bounds[id as usize] as usize..self.bounds[id as usize + 1] as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+}
+
+/// Per-value token/bigram lists of one column (or of the per-record
+/// full-text pseudo-column): three flat arrays with per-value offsets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct TokenColumn {
+    /// Token ids in appearance order (duplicates preserved).
+    appear: Vec<u32>,
+    appear_offsets: Vec<u32>,
+    /// Token ids sorted by token text, deduplicated.
+    sorted: Vec<u32>,
+    sorted_offsets: Vec<u32>,
+    /// Character bigrams packed as `(c0 as u64) << 32 | c1`, sorted,
+    /// deduplicated.
+    bigrams: Vec<u64>,
+    bigram_offsets: Vec<u32>,
+}
+
+impl TokenColumn {
+    fn appear(&self, value: usize) -> &[u32] {
+        &self.appear[self.appear_offsets[value] as usize..self.appear_offsets[value + 1] as usize]
+    }
+
+    fn sorted(&self, value: usize) -> &[u32] {
+        &self.sorted[self.sorted_offsets[value] as usize..self.sorted_offsets[value + 1] as usize]
+    }
+
+    fn bigrams(&self, value: usize) -> &[u64] {
+        &self.bigrams[self.bigram_offsets[value] as usize..self.bigram_offsets[value + 1] as usize]
+    }
+}
+
+/// Lazily-built per-store token/bigram precomputation. See the [module
+/// docs](self).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TokenIndex {
+    arena: TokenArena,
+    /// One entry per store column (same indexing as the store's columns).
+    columns: Vec<TokenColumn>,
+    /// Per-record full-text token lists (the fallback measure's input).
+    full: TokenColumn,
+}
+
+/// One value's precomputed token view: its sorted/appearance token ids
+/// (resolvable against the owning index's arena), packed bigrams, and
+/// the raw value text (for the bigram-less equality tie-break).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ValueTokens<'a> {
+    arena: &'a TokenArena,
+    appear: &'a [u32],
+    sorted: &'a [u32],
+    bigrams: &'a [u64],
+    raw: &'a str,
+}
+
+impl TokenIndex {
+    /// Tokenise and bigram-ise every attribute value of `store`, exactly
+    /// once each. The full-text pseudo-column stays empty — it is only
+    /// consumed by the set-measure *fallback*, which may never fire, so
+    /// [`RecordStore::full_token_index`](crate::store::RecordStore::full_token_index)
+    /// builds it separately (and lazily) via [`TokenIndex::build_full`].
+    pub(crate) fn build(store: &RecordStore) -> Self {
+        let mut builder = Builder::default();
+        let columns = (0..store.column_count())
+            .map(|c| builder.column(store.column_values(c)))
+            .collect();
+        TokenIndex {
+            arena: builder.arena,
+            columns,
+            full: TokenColumn::default(),
+        }
+    }
+
+    /// Tokenise and bigram-ise every record's full text (the fallback
+    /// measure's input), with its own arena — independent of the
+    /// per-value index, so neither forces the other to build.
+    pub(crate) fn build_full(store: &RecordStore) -> Self {
+        let mut builder = Builder::default();
+        let full = builder.column((0..store.len()).map(|r| store.full_text(r)));
+        TokenIndex {
+            arena: builder.arena,
+            columns: Vec::new(),
+            full,
+        }
+    }
+
+    /// Number of distinct lowercased tokens in this index's arena.
+    pub fn distinct_tokens(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The token view of one column value (`value` is the column-global
+    /// value index; `raw` is the value's text from the store).
+    pub(crate) fn value_tokens<'a>(
+        &'a self,
+        column: usize,
+        value: usize,
+        raw: &'a str,
+    ) -> ValueTokens<'a> {
+        let column = &self.columns[column];
+        ValueTokens {
+            arena: &self.arena,
+            appear: column.appear(value),
+            sorted: column.sorted(value),
+            bigrams: column.bigrams(value),
+            raw,
+        }
+    }
+
+    /// The token view of one record's full text.
+    pub(crate) fn full_tokens<'a>(&'a self, record: usize, raw: &'a str) -> ValueTokens<'a> {
+        ValueTokens {
+            arena: &self.arena,
+            appear: self.full.appear(record),
+            sorted: self.full.sorted(record),
+            bigrams: self.full.bigrams(record),
+            raw,
+        }
+    }
+}
+
+/// Build-time state: the growing arena plus its interning map (the map
+/// is dropped once the index is frozen).
+#[derive(Default)]
+struct Builder {
+    arena: TokenArena,
+    ids: HashMap<String, u32>,
+}
+
+impl Builder {
+    fn intern(&mut self, token: String) -> u32 {
+        if let Some(&id) = self.ids.get(&token) {
+            return id;
+        }
+        if self.arena.bounds.is_empty() {
+            self.arena.bounds.push(0);
+        }
+        let id = u32::try_from(self.arena.len()).expect("more than u32::MAX distinct tokens");
+        self.arena.text.push_str(&token);
+        self.arena
+            .bounds
+            .push(u32::try_from(self.arena.text.len()).expect("token arena exceeds u32::MAX"));
+        self.ids.insert(token, id);
+        id
+    }
+
+    fn column<'v>(&mut self, values: impl Iterator<Item = &'v str>) -> TokenColumn {
+        fn offset(n: usize) -> u32 {
+            u32::try_from(n).expect("token column exceeds u32::MAX entries")
+        }
+        let mut column = TokenColumn {
+            appear_offsets: vec![0],
+            sorted_offsets: vec![0],
+            bigram_offsets: vec![0],
+            ..TokenColumn::default()
+        };
+        let mut scratch_ids: Vec<u32> = Vec::new();
+        for value in values {
+            let start = column.appear.len();
+            for token in tokens(value) {
+                let id = self.intern(token);
+                column.appear.push(id);
+            }
+            column.appear_offsets.push(offset(column.appear.len()));
+
+            // Sorted-unique view: order by token text so cross-store
+            // merges see one global ordering; equal text ⇒ equal id, so
+            // adjacent dedup suffices.
+            scratch_ids.clear();
+            scratch_ids.extend_from_slice(&column.appear[start..]);
+            let arena = &self.arena;
+            scratch_ids.sort_unstable_by(|&x, &y| arena.token(x).cmp(arena.token(y)));
+            scratch_ids.dedup();
+            column.sorted.extend_from_slice(&scratch_ids);
+            column.sorted_offsets.push(offset(column.sorted.len()));
+
+            let bigram_start = column.bigrams.len();
+            column
+                .bigrams
+                .extend(bigram_pairs(value).map(|(a, b)| ((a as u64) << 32) | b as u64));
+            column.bigrams[bigram_start..].sort_unstable();
+            let deduped = {
+                let mut write = bigram_start;
+                for read in bigram_start..column.bigrams.len() {
+                    if write == bigram_start || column.bigrams[read] != column.bigrams[write - 1] {
+                        column.bigrams[write] = column.bigrams[read];
+                        write += 1;
+                    }
+                }
+                write
+            };
+            column.bigrams.truncate(deduped);
+            column.bigram_offsets.push(offset(column.bigrams.len()));
+        }
+        column
+    }
+}
+
+/// Sorted-merge intersection size over packed bigrams (both slices
+/// sorted, deduplicated).
+fn intersect_bigrams(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Sorted-merge intersection size over token ids from two (possibly
+/// different) arenas: ids are ordered by token text, so the merge
+/// compares resolved bytes.
+fn intersect_tokens(a: &ValueTokens<'_>, b: &ValueTokens<'_>) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.sorted.len() && j < b.sorted.len() {
+        match a.arena.token(a.sorted[i]).cmp(b.arena.token(b.sorted[j])) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard over precomputed token sets (bit-identical to
+/// [`crate::similarity::jaccard_tokens`]).
+pub(crate) fn jaccard_tokens_kernel(a: &ValueTokens<'_>, b: &ValueTokens<'_>) -> f64 {
+    if a.raw == b.raw {
+        return 1.0;
+    }
+    if a.sorted.is_empty() && b.sorted.is_empty() {
+        return 1.0;
+    }
+    let intersection = intersect_tokens(a, b);
+    let union = a.sorted.len() + b.sorted.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+/// Shared empty-set handling of the bigram measures (the short-string
+/// convention of [`crate::similarity::token`]): both sides bigram-less →
+/// lowercased equality decides; one side bigram-less → `0`.
+fn bigram_trivial(a: &ValueTokens<'_>, b: &ValueTokens<'_>) -> Option<f64> {
+    if a.bigrams.is_empty() && b.bigrams.is_empty() {
+        return Some(if lowercase_eq(a.raw, b.raw) { 1.0 } else { 0.0 });
+    }
+    if a.bigrams.is_empty() || b.bigrams.is_empty() {
+        return Some(0.0);
+    }
+    None
+}
+
+/// Jaccard over precomputed bigram sets (bit-identical to
+/// [`crate::similarity::jaccard_chars`]).
+pub(crate) fn jaccard_bigrams_kernel(a: &ValueTokens<'_>, b: &ValueTokens<'_>) -> f64 {
+    if a.raw == b.raw {
+        return 1.0;
+    }
+    if let Some(trivial) = bigram_trivial(a, b) {
+        return trivial;
+    }
+    let intersection = intersect_bigrams(a.bigrams, b.bigrams);
+    let union = a.bigrams.len() + b.bigrams.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+/// Dice over precomputed bigram sets (bit-identical to
+/// [`crate::similarity::dice_bigrams`]).
+pub(crate) fn dice_bigrams_kernel(a: &ValueTokens<'_>, b: &ValueTokens<'_>) -> f64 {
+    if a.raw == b.raw {
+        return 1.0;
+    }
+    if let Some(trivial) = bigram_trivial(a, b) {
+        return trivial;
+    }
+    let intersection = intersect_bigrams(a.bigrams, b.bigrams) as f64;
+    2.0 * intersection / (a.bigrams.len() + b.bigrams.len()) as f64
+}
+
+/// Monge-Elkan over precomputed token lists, with the Jaro-Winkler inner
+/// measure on the scratch kernels (bit-identical to
+/// [`crate::similarity::monge_elkan`]).
+pub(crate) fn monge_elkan_kernel(
+    a: &ValueTokens<'_>,
+    b: &ValueTokens<'_>,
+    scratch: &mut SimScratch,
+) -> f64 {
+    if a.raw == b.raw {
+        return 1.0;
+    }
+    if a.appear.is_empty() && b.appear.is_empty() {
+        return 1.0;
+    }
+    if a.appear.is_empty() || b.appear.is_empty() {
+        return 0.0;
+    }
+    let mut directed = |xs: &ValueTokens<'_>, ys: &ValueTokens<'_>| -> f64 {
+        xs.appear
+            .iter()
+            .map(|&x| {
+                ys.appear
+                    .iter()
+                    .map(|&y| jaro_winkler_with(scratch, xs.arena.token(x), ys.arena.token(y)))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.appear.len() as f64
+    };
+    (directed(a, b) + directed(b, a)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::similarity::naive;
+    use classilink_rdf::Term;
+    use proptest::prelude::*;
+
+    const PN: &str = "http://e.org/v#pn";
+
+    /// Build two single-column stores from raw values and return the
+    /// per-value token views for (store a, value i) × (store b, value j).
+    fn single_value_stores(a: &str, b: &str) -> (RecordStore, RecordStore) {
+        let mut ra = Record::new(Term::iri("http://e.org/a"));
+        ra.add(PN, a);
+        let mut rb = Record::new(Term::iri("http://e.org/b"));
+        rb.add(PN, b);
+        (
+            RecordStore::from_records(&[ra]),
+            RecordStore::from_records(&[rb]),
+        )
+    }
+
+    fn kernels_vs_naive(a: &str, b: &str) {
+        let (sa, sb) = single_value_stores(a, b);
+        let (ia, ib) = (sa.token_index(), sb.token_index());
+        let pid_a = sa.property(PN).unwrap();
+        let pid_b = sb.property(PN).unwrap();
+        let va = sa.value_list(0, pid_a);
+        let vb = sb.value_list(0, pid_b);
+        let ta = ia.value_tokens(pid_a.index(), va.value_index(0), va.get(0));
+        let tb = ib.value_tokens(pid_b.index(), vb.value_index(0), vb.get(0));
+        let mut scratch = SimScratch::new();
+        assert_eq!(
+            jaccard_tokens_kernel(&ta, &tb).to_bits(),
+            naive::jaccard_tokens(a, b).to_bits(),
+            "jaccard_tokens({a:?}, {b:?})"
+        );
+        assert_eq!(
+            jaccard_bigrams_kernel(&ta, &tb).to_bits(),
+            naive::jaccard_chars(a, b).to_bits(),
+            "jaccard_chars({a:?}, {b:?})"
+        );
+        assert_eq!(
+            dice_bigrams_kernel(&ta, &tb).to_bits(),
+            naive::dice_bigrams(a, b).to_bits(),
+            "dice_bigrams({a:?}, {b:?})"
+        );
+        assert_eq!(
+            monge_elkan_kernel(&ta, &tb, &mut scratch).to_bits(),
+            naive::monge_elkan(a, b).to_bits(),
+            "monge_elkan({a:?}, {b:?})"
+        );
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_pinned_cases() {
+        for (a, b) in [
+            ("fixed film resistor", "film capacitor"),
+            ("CRCW0805-10K", "CRCW0805 10K"),
+            ("", ""),
+            ("a", "ab"),
+            ("a", "A"),
+            ("night", "nacht"),
+            ("vishay fixed film", "vishai fixd film"),
+            ("  ", "--"),
+            ("ab", "ba"),
+        ] {
+            kernels_vs_naive(a, b);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_naive_on_non_ascii() {
+        for (a, b) in [
+            ("café au lait", "cafe au lait"),
+            ("résistance 10kΩ", "resistance 10kΩ"),
+            ("😀😀 part", "😀 part"),
+            ("e\u{301}tude", "étude"), // combining acute vs precomposed
+            ("İstanbul", "istanbul"),  // lowercase expansion
+            ("ß", "ss"),
+            ("ß", "ß"),
+        ] {
+            kernels_vs_naive(a, b);
+        }
+    }
+
+    #[test]
+    fn index_is_built_once_and_reused() {
+        let (sa, _) = single_value_stores("fixed film resistor", "x");
+        let first = sa.token_index() as *const TokenIndex;
+        let second = sa.token_index() as *const TokenIndex;
+        assert_eq!(first, second);
+        assert_eq!(sa.token_index().distinct_tokens(), 3);
+    }
+
+    #[test]
+    fn full_text_tokens_cover_all_attributes() {
+        let mut r = Record::new(Term::iri("http://e.org/a"));
+        r.add(PN, "CRCW0805").add("http://e.org/v#mfr", "Vishay");
+        let store = RecordStore::from_records(&[r]);
+        let index = store.full_token_index();
+        let full = index.full_tokens(0, store.full_text(0));
+        assert_eq!(full.appear.len(), 2);
+        assert_eq!(full.sorted.len(), 2);
+    }
+
+    proptest! {
+        /// The token-index kernels are bit-identical to the naive
+        /// per-pair set construction on arbitrary printable input.
+        #[test]
+        fn prop_kernels_match_naive(a in "\\PC{0,20}", b in "\\PC{0,20}") {
+            kernels_vs_naive(&a, &b);
+        }
+
+        /// And on ASCII part-number-like input (the common case).
+        #[test]
+        fn prop_kernels_match_naive_ascii(a in "[a-zA-Z0-9 -]{0,24}", b in "[a-zA-Z0-9 -]{0,24}") {
+            kernels_vs_naive(&a, &b);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Equivalence suite for the optimised similarity kernels: every
+//! optimised path — ASCII byte fast paths, scratch-buffer DP/bitmap
+//! kernels, and the precomputed token-index merge kernels behind
+//! `CompiledComparator::score` — must be **bit-identical** (`f64::to_bits`)
+//! to the naive reference implementations in
+//! `classilink_linking::similarity::naive`, on arbitrary Unicode input.
+//!
+//! One scratch is deliberately reused across all calls of each test so
+//! stale buffer state from a previous pair would surface as a mismatch.
+
+use classilink_linking::record::Record;
+use classilink_linking::similarity::scratch::SimScratch;
+use classilink_linking::similarity::{edit, jaro, naive, SimilarityMeasure};
+use classilink_linking::{RecordComparator, RecordStore};
+use classilink_rdf::Term;
+use proptest::prelude::*;
+
+const EXT_PN: &str = "http://provider.e.org/v#ref";
+const LOC_PN: &str = "http://local.e.org/v#partNumber";
+
+/// Assert every scratch kernel agrees bit-for-bit with its naive oracle
+/// on one input pair, using the shared `scratch`.
+fn assert_kernels_match(scratch: &mut SimScratch, a: &str, b: &str) {
+    assert_eq!(
+        edit::levenshtein_with(scratch, a, b),
+        naive::levenshtein(a, b),
+        "levenshtein({a:?}, {b:?})"
+    );
+    assert_eq!(
+        edit::levenshtein_similarity_with(scratch, a, b).to_bits(),
+        naive::levenshtein_similarity(a, b).to_bits(),
+        "levenshtein_similarity({a:?}, {b:?})"
+    );
+    assert_eq!(
+        edit::damerau_levenshtein_with(scratch, a, b),
+        naive::damerau_levenshtein(a, b),
+        "damerau_levenshtein({a:?}, {b:?})"
+    );
+    assert_eq!(
+        edit::damerau_levenshtein_similarity_with(scratch, a, b).to_bits(),
+        naive::damerau_levenshtein_similarity(a, b).to_bits(),
+        "damerau_levenshtein_similarity({a:?}, {b:?})"
+    );
+    assert_eq!(
+        jaro::jaro_with(scratch, a, b).to_bits(),
+        naive::jaro(a, b).to_bits(),
+        "jaro({a:?}, {b:?})"
+    );
+    assert_eq!(
+        jaro::jaro_winkler_with(scratch, a, b).to_bits(),
+        naive::jaro_winkler(a, b).to_bits(),
+        "jaro_winkler({a:?}, {b:?})"
+    );
+    for &measure in SimilarityMeasure::all() {
+        assert_eq!(
+            measure.compare_with(scratch, a, b).to_bits(),
+            naive::compare(measure, a, b).to_bits(),
+            "{}({a:?}, {b:?})",
+            measure.name()
+        );
+        assert_eq!(
+            measure.compare(a, b).to_bits(),
+            naive::compare(measure, a, b).to_bits(),
+            "plain {}({a:?}, {b:?})",
+            measure.name()
+        );
+    }
+}
+
+/// Assert the indexed `score` path agrees bit-for-bit with a naive
+/// weighted-average scorer for every measure, on single-value stores.
+fn assert_score_matches_naive(scratch: &mut SimScratch, a: &str, b: &str) {
+    let mut left = Record::new(Term::iri("http://provider.e.org/item/1"));
+    left.add(EXT_PN, a);
+    let mut right = Record::new(Term::iri("http://local.e.org/prod/1"));
+    right.add(LOC_PN, b);
+    let external = RecordStore::from_records(&[left]);
+    let local = RecordStore::from_records(&[right]);
+    for &measure in SimilarityMeasure::all() {
+        let comparator = RecordComparator::single(EXT_PN, LOC_PN, measure);
+        let compiled = comparator.compile(&external, &local);
+        let (score, _) = compiled.score(&external, 0, &local, 0, scratch);
+        assert_eq!(
+            score.to_bits(),
+            naive::compare(measure, a, b).to_bits(),
+            "score path {}({a:?}, {b:?})",
+            measure.name()
+        );
+        // The detail-carrying path agrees with the detail-free path.
+        let full = compiled.compare(&external, 0, &local, 0);
+        assert_eq!(full.score.to_bits(), score.to_bits());
+        assert_eq!(full.details, vec![Some(score)]);
+    }
+}
+
+#[test]
+fn non_ascii_regression_cases() {
+    // Emoji (4-byte scalars), combining marks vs precomposed chars,
+    // lowercase expansions ('İ' → "i̇", 'ß'), RTL text, CJK — the
+    // inputs most likely to break an ASCII fast path or a byte/char
+    // length confusion.
+    let cases = [
+        ("café", "cafe"),
+        ("e\u{301}tude", "étude"),
+        ("😀😀😀", "😀😀"),
+        ("part😀number", "partnumber"),
+        ("İstanbul", "istanbul"),
+        ("STRASSE", "straße"),
+        ("ß", "ss"),
+        ("日本語テスト", "日本語テスト済"),
+        ("מבחן", "מבחני"),
+        ("Ωμέγα", "ωμεγα"),
+        ("a\u{300}\u{301}", "a\u{301}\u{300}"),
+        ("", "😀"),
+        ("🇫🇷", "🇫"),
+    ];
+    let mut scratch = SimScratch::new();
+    for (a, b) in cases {
+        assert_kernels_match(&mut scratch, a, b);
+        assert_kernels_match(&mut scratch, b, a);
+        assert_score_matches_naive(&mut scratch, a, b);
+    }
+}
+
+#[test]
+fn jaro_strategy_boundary_at_64_symbols() {
+    // Three Jaro implementations are selected by length/encoding:
+    // bit-parallel ASCII (|b| ≤ 64), packed-bitmask chars (|b| ≤ 64),
+    // and the Vec<bool> general path (|b| > 64). Pin pairs straddling
+    // the 63/64/65 boundary, in both argument orders, ASCII and not.
+    let mut scratch = SimScratch::new();
+    let ascii: String = ('a'..='z').cycle().take(101).collect();
+    let unicode: String = "αβγδεζηθικλμνξ".chars().cycle().take(101).collect();
+    for len_a in [1usize, 12, 63, 64, 65, 100] {
+        for len_b in [1usize, 12, 63, 64, 65, 100] {
+            let (a1, b1) = (&ascii[..len_a], &ascii[1..1 + len_b]);
+            assert_kernels_match(&mut scratch, a1, b1);
+            let a2: String = unicode.chars().take(len_a).collect();
+            let b2: String = unicode.chars().skip(1).take(len_b).collect();
+            assert_kernels_match(&mut scratch, &a2, &b2);
+            // Mixed encodings straddling the fast-path dispatch.
+            assert_kernels_match(&mut scratch, a1, &b2);
+        }
+    }
+}
+
+#[test]
+fn ascii_and_unicode_paths_agree_on_the_boundary() {
+    // Pairs straddling the fast-path condition (one side ASCII, one
+    // not) plus pure-ASCII pairs of very different lengths.
+    let mut scratch = SimScratch::new();
+    for (a, b) in [
+        ("CRCW0805-10K", "CRCW0805-10Ω"),
+        ("resistor", "résistor"),
+        ("", ""),
+        ("x", ""),
+        ("an extremely long part description with many tokens", "x"),
+        ("AAAA", "aaaa"),
+    ] {
+        assert_kernels_match(&mut scratch, a, b);
+        assert_score_matches_naive(&mut scratch, a, b);
+    }
+}
+
+proptest! {
+    /// Scratch kernels ≡ naive oracles on arbitrary printable input
+    /// (the shim's `\PC` mixes ASCII and multi-byte characters, so both
+    /// the byte and char paths are exercised in one run).
+    #[test]
+    fn prop_scratch_kernels_bit_identical(a in "\\PC{0,18}", b in "\\PC{0,18}") {
+        let mut scratch = SimScratch::new();
+        assert_kernels_match(&mut scratch, &a, &b);
+    }
+
+    /// The token-indexed score path ≡ a naive scorer on arbitrary
+    /// printable input.
+    #[test]
+    fn prop_score_path_bit_identical(a in "\\PC{0,16}", b in "\\PC{0,16}") {
+        let mut scratch = SimScratch::new();
+        assert_score_matches_naive(&mut scratch, &a, &b);
+    }
+
+    /// Scratch reuse across a *sequence* of pairs never changes results
+    /// (catches kernels that forget to re-initialise buffer prefixes).
+    #[test]
+    fn prop_scratch_reuse_is_stateless(
+        a in "\\PC{0,14}",
+        b in "\\PC{0,14}",
+        c in "\\PC{0,14}",
+        d in "\\PC{0,14}",
+    ) {
+        let mut shared = SimScratch::new();
+        for (x, y) in [(&a, &b), (&c, &d), (&a, &d), (&c, &b), (&a, &b)] {
+            let with_shared = (
+                edit::levenshtein_with(&mut shared, x, y),
+                jaro::jaro_with(&mut shared, x, y).to_bits(),
+                edit::damerau_levenshtein_with(&mut shared, x, y),
+            );
+            let mut fresh = SimScratch::new();
+            let with_fresh = (
+                edit::levenshtein_with(&mut fresh, x, y),
+                jaro::jaro_with(&mut fresh, x, y).to_bits(),
+                edit::damerau_levenshtein_with(&mut fresh, x, y),
+            );
+            prop_assert_eq!(with_shared, with_fresh);
+        }
+    }
+}

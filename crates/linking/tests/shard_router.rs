@@ -184,6 +184,158 @@ fn compiled_comparator_is_reusable_across_shards() {
     }
 }
 
+/// The kernel-swap guard: on a *generated* scenario (realistic part
+/// numbers, perturbations, multi-attribute records) and a multi-measure
+/// comparator covering the string kernels (Levenshtein, Jaro-Winkler)
+/// and the token-index kernels (Dice bigrams, Jaccard tokens,
+/// Monge-Elkan), the pipeline's results — **scores included, not just
+/// decisions** — are
+///
+/// 1. identical between `run_stores` and `run_sharded` at several shard
+///    and thread counts, and
+/// 2. bit-identical to a reference scorer built from the naive
+///    (pre-kernel-swap) measure implementations in `similarity::naive`.
+#[test]
+fn generated_scenario_scores_survive_the_kernel_swap() {
+    use classilink_datagen::scenario::{generate, ScenarioConfig};
+    use classilink_datagen::vocab;
+    use classilink_linking::similarity::naive;
+    use classilink_linking::MatchDecision;
+
+    let scenario = generate(&ScenarioConfig::tiny());
+    let external = scenario.external_store();
+    let local = scenario.local_store();
+    let rule = |left: &str, right: &str, measure: SimilarityMeasure, weight: f64| {
+        classilink_linking::AttributeRule {
+            left_property: left.to_string(),
+            right_property: right.to_string(),
+            measure,
+            weight,
+        }
+    };
+    let cmp = RecordComparator::new(vec![
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::JaroWinkler,
+            3.0,
+        ),
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::Levenshtein,
+            2.0,
+        ),
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::DiceBigrams,
+            1.0,
+        ),
+        rule(
+            vocab::PROVIDER_MANUFACTURER,
+            vocab::LOCAL_MANUFACTURER,
+            SimilarityMeasure::JaccardTokens,
+            1.0,
+        ),
+        rule(
+            vocab::PROVIDER_MANUFACTURER,
+            vocab::LOCAL_LABEL,
+            SimilarityMeasure::MongeElkan,
+            0.5,
+        ),
+    ])
+    .with_thresholds(0.92, 0.6);
+
+    let blocker = StandardBlocker::new(BlockingKey::per_side(
+        vocab::PROVIDER_PART_NUMBER,
+        vocab::LOCAL_PART_NUMBER,
+        2,
+    ));
+    let serial = LinkagePipeline::new(&blocker, &cmp).run_stores(&external, &local);
+    assert!(
+        !serial.matches.is_empty(),
+        "guard scenario produced no links — the assertions below would be vacuous"
+    );
+
+    // (1) Sharded / threaded runs reproduce the serial scores byte for byte.
+    for shard_count in [1, 3, 8] {
+        for threads in [1, 4] {
+            let (sharded_external, sharded_local) = scenario.sharded_stores(shard_count);
+            let sharded = LinkagePipeline::new(&blocker, &cmp)
+                .with_threads(threads)
+                .run_sharded(&sharded_external, &sharded_local);
+            assert_eq!(
+                serial, sharded,
+                "{shard_count} shards / {threads} threads diverged (scores included)"
+            );
+        }
+    }
+
+    // (2) Every emitted link's score matches a from-scratch naive
+    // reference evaluation of the same comparator configuration.
+    let naive_score = |e: usize, l: usize| -> (f64, MatchDecision) {
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for r in &cmp.rules {
+            let (Some(lp), Some(rp)) = (
+                external.property(&r.left_property),
+                local.property(&r.right_property),
+            ) else {
+                continue;
+            };
+            let left_values: Vec<&str> = external.values(e, lp).collect();
+            let right_values: Vec<&str> = local.values(l, rp).collect();
+            if left_values.is_empty() || right_values.is_empty() {
+                continue;
+            }
+            let mut best = 0.0f64;
+            for lv in &left_values {
+                for rv in &right_values {
+                    best = best.max(naive::compare(r.measure, lv, rv));
+                }
+            }
+            weighted_sum += best * r.weight;
+            weight_total += r.weight;
+        }
+        let score = if weight_total > 0.0 {
+            weighted_sum / weight_total
+        } else if let Some(fallback) = cmp.fallback {
+            naive::compare(fallback, external.full_text(e), local.full_text(l))
+        } else {
+            0.0
+        };
+        let decision = if score >= cmp.match_threshold {
+            MatchDecision::Match
+        } else if score < cmp.non_match_threshold {
+            MatchDecision::NonMatch
+        } else {
+            MatchDecision::Possible
+        };
+        (score, decision)
+    };
+    let compiled = cmp.compile(&external, &local);
+    for (link, expected_decision) in serial
+        .matches
+        .iter()
+        .map(|l| (l, MatchDecision::Match))
+        .chain(serial.possible.iter().map(|l| (l, MatchDecision::Possible)))
+    {
+        let e = external.index_of(&link.external).expect("known external");
+        let l = local.index_of(&link.local).expect("known local");
+        let (score, decision) = naive_score(e, l);
+        assert_eq!(
+            score.to_bits(),
+            link.score.to_bits(),
+            "naive reference diverged for pair ({e}, {l})"
+        );
+        assert_eq!(decision, expected_decision);
+        // And the detail-carrying compare agrees with both.
+        let full = compiled.compare(&external, e, &local, l);
+        assert_eq!(full.score.to_bits(), link.score.to_bits());
+    }
+}
+
 proptest! {
     /// Random record counts, shard counts and thread counts: the sharded
     /// work-stealing pipeline always reproduces the serial single-store

@@ -1,0 +1,151 @@
+//! Proof of the zero-allocation contract: once the pipeline is in
+//! steady state (scratch buffers grown, token indexes built), scoring a
+//! candidate pair through `CompiledComparator::score` performs **no
+//! heap allocation**, for every similarity measure — including the
+//! set measures (token-index merges) and the full-text fallback.
+//!
+//! This test binary installs a counting global allocator and asserts
+//! the allocation counter does not move across a post-warmup scoring
+//! sweep. It lives in its own integration-test binary so no concurrent
+//! test can pollute the counter.
+
+use classilink_linking::record::Record;
+use classilink_linking::{RecordComparator, RecordStore, SimScratch, SimilarityMeasure};
+use classilink_rdf::Term;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with every allocation counted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const EXT_PN: &str = "http://provider.e.org/v#ref";
+const EXT_MFR: &str = "http://provider.e.org/v#maker";
+const LOC_PN: &str = "http://local.e.org/v#partNumber";
+const LOC_MFR: &str = "http://local.e.org/v#manufacturer";
+
+fn stores() -> (RecordStore, RecordStore) {
+    let series = ["CRCW0805", "ERJ6", "T83A225", "LM317", "GRM188", "1N4148"];
+    let external: Vec<Record> = (0..24)
+        .map(|i| {
+            let mut r = Record::new(Term::iri(format!("http://provider.e.org/item/{i}")));
+            r.add(
+                EXT_PN,
+                format!("{}-{:05}-{}", series[i % series.len()], i, i % 7),
+            );
+            r.add(EXT_MFR, "Vishay Intertechnology fixed film");
+            r
+        })
+        .collect();
+    let local: Vec<Record> = (0..24)
+        .map(|i| {
+            let mut r = Record::new(Term::iri(format!("http://local.e.org/prod/{i}")));
+            r.add(
+                LOC_PN,
+                format!("{}-{:05}-{}", series[(i + 1) % series.len()], i, i % 5),
+            );
+            r.add(LOC_MFR, "Vishay fixed film resistor");
+            r
+        })
+        .collect();
+    (
+        RecordStore::from_records(&external),
+        RecordStore::from_records(&local),
+    )
+}
+
+#[test]
+fn steady_state_score_never_allocates() {
+    let (external, local) = stores();
+    let mut scratch = SimScratch::new();
+    for &measure in SimilarityMeasure::all() {
+        let comparator = RecordComparator::new(vec![classilink_linking::AttributeRule {
+            left_property: EXT_PN.to_string(),
+            right_property: LOC_PN.to_string(),
+            measure,
+            weight: 1.0,
+        }]);
+        let compiled = comparator.compile(&external, &local);
+        if compiled.uses_token_index() {
+            external.token_index();
+            local.token_index();
+        }
+        // Warmup: grow the scratch buffers to the longest inputs and
+        // fault in every lazily-built structure.
+        let mut warmup = 0.0;
+        for e in 0..external.len() {
+            for l in 0..local.len() {
+                warmup += compiled.score(&external, e, &local, l, &mut scratch).0;
+            }
+        }
+        assert!(warmup.is_finite());
+
+        // Steady state: the same sweep must not allocate at all.
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        let mut total = 0.0;
+        for e in 0..external.len() {
+            for l in 0..local.len() {
+                total += compiled.score(&external, e, &local, l, &mut scratch).0;
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert!(total.is_finite());
+        assert_eq!(
+            after - before,
+            0,
+            "measure {} allocated {} times across {} steady-state scores",
+            measure.name(),
+            after - before,
+            external.len() * local.len()
+        );
+    }
+}
+
+#[test]
+fn steady_state_fallback_score_never_allocates() {
+    // A rule whose property exists on neither store forces the
+    // full-text fallback (Monge-Elkan — a set kernel) on every pair.
+    let (external, local) = stores();
+    let mut scratch = SimScratch::new();
+    let comparator = RecordComparator::single(
+        "http://nowhere.org/v#x",
+        "http://nowhere.org/v#y",
+        SimilarityMeasure::Jaro,
+    );
+    let compiled = comparator.compile(&external, &local);
+    let mut warmup = 0.0;
+    for e in 0..external.len() {
+        warmup += compiled.score(&external, e, &local, e, &mut scratch).0;
+    }
+    assert!(
+        warmup > 0.0,
+        "fallback should produce non-zero similarities"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for e in 0..external.len() {
+        compiled.score(&external, e, &local, e, &mut scratch);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "fallback path allocated in steady state");
+}

@@ -9,6 +9,16 @@
 //! small measurement window and prints one summary line. No statistics,
 //! no plots — the goal is that `cargo bench` runs the real pipelines
 //! end-to-end and reports a usable per-iteration time.
+//!
+//! Two environment variables hook the shim into CI and snapshots:
+//!
+//! * `CLASSILINK_BENCH_QUICK=1` — smoke mode: run every benchmark for a
+//!   single iteration (no measurement window). CI uses this to assert
+//!   bench code still compiles and runs without paying full bench time.
+//! * `CLASSILINK_BENCH_JSON=<path>` — append one JSON line per
+//!   benchmark (`label`, `mean_ns`, iterations, optional throughput
+//!   rate) to `<path>`, so runs can be committed as snapshots (e.g. the
+//!   `BENCH_pr*.json` series in the repository root).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -175,6 +185,46 @@ impl Bencher {
     }
 }
 
+/// `true` when `CLASSILINK_BENCH_QUICK` requests single-iteration smoke
+/// runs.
+fn quick_mode() -> bool {
+    std::env::var("CLASSILINK_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Append one JSON result line to the `CLASSILINK_BENCH_JSON` file, if
+/// requested. Failures to write are reported but never fail the bench.
+fn append_json(label: &str, mean: Duration, iterations: u64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            ",\"elements\":{n},\"elements_per_sec\":{:.1}",
+            n as f64 / mean.as_secs_f64()
+        ),
+        Some(Throughput::Bytes(n)) => format!(
+            ",\"bytes\":{n},\"bytes_per_sec\":{:.1}",
+            n as f64 / mean.as_secs_f64()
+        ),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"label\":{label:?},\"mean_ns\":{},\"iterations\":{iterations}{rate}}}\n",
+        mean.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("criterion shim: cannot append to {path}: {error}");
+    }
+}
+
 fn run_benchmark(
     group: Option<&str>,
     name: &str,
@@ -190,6 +240,18 @@ fn run_benchmark(
     f(&mut calibration);
     let per_iter = calibration.elapsed.max(Duration::from_nanos(1));
 
+    let label = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if quick_mode() {
+        // Smoke mode: the calibration pass already proved the bench
+        // runs; report it and move on.
+        println!("{label:<50} time: {per_iter:>12.3?}/iter  [1 iter, quick]");
+        append_json(&label, per_iter, 1, throughput);
+        return;
+    }
+
     // Aim for a measurement window proportional to the requested sample
     // count, capped so slow pipeline benches stay responsive.
     let window = Duration::from_millis((20 * sample_size as u64).clamp(50, 1_000));
@@ -201,10 +263,6 @@ fn run_benchmark(
     f(&mut bencher);
     let mean = bencher.elapsed / iterations.max(1) as u32;
 
-    let label = match group {
-        Some(g) => format!("{g}/{name}"),
-        None => name.to_string(),
-    };
     let rate = throughput
         .map(|t| match t {
             Throughput::Elements(n) => {
@@ -219,6 +277,7 @@ fn run_benchmark(
         })
         .unwrap_or_default();
     println!("{label:<50} time: {mean:>12.3?}/iter  [{iterations} iters]{rate}");
+    append_json(&label, mean, iterations, throughput);
 }
 
 /// Mirror of `criterion_group!`: builds a function running each target.
