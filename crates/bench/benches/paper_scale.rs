@@ -1,25 +1,37 @@
 //! The paper preset at full scale: `ScenarioConfig::paper()` — a 30 000
 //! product catalog, 10 265 expert links, the 566/226 ontology — run
-//! through store construction and the blocking + comparison pipeline,
-//! with the **shard count as the swept parameter**.
+//! through store construction, the blocking phase alone, and the
+//! blocking + comparison pipeline, with the **shard count as the swept
+//! parameter**.
 //!
-//! Two series are tracked (per the ROADMAP's "Benchmark the paper
-//! preset" item):
+//! Three series are tracked:
 //!
 //! * `store_build/*` — time to columnarise the catalog, single-store vs
 //!   sharded (shared-schema) construction.
+//! * `blocking/<blocker>` — the streaming blocking phase alone
+//!   (`Blocker::stream_candidates` into a reused `CandidateRuns` sink,
+//!   4 shards), with `Throughput::Elements` set to the candidate count
+//!   so the shim reports **candidates per second**. Store-level key
+//!   indexes are warm after the first iteration, mirroring a serving
+//!   deployment.
 //! * `pipeline/*` — the end-to-end blocking + comparison phase on
-//!   standard key blocking, with `Throughput::Elements` set to the
-//!   candidate count so the shim reports **comparisons per second**;
-//!   `single_store` is the monolithic baseline, `sharded/N` routes the
-//!   same candidates through N per-shard task queues with work stealing.
+//!   standard key blocking; `single_store` is the monolithic baseline,
+//!   `sharded/N` streams per-shard candidate runs into N task queues
+//!   with work stealing.
+//!
+//! Before the pipeline series, one instrumented run prints the
+//! **blocking vs comparison wall-time split** so the bench output shows
+//! where the preset actually spends its time.
 
 use classilink_datagen::scenario::{generate, ScenarioConfig};
 use classilink_datagen::vocab;
 use classilink_eval::blocking_eval::default_key;
-use classilink_linking::blocking::{Blocker, StandardBlocker};
-use classilink_linking::{LinkagePipeline, RecordComparator, SimilarityMeasure};
+use classilink_linking::blocking::{Blocker, SortedNeighborhoodBlocker, StandardBlocker};
+use classilink_linking::{
+    BigramBlocker, CandidateRuns, LinkagePipeline, RecordComparator, SimilarityMeasure,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 fn bench_paper_scale(c: &mut Criterion) {
     let scenario = generate(&ScenarioConfig::paper());
@@ -45,6 +57,30 @@ fn bench_paper_scale(c: &mut Criterion) {
         );
     }
 
+    // Blocking phase alone: streamed per-shard candidate runs on a
+    // 4-shard catalog, one series per blocker, reusing one sink.
+    let (blocking_external, blocking_local) = scenario.sharded_stores(4);
+    let standard = StandardBlocker::new(default_key(4));
+    let sorted = SortedNeighborhoodBlocker::new(default_key(0), 10);
+    let bigram = BigramBlocker::new(default_key(0), 0.7);
+    let blockers: [(&str, &dyn Blocker); 3] = [
+        ("standard", &standard),
+        ("sorted-neighborhood", &sorted),
+        ("bigram", &bigram),
+    ];
+    for (name, blocker) in blockers {
+        let mut runs = CandidateRuns::new();
+        blocker.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
+        println!("blocking/{name}: {} candidates", runs.total());
+        group.throughput(Throughput::Elements(runs.total()));
+        group.bench_with_input(BenchmarkId::new("blocking", name), &(), |b, ()| {
+            b.iter(|| {
+                blocker.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
+                runs.total()
+            })
+        });
+    }
+
     // Comparison phase over standard-blocking candidates. Throughput is
     // the candidate count, so the report reads as comparisons/second.
     let external = scenario.external_store();
@@ -58,8 +94,29 @@ fn bench_paper_scale(c: &mut Criterion) {
     .with_thresholds(0.9, 0.75);
     let candidates = blocker.candidate_pairs(&external, &local).len() as u64;
     println!("standard blocking candidates: {candidates}");
-    group.throughput(Throughput::Elements(candidates));
 
+    // One instrumented run: how much of the sharded pipeline's wall
+    // time is blocking vs comparison (indexes warm, like the benches).
+    {
+        let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
+        let mut runs = CandidateRuns::new();
+        let start = Instant::now();
+        blocker.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
+        let blocking = start.elapsed();
+        let start = Instant::now();
+        let result = pipeline.run_sharded(&blocking_external, &blocking_local);
+        let total = start.elapsed();
+        let comparison = total.saturating_sub(blocking);
+        println!(
+            "phase split (sharded/4): blocking {blocking:?} ({:.1}%), comparison ~{comparison:?} \
+             ({:.1}%) of {total:?} total, {} comparisons",
+            100.0 * blocking.as_secs_f64() / total.as_secs_f64(),
+            100.0 * comparison.as_secs_f64() / total.as_secs_f64(),
+            result.comparisons,
+        );
+    }
+
+    group.throughput(Throughput::Elements(candidates));
     group.bench_function("pipeline/single_store", |b| {
         let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
         b.iter(|| pipeline.run_stores(&external, &local))

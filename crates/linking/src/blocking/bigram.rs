@@ -12,13 +12,19 @@
 //! indexed in an inverted index; an (external, local) pair becomes a
 //! candidate when the two records share at least
 //! `ceil(threshold · min(|bigrams_e|, |bigrams_l|))` bigrams.
+//!
+//! The bigram sets and the inverted index are **store-level
+//! precomputation**: both sides' padded key bigrams live in the store's
+//! cached [`KeyIndex`](crate::token_index::KeyIndex) as packed `u64`s
+//! (the [`TokenIndex`](crate::token_index::TokenIndex) bigram
+//! representation), so the probe loop counts shared grams with pure
+//! integer posting walks — no per-record `String` bigrams, no hash maps,
+//! and zero allocations once the indexes are warm.
 
 use super::key::BlockingKey;
-use super::{Blocker, CandidatePair};
-use crate::index::InvertedIndex;
+use super::{Blocker, CandidatePair, CandidateRuns};
+use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
-use classilink_segment::{CharNGramSegmenter, Segmenter};
-use std::collections::HashMap;
 
 /// Bi-gram inverted-index blocking.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,8 +45,12 @@ impl BigramBlocker {
         }
     }
 
-    fn bigrams(value: &str) -> Vec<String> {
-        CharNGramSegmenter::padded_bigrams().split_distinct(value)
+    /// The sharing rule: shared distinct bigrams must reach
+    /// `ceil(threshold · min(|A|, |B|))`, never less than one.
+    fn meets_threshold(&self, shared: usize, size_a: usize, size_b: usize) -> bool {
+        let smaller = size_a.min(size_b).max(1);
+        let required = (self.threshold * smaller as f64).ceil() as usize;
+        shared >= required.max(1)
     }
 }
 
@@ -49,44 +59,76 @@ impl Blocker for BigramBlocker {
         "bigram-indexing"
     }
 
+    /// The materialising adapter: stream into a single-shard sink, then
+    /// sort (the legacy path sorted its output too).
     fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
-        let local_side = self.key.local_side(local);
-        let external_side = self.key.external_side(external);
-        // Inverted index over the local records' bigrams. Records are
-        // scanned in increasing index order, so the posting lists stay
-        // sorted and inserts take the fast append path.
-        let mut index: InvertedIndex<usize> = InvertedIndex::new();
-        let mut local_sizes: Vec<usize> = Vec::with_capacity(local.len());
-        for l in 0..local.len() {
-            let grams = Self::bigrams(&local_side.key(local, l));
-            local_sizes.push(grams.len());
-            for g in grams {
-                index.insert(g, l);
-            }
-        }
-        let mut pairs: Vec<CandidatePair> = Vec::new();
-        for e in 0..external.len() {
-            let grams = Self::bigrams(&external_side.key(external, e));
-            if grams.is_empty() {
-                continue;
-            }
-            // Count shared bigrams per local candidate.
-            let mut shared: HashMap<usize, usize> = HashMap::new();
-            for g in &grams {
-                for &l in index.get(g) {
-                    *shared.entry(l).or_insert(0) += 1;
-                }
-            }
-            for (l, count) in shared {
-                let smaller = grams.len().min(local_sizes[l]).max(1);
-                let required = (self.threshold * smaller as f64).ceil() as usize;
-                if count >= required.max(1) {
-                    pairs.push((e, l));
-                }
-            }
-        }
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, LocalShards::single(local), &mut runs);
+        let mut pairs = runs.take_shard(0);
         pairs.sort_unstable();
         pairs
+    }
+
+    /// The sharded materialising adapter: unlike the trait default this
+    /// bigram-ises the external side **once**, not once per shard.
+    fn candidate_pairs_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> Vec<CandidatePair> {
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, local.into(), &mut runs);
+        runs.into_global_pairs(local.into())
+    }
+
+    /// Native streaming: the external side's padded key bigrams and
+    /// their inverted index come from the store-level
+    /// [`KeyIndex`](crate::token_index::KeyIndex) (built or fetched
+    /// **once** for all shards); each shard's probe loop walks its own
+    /// precomputed bigram sets, counts shared grams per external in a
+    /// reused counter array, and emits the pairs that meet the sharing
+    /// threshold.
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
+        let external_index = external.key_index(&self.key.external_side(external));
+        let external_bigrams = external_index.bigram_index();
+        let local_side = self.key.local_side_of(local.schema());
+        if out.scratch.counts.len() < external.len() {
+            out.scratch.counts.resize(external.len(), 0);
+        }
+        for (s, shard) in local.shards().iter().enumerate() {
+            let local_index = shard.key_index(&local_side);
+            let local_bigrams = local_index.bigram_index();
+            for l in 0..shard.len() {
+                let set = local_bigrams.set(l);
+                // Count shared grams per external; `touched` lists the
+                // externals with a non-zero counter so the reset below
+                // is O(candidate externals), not O(|SE|).
+                for &gram in set {
+                    for &e in external_bigrams.postings(gram) {
+                        let count = &mut out.scratch.counts[e as usize];
+                        if *count == 0 {
+                            out.scratch.touched.push(e);
+                        }
+                        *count += 1;
+                    }
+                }
+                for i in 0..out.scratch.touched.len() {
+                    let e = out.scratch.touched[i] as usize;
+                    let shared = out.scratch.counts[e] as usize;
+                    out.scratch.counts[e] = 0;
+                    if self.meets_threshold(shared, external_bigrams.set(e).len(), set.len()) {
+                        out.push(s, e, l);
+                    }
+                }
+                out.scratch.touched.clear();
+            }
+        }
     }
 }
 

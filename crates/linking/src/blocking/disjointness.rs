@@ -9,7 +9,8 @@
 //! are unknown, which is exactly the gap the classification rules fill — the
 //! benchmarks use this filter only in the oracle ablation.
 
-use super::CandidatePair;
+use super::{CandidatePair, CandidateRuns};
+use crate::shard::LocalShards;
 use classilink_ontology::{ClassId, Ontology};
 
 /// Removes candidate pairs whose two sides belong to disjoint classes.
@@ -37,6 +38,26 @@ impl<'a> DisjointnessFilter<'a> {
             }
         }
         true
+    }
+
+    /// The streaming counterpart of [`filter`](Self::filter): drop the
+    /// incompatible pairs from a [`CandidateRuns`] sink in place,
+    /// per-shard local ids offset to the **global** ids that index
+    /// `local_classes`. The sink's comparison total is updated, so the
+    /// filtered runs can feed the pipeline's task queues directly.
+    pub fn retain_runs(
+        &self,
+        runs: &mut CandidateRuns,
+        local: LocalShards<'_>,
+        external_classes: &[Vec<ClassId>],
+        local_classes: &[Vec<ClassId>],
+    ) {
+        runs.retain(|shard, e, l| {
+            let global = local.offset(shard) + l;
+            let ext = external_classes.get(e).map(Vec::as_slice).unwrap_or(&[]);
+            let loc = local_classes.get(global).map(Vec::as_slice).unwrap_or(&[]);
+            self.compatible(ext, loc)
+        });
     }
 
     /// Filter a candidate-pair list given per-record class assignments.
@@ -103,6 +124,44 @@ mod tests {
         let filter = DisjointnessFilter::new(&onto);
         assert!(filter.compatible(&[resistor], &[component]));
         assert!(filter.compatible(&[resistor], &[resistor]));
+    }
+
+    #[test]
+    fn retain_runs_matches_filter_on_global_ids() {
+        use crate::blocking::{Blocker, CandidateRuns, CartesianBlocker};
+        use crate::record::Record;
+        use crate::shard::ShardedStore;
+        use crate::store::RecordStore;
+        use classilink_rdf::Term;
+
+        let (onto, _, resistor, capacitor) = ontology();
+        let filter = DisjointnessFilter::new(&onto);
+        let records: Vec<Record> = (0..5)
+            .map(|i| Record::new(Term::iri(format!("http://e.org/item/{i}"))))
+            .collect();
+        let external = RecordStore::from_records(&records[..2]);
+        let sharded = ShardedStore::from_records(&records, 2);
+        let external_classes = vec![vec![resistor], vec![capacitor]];
+        let local_classes: Vec<Vec<ClassId>> = (0..5)
+            .map(|l| vec![if l % 2 == 0 { resistor } else { capacitor }])
+            .collect();
+
+        let mut runs = CandidateRuns::new();
+        CartesianBlocker.stream_candidates(&external, (&sharded).into(), &mut runs);
+        filter.retain_runs(
+            &mut runs,
+            (&sharded).into(),
+            &external_classes,
+            &local_classes,
+        );
+        let streamed = runs.into_global_pairs((&sharded).into());
+
+        let all = CartesianBlocker.candidate_pairs_sharded(&external, &sharded);
+        let expected = filter.filter(&all, &external_classes, &local_classes);
+        assert_eq!(streamed.len(), expected.len());
+        let streamed: std::collections::HashSet<_> = streamed.into_iter().collect();
+        let expected: std::collections::HashSet<_> = expected.into_iter().collect();
+        assert_eq!(streamed, expected);
     }
 
     #[test]

@@ -98,14 +98,43 @@ pub struct KeySide {
     alphanumeric_only: bool,
 }
 
+/// The cache key of a store-level
+/// [`KeyIndex`](crate::token_index::KeyIndex): two [`KeySide`]s with the
+/// same recipe produce identical keys on every record, so they share one
+/// index (e.g. a standard blocker and a sorted-neighbourhood blocker on
+/// the same property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct KeyRecipe {
+    property: Option<PropertyId>,
+    prefix_length: usize,
+    alphanumeric_only: bool,
+}
+
 impl KeySide {
     /// The resolved property id, if the store knows the IRI.
     pub fn property(&self) -> Option<PropertyId> {
         self.property
     }
 
-    fn normalise(&self, value: &str, truncate: bool) -> String {
-        let take = if truncate && self.prefix_length > 0 {
+    /// The fingerprint under which a store caches this side's
+    /// [`KeyIndex`](crate::token_index::KeyIndex).
+    pub(crate) fn recipe(&self) -> KeyRecipe {
+        KeyRecipe {
+            property: self.property,
+            prefix_length: self.prefix_length,
+            alphanumeric_only: self.alphanumeric_only,
+        }
+    }
+
+    /// Append the **full** normalised value to `out` and return the byte
+    /// length (relative to where writing started) of its truncated
+    /// prefix — i.e. [`key`](Self::key) is the first `returned` bytes of
+    /// what was written and [`sort_value`](Self::sort_value) is all of
+    /// it. This is the build primitive of the store-level
+    /// [`KeyIndex`](crate::token_index::KeyIndex), which extracts every
+    /// record's key exactly once.
+    pub(crate) fn write_normalised(&self, value: &str, out: &mut String) -> usize {
+        let take = if self.prefix_length > 0 {
             self.prefix_length
         } else {
             usize::MAX
@@ -114,8 +143,9 @@ impl KeySide {
         // marks (e.g. 'İ' → "i\u{307}") that the alphanumeric filter
         // must then strip, and the prefix counts *output* characters.
         let lowered = value.to_lowercase();
-        let mut out = String::with_capacity(lowered.len());
+        let start = out.len();
         let mut kept = 0;
+        let mut key_end = None;
         for c in lowered.chars() {
             if self.alphanumeric_only && !c.is_alphanumeric() {
                 continue;
@@ -123,17 +153,22 @@ impl KeySide {
             out.push(c);
             kept += 1;
             if kept == take {
-                break;
+                key_end = Some(out.len() - start);
             }
         }
-        out
+        key_end.unwrap_or(out.len() - start)
     }
 
     /// The (truncated, normalised) blocking key of `record`; empty when
     /// the property is missing.
     pub fn key(&self, store: &RecordStore, record: usize) -> String {
         match self.property.and_then(|p| store.first(record, p)) {
-            Some(value) => self.normalise(value, true),
+            Some(value) => {
+                let mut out = String::with_capacity(value.len());
+                let end = self.write_normalised(value, &mut out);
+                out.truncate(end);
+                out
+            }
             None => String::new(),
         }
     }
@@ -142,7 +177,11 @@ impl KeySide {
     /// the sorted-neighbourhood method.
     pub fn sort_value(&self, store: &RecordStore, record: usize) -> String {
         match self.property.and_then(|p| store.first(record, p)) {
-            Some(value) => self.normalise(value, false),
+            Some(value) => {
+                let mut out = String::with_capacity(value.len());
+                self.write_normalised(value, &mut out);
+                out
+            }
             None => String::new(),
         }
     }
@@ -206,6 +245,24 @@ mod tests {
         let mut recipe = BlockingKey::shared(EXT_PN, 4);
         recipe.alphanumeric_only = true;
         assert_eq!(recipe.external_side(&store).key(&store, 0), "éàç1");
+    }
+
+    #[test]
+    fn write_normalised_agrees_with_key_and_sort_value() {
+        // One write yields both views: the first `end` bytes are the
+        // truncated key, the whole write is the sort value.
+        let store = ext_store("CRCW-0805 10K");
+        for prefix in [0, 3, 5, 40] {
+            for alnum in [true, false] {
+                let mut recipe = BlockingKey::shared(EXT_PN, prefix);
+                recipe.alphanumeric_only = alnum;
+                let side = recipe.external_side(&store);
+                let mut out = String::new();
+                let end = side.write_normalised("CRCW-0805 10K", &mut out);
+                assert_eq!(out[..end], side.key(&store, 0), "prefix {prefix}");
+                assert_eq!(out, side.sort_value(&store, 0), "prefix {prefix}");
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,18 @@
 //! Blockers run on the columnar [`RecordStore`]: they resolve property
 //! IRIs to interned ids once per call, emit candidate pairs as record
 //! *indices*, and never clone a term or hash an IRI per record.
+//!
+//! Candidate generation is **streaming and shard-aware**: the pipeline
+//! calls [`Blocker::stream_candidates`], which emits per-shard runs of
+//! shard-local pairs into a [`CandidateRuns`] sink — those runs are the
+//! comparison scheduler's task queues, so no global pair vector is ever
+//! materialised. The built-in blockers compute their external-side
+//! artifacts (key tables, bigram postings, rule classifications) once
+//! per run and read per-record keys and bigrams from the store-level
+//! [`KeyIndex`](crate::token_index::KeyIndex) cache, making steady-state
+//! blocking allocation-free. The materialising
+//! [`Blocker::candidate_pairs`] / [`Blocker::candidate_pairs_sharded`]
+//! APIs remain as thin adapters for external callers.
 
 pub mod bigram;
 pub mod disjointness;
@@ -26,12 +38,147 @@ pub use rule_based::RuleBasedBlocker;
 pub use sorted_neighborhood::SortedNeighborhoodBlocker;
 pub use standard::StandardBlocker;
 
-use crate::shard::ShardedStore;
+use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
 
 /// A candidate pair, given as indexes into the external and local record
 /// stores handed to the blocker.
 pub type CandidatePair = (usize, usize);
+
+/// The streaming blocking sink: per-shard runs of **shard-local**
+/// candidate pairs, produced by
+/// [`Blocker::stream_candidates`] and consumed directly as the
+/// work-stealing comparison scheduler's task queues — the global pair
+/// vector, its sort, and the route-back binary search of the old
+/// materialising path never exist.
+///
+/// The sink is reusable: [`stream_candidates`](Blocker::stream_candidates)
+/// clears it (capacity retained) before producing, so a long-lived sink
+/// makes repeated blocking runs allocation-free in steady state (the
+/// output buffers grow once). It also carries the shared per-call
+/// scratch (counters, marks) the built-in blockers use, so their probe
+/// loops allocate nothing per record either — proved by
+/// `crates/linking/tests/zero_alloc.rs`.
+#[derive(Debug, Default)]
+pub struct CandidateRuns {
+    /// Per-shard candidate pairs, shard-local local ids.
+    per_shard: Vec<Vec<CandidatePair>>,
+    /// Sum of all run lengths — the comparison count, by construction.
+    total: u64,
+    /// Reusable probe scratch shared by the built-in blockers.
+    pub(crate) scratch: RunScratch,
+}
+
+/// Reusable per-sink scratch: intersection counters and epoch-stamped
+/// visit marks, grown once and reused across streaming calls.
+#[derive(Debug, Default)]
+pub(crate) struct RunScratch {
+    /// Per-external shared-gram counters (bigram blocking).
+    pub counts: Vec<u32>,
+    /// Externals with a non-zero counter, for O(touched) reset.
+    pub touched: Vec<u32>,
+    /// Epoch-stamped marks (rule-based dedup): `marks[i] == epoch` means
+    /// "seen in the current epoch".
+    pub marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl RunScratch {
+    /// Open a new mark epoch over `len` slots and return its stamp;
+    /// stale stamps from earlier epochs read as "unseen".
+    pub(crate) fn next_epoch(&mut self, len: usize) -> u32 {
+        if self.marks.len() < len {
+            self.marks.resize(len, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+impl CandidateRuns {
+    /// An empty sink; the first streaming call sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear every run and re-size to `shard_count` shards, retaining
+    /// buffer capacity. Called by
+    /// [`stream_candidates`](Blocker::stream_candidates) implementations
+    /// before producing.
+    pub fn reset(&mut self, shard_count: usize) {
+        self.per_shard.truncate(shard_count);
+        for run in &mut self.per_shard {
+            run.clear();
+        }
+        while self.per_shard.len() < shard_count {
+            self.per_shard.push(Vec::new());
+        }
+        self.total = 0;
+    }
+
+    /// Emit one candidate: external record `external` against
+    /// **shard-local** record `local` of shard `shard`.
+    #[inline]
+    pub fn push(&mut self, shard: usize, external: usize, local: usize) {
+        self.per_shard[shard].push((external, local));
+        self.total += 1;
+    }
+
+    /// Number of shards the sink currently holds runs for.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// One shard's candidate run (shard-local local ids).
+    pub fn shard(&self, shard: usize) -> &[CandidatePair] {
+        &self.per_shard[shard]
+    }
+
+    /// Total number of candidates across all shards — the comparison
+    /// count of the run.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Keep only the pairs `keep(shard, external, local)` accepts,
+    /// updating the total (see
+    /// [`DisjointnessFilter::retain_runs`](crate::blocking::DisjointnessFilter::retain_runs)).
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, usize, usize) -> bool) {
+        let mut total = 0u64;
+        for (shard, run) in self.per_shard.iter_mut().enumerate() {
+            run.retain(|&(e, l)| keep(shard, e, l));
+            total += run.len() as u64;
+        }
+        self.total = total;
+    }
+
+    /// Move one shard's run out of the sink (the single-store adapter
+    /// path), leaving an empty run behind.
+    pub fn take_shard(&mut self, shard: usize) -> Vec<CandidatePair> {
+        let run = std::mem::take(&mut self.per_shard[shard]);
+        self.total -= run.len() as u64;
+        run
+    }
+
+    /// Flatten into one **global**-id pair vector in the legacy
+    /// materialised layout: each shard's run sorted by index pair, shards
+    /// concatenated in catalog order (exactly what the default
+    /// per-shard [`Blocker::candidate_pairs_sharded`] used to produce for
+    /// blockers whose per-shard output is sorted).
+    pub fn into_global_pairs(self, local: LocalShards<'_>) -> Vec<CandidatePair> {
+        let mut pairs = Vec::with_capacity(self.total as usize);
+        for (s, mut run) in self.per_shard.into_iter().enumerate() {
+            run.sort_unstable();
+            let base = local.offset(s);
+            pairs.extend(run.into_iter().map(|(e, l)| (e, base + l)));
+        }
+        pairs
+    }
+}
 
 /// A strategy that selects which (external, local) record pairs are worth
 /// comparing.
@@ -55,6 +202,10 @@ pub trait Blocker {
     /// catalog must override this to preserve that equivalence — see
     /// [`SortedNeighborhoodBlocker`], whose sliding window crosses shard
     /// boundaries.
+    ///
+    /// This is the **materialising** API, kept for external callers and
+    /// as the equivalence reference; the pipeline itself consumes
+    /// [`stream_candidates`](Self::stream_candidates).
     fn candidate_pairs_sharded(
         &self,
         external: &RecordStore,
@@ -70,6 +221,47 @@ pub trait Blocker {
             );
         }
         pairs
+    }
+
+    /// Stream candidate pairs as **per-shard runs of shard-local ids**
+    /// into `out` — the pipeline's blocking entry point. The runs feed
+    /// the work-stealing scheduler's per-shard task queues directly, so
+    /// no global pair vector is materialised, nothing is sorted, and no
+    /// global id is ever routed back to a shard; the sum of run lengths
+    /// is the comparison count.
+    ///
+    /// Implementations must clear `out` (via [`CandidateRuns::reset`])
+    /// and then produce, across all shards, exactly the candidate set of
+    /// the materialising APIs: the built-in blockers stream natively
+    /// (external-side artifacts computed once and shared across shards,
+    /// keys and bigrams served by the store-level
+    /// [`KeyIndex`](crate::token_index::KeyIndex)); the default
+    /// implementation adapts the materialising path — per-shard
+    /// [`candidate_pairs`](Self::candidate_pairs) for a single-store
+    /// view, a routed [`candidate_pairs_sharded`](Self::candidate_pairs_sharded)
+    /// call otherwise — so external `Blocker` impls (including ones that
+    /// override the sharded method with cross-shard semantics) stay
+    /// correct unchanged.
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
+        match local.sharded() {
+            Some(store) => {
+                for (e, global) in self.candidate_pairs_sharded(external, store) {
+                    let (shard, shard_local) = store.locate(global);
+                    out.push(shard, e, shard_local);
+                }
+            }
+            None => {
+                for (e, l) in self.candidate_pairs(external, local.shard(0)) {
+                    out.push(0, e, l);
+                }
+            }
+        }
     }
 }
 
@@ -92,6 +284,24 @@ impl Blocker for CartesianBlocker {
             }
         }
         pairs
+    }
+
+    /// Native streaming: every external × every shard record, emitted
+    /// per shard without an intermediate global vector.
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
+        for (s, shard) in local.shards().iter().enumerate() {
+            for e in 0..external.len() {
+                for l in 0..shard.len() {
+                    out.push(s, e, l);
+                }
+            }
+        }
     }
 }
 
@@ -270,5 +480,124 @@ mod tests {
         assert_eq!(stats.reduction_ratio, 0.0);
         assert_eq!(stats.pairs_completeness, 1.0);
         assert_eq!(stats.pairs_quality, 0.0);
+    }
+
+    #[test]
+    fn candidate_runs_push_reset_and_totals() {
+        let mut runs = CandidateRuns::new();
+        runs.reset(3);
+        assert_eq!(runs.shard_count(), 3);
+        runs.push(0, 1, 2);
+        runs.push(2, 0, 0);
+        runs.push(2, 4, 1);
+        assert_eq!(runs.total(), 3);
+        assert_eq!(runs.shard(0), &[(1, 2)]);
+        assert!(runs.shard(1).is_empty());
+        assert_eq!(runs.shard(2), &[(0, 0), (4, 1)]);
+        // Retain drops pairs and keeps the total honest.
+        runs.retain(|shard, e, _l| shard == 2 && e > 0);
+        assert_eq!(runs.total(), 1);
+        assert_eq!(runs.shard(2), &[(4, 1)]);
+        // take_shard moves a run out.
+        let run = runs.take_shard(2);
+        assert_eq!(run, vec![(4, 1)]);
+        assert_eq!(runs.total(), 0);
+        // Reset re-sizes (down and up) and clears.
+        runs.push(1, 9, 9);
+        runs.reset(1);
+        assert_eq!(runs.shard_count(), 1);
+        assert_eq!(runs.total(), 0);
+        assert!(runs.shard(0).is_empty());
+    }
+
+    #[test]
+    fn candidate_runs_globalise_in_legacy_order() {
+        let records: Vec<_> = (0..6).map(|i| loc_record(i, "PN")).collect();
+        let sharded = crate::shard::ShardedStore::from_records(&records, 3); // shards of 2
+        let mut runs = CandidateRuns::new();
+        runs.reset(3);
+        runs.push(0, 1, 1); // global (1, 1)
+        runs.push(0, 0, 0); // global (0, 0) — sorted within the shard
+        runs.push(1, 0, 1); // global (0, 3)
+        runs.push(2, 2, 0); // global (2, 4)
+        let pairs = runs.into_global_pairs((&sharded).into());
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (0, 3), (2, 4)]);
+    }
+
+    /// A blocker that only overrides the materialising sharded API (the
+    /// pre-streaming extension point, e.g. with cross-shard semantics):
+    /// the default `stream_candidates` must route its global pairs back
+    /// to shard-local runs unchanged.
+    struct LegacySharded;
+
+    impl Blocker for LegacySharded {
+        fn name(&self) -> &'static str {
+            "legacy-sharded"
+        }
+
+        fn candidate_pairs(
+            &self,
+            external: &RecordStore,
+            local: &RecordStore,
+        ) -> Vec<CandidatePair> {
+            // Pair record i with record i (what the sharded override
+            // below would NOT produce per shard — the test relies on the
+            // two APIs disagreeing to prove which one streaming adapts).
+            (0..external.len().min(local.len()))
+                .map(|i| (i, i))
+                .collect()
+        }
+
+        fn candidate_pairs_sharded(
+            &self,
+            external: &RecordStore,
+            local: &ShardedStore,
+        ) -> Vec<CandidatePair> {
+            // Cross-shard semantics: every external with the *last* record.
+            (0..external.len()).map(|e| (e, local.len() - 1)).collect()
+        }
+    }
+
+    #[test]
+    fn default_stream_adapts_the_materialising_apis() {
+        let (external, _) = small_stores();
+        let local_records: Vec<_> = (0..5).map(|i| loc_record(i, "PN")).collect();
+        let sharded = crate::shard::ShardedStore::from_records(&local_records, 2);
+        let mut runs = CandidateRuns::new();
+        // Sharded view → routed candidate_pairs_sharded (last record is
+        // shard 1, local id 1 with shards of 3 + 2).
+        LegacySharded.stream_candidates(&external, (&sharded).into(), &mut runs);
+        assert_eq!(runs.total(), 4);
+        assert!(runs.shard(0).is_empty());
+        assert_eq!(runs.shard(1), &[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        // Single-store view → candidate_pairs.
+        let local = RecordStore::from_records(&local_records);
+        LegacySharded.stream_candidates(
+            &external,
+            crate::shard::LocalShards::single(&local),
+            &mut runs,
+        );
+        assert_eq!(runs.shard_count(), 1);
+        assert_eq!(runs.shard(0), &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn cartesian_stream_covers_every_shard_pair() {
+        let (external, _) = small_stores();
+        let local_records: Vec<_> = (0..5).map(|i| loc_record(i, "PN")).collect();
+        let sharded = crate::shard::ShardedStore::from_records(&local_records, 2);
+        let mut runs = CandidateRuns::new();
+        CartesianBlocker.stream_candidates(&external, (&sharded).into(), &mut runs);
+        assert_eq!(runs.total(), 20);
+        let globalised: HashSet<_> = runs
+            .into_global_pairs((&sharded).into())
+            .into_iter()
+            .collect();
+        let local = RecordStore::from_records(&local_records);
+        let expected: HashSet<_> = CartesianBlocker
+            .candidate_pairs(&external, &local)
+            .into_iter()
+            .collect();
+        assert_eq!(globalised, expected);
     }
 }

@@ -6,7 +6,8 @@
 //! This adapter lets the paper's approach be compared head-to-head with the
 //! classic blocking baselines on exactly the same interface (experiment E5).
 
-use super::{Blocker, CandidatePair};
+use super::{Blocker, CandidatePair, CandidateRuns};
+use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
 use classilink_core::RuleClassifier;
 use classilink_ontology::{InstanceStore, Ontology};
@@ -50,34 +51,69 @@ impl Blocker for RuleBasedBlocker<'_> {
         "classification-rules"
     }
 
+    /// The materialising adapter: stream into a single-shard sink and
+    /// sort (the legacy path sorted its output too).
     fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
-        let mut pairs: Vec<CandidatePair> = Vec::new();
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, LocalShards::single(local), &mut runs);
+        let mut pairs = runs.take_shard(0);
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// The sharded materialising adapter: unlike the trait default this
+    /// classifies every external record **once**, not once per shard.
+    fn candidate_pairs_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> Vec<CandidatePair> {
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, local.into(), &mut runs);
+        runs.into_global_pairs(local.into())
+    }
+
+    /// Native streaming: each external record is classified **once**
+    /// and each predicted class's extent enumerated **once** (the
+    /// per-shard legacy default re-did both per shard); extent items are
+    /// looked up in every shard's id index and deduplicated across
+    /// overlapping predictions with epoch-stamped marks over global ids.
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
         for e in 0..external.len() {
             // The store's facts iterator feeds the classifier borrowed
             // `(&str, &str)` pairs — no per-record fact cloning.
             let predictions = self.classifier.classify_fact_refs(external.facts(e));
             if predictions.is_empty() {
                 if self.fallback_to_all {
-                    for l in 0..local.len() {
-                        pairs.push((e, l));
+                    for (s, shard) in local.shards().iter().enumerate() {
+                        for l in 0..shard.len() {
+                            out.push(s, e, l);
+                        }
                     }
                 }
                 continue;
             }
-            let mut seen = vec![false; local.len()];
+            let epoch = out.scratch.next_epoch(local.len());
             for prediction in predictions {
                 for item in self.instances.extent(prediction.class, self.ontology) {
-                    if let Some(l) = local.index_of(&item) {
-                        if !seen[l] {
-                            seen[l] = true;
-                            pairs.push((e, l));
+                    for (s, shard) in local.shards().iter().enumerate() {
+                        if let Some(l) = shard.index_of(&item) {
+                            let global = local.offset(s) + l;
+                            if out.scratch.marks[global] != epoch {
+                                out.scratch.marks[global] = epoch;
+                                out.push(s, e, l);
+                            }
                         }
                     }
                 }
             }
         }
-        pairs.sort_unstable();
-        pairs
     }
 }
 

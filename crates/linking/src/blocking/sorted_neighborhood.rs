@@ -23,9 +23,11 @@
 //!   shard boundaries.
 
 use super::key::BlockingKey;
-use super::{Blocker, CandidatePair};
-use crate::shard::ShardedStore;
+use super::{Blocker, CandidatePair, CandidateRuns};
+use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
+use crate::token_index::KeyIndex;
+use std::sync::Arc;
 
 /// Sorted-neighbourhood blocking over a merged, key-sorted list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,48 +49,108 @@ impl SortedNeighborhoodBlocker {
     }
 }
 
-#[derive(Debug, Clone)]
+/// One entry of the merged sort list: which shard it came from
+/// (`EXTERNAL` marks the external side) and its record id — shard-local
+/// for local entries, so the sort key is resolved from that shard's
+/// [`KeyIndex`] without any per-record `String`.
+#[derive(Debug, Clone, Copy)]
 struct Entry {
-    sort_key: String,
-    /// Index into the external store (when `is_external`) or the local
-    /// side's **global** record id.
-    index: usize,
-    is_external: bool,
+    /// Shard index of a local entry, or [`EXTERNAL`].
+    shard: u32,
+    /// Record id (shard-local for locals, store index for externals).
+    record: u32,
 }
 
-/// Sort the merged entry list (key, then side, then index — a total
-/// order, so the result is independent of how the entries were gathered).
-fn sort_entries(entries: &mut [Entry]) {
-    entries.sort_by(|a, b| {
-        a.sort_key
-            .cmp(&b.sort_key)
-            .then_with(|| a.is_external.cmp(&b.is_external))
-            .then_with(|| a.index.cmp(&b.index))
-    });
+/// The `shard` marker of external-side entries.
+const EXTERNAL: u32 = u32::MAX;
+
+/// The merged, globally sorted entry list over the external store and
+/// every local shard, with all sort keys served by the store-level
+/// [`KeyIndex`]es. Ordering replicates the materialised reference: sort
+/// key, then side (locals first), then the record's global id — a total
+/// order, so the result is independent of how entries were gathered.
+struct SortList {
+    external_keys: Arc<KeyIndex>,
+    local_keys: Vec<Arc<KeyIndex>>,
+    entries: Vec<Entry>,
 }
 
-/// Emit every cross-source pair whose sorted positions lie within one
-/// window. Each such pair is produced exactly once (records occur once in
-/// `entries`, and only position pairs with `j − i < window` qualify), so
-/// the final sort merges the per-window runs without any dedup.
-fn window_pairs(entries: &[Entry], window: usize) -> Vec<CandidatePair> {
-    if window < 2 {
-        // `new()` clamps, but the field is public: a window of 0 or 1
-        // holds no cross-source pair (and would invert the slice range).
-        return Vec::new();
+impl SortList {
+    fn build(key: &BlockingKey, external: &RecordStore, local: LocalShards<'_>) -> SortList {
+        let external_keys = external.key_index(&key.external_side(external));
+        let local_side = key.local_side_of(local.schema());
+        let local_keys: Vec<Arc<KeyIndex>> = local
+            .shards()
+            .iter()
+            .map(|shard| shard.key_index(&local_side))
+            .collect();
+        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
+        for record in 0..external.len() as u32 {
+            entries.push(Entry {
+                shard: EXTERNAL,
+                record,
+            });
+        }
+        for (s, shard) in local.shards().iter().enumerate() {
+            for record in 0..shard.len() as u32 {
+                entries.push(Entry {
+                    shard: s as u32,
+                    record,
+                });
+            }
+        }
+        let mut list = SortList {
+            external_keys,
+            local_keys,
+            entries,
+        };
+        let (external_keys, local_keys, local) = (&list.external_keys, &list.local_keys, &local);
+        let sort_key = |e: &Entry| -> &str {
+            if e.shard == EXTERNAL {
+                external_keys.sort_value(e.record as usize)
+            } else {
+                local_keys[e.shard as usize].sort_value(e.record as usize)
+            }
+        };
+        // Contiguous shards make (shard, local id) order the global id
+        // order, so the tie-breaks match the materialised reference
+        // (key, locals before externals, global id).
+        let global = |e: &Entry| -> (bool, usize) {
+            if e.shard == EXTERNAL {
+                (true, e.record as usize)
+            } else {
+                (false, local.offset(e.shard as usize) + e.record as usize)
+            }
+        };
+        list.entries
+            .sort_unstable_by(|a, b| sort_key(a).cmp(sort_key(b)).then(global(a).cmp(&global(b))));
+        list
     }
-    let mut pairs: Vec<CandidatePair> = Vec::new();
-    for (i, a) in entries.iter().enumerate() {
-        for b in &entries[i + 1..(i + window).min(entries.len())] {
-            match (a.is_external, b.is_external) {
-                (true, false) => pairs.push((a.index, b.index)),
-                (false, true) => pairs.push((b.index, a.index)),
-                _ => {}
+
+    /// Emit every cross-source pair whose sorted positions lie within one
+    /// window, as per-shard runs. Each pair is produced exactly once
+    /// (records occur once in the list, and only position pairs with
+    /// `j − i < window` qualify), so no dedup exists anywhere.
+    fn window_pairs(&self, window: usize, out: &mut CandidateRuns) {
+        if window < 2 {
+            // `new()` clamps, but the field is public: a window of 0 or 1
+            // holds no cross-source pair (and would invert the range).
+            return;
+        }
+        for (i, a) in self.entries.iter().enumerate() {
+            for b in &self.entries[i + 1..(i + window).min(self.entries.len())] {
+                match (a.shard == EXTERNAL, b.shard == EXTERNAL) {
+                    (true, false) => {
+                        out.push(b.shard as usize, a.record as usize, b.record as usize)
+                    }
+                    (false, true) => {
+                        out.push(a.shard as usize, b.record as usize, a.record as usize)
+                    }
+                    _ => {}
+                }
             }
         }
     }
-    pairs.sort_unstable();
-    pairs
 }
 
 impl Blocker for SortedNeighborhoodBlocker {
@@ -96,61 +158,47 @@ impl Blocker for SortedNeighborhoodBlocker {
         "sorted-neighborhood"
     }
 
+    /// The materialising adapter: stream into a single-shard sink, then
+    /// sort (the legacy path sorted its window runs the same way).
     fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
-        let external_side = self.key.external_side(external);
-        let local_side = self.key.local_side(local);
-        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
-        for i in 0..external.len() {
-            entries.push(Entry {
-                sort_key: external_side.sort_value(external, i),
-                index: i,
-                is_external: true,
-            });
-        }
-        for i in 0..local.len() {
-            entries.push(Entry {
-                sort_key: local_side.sort_value(local, i),
-                index: i,
-                is_external: false,
-            });
-        }
-        sort_entries(&mut entries);
-        window_pairs(&entries, self.window)
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, LocalShards::single(local), &mut runs);
+        let mut pairs = runs.take_shard(0);
+        pairs.sort_unstable();
+        pairs
     }
 
-    /// The shard-aware override: the sliding window must run over the
-    /// **globally** sorted list (windows cross shard boundaries), so sort
-    /// keys are extracted per shard — the [`KeySide`](super::KeySide) is
-    /// resolved once against the shared schema — tagged with global ids,
-    /// and merged into one list before windowing. The result is
-    /// byte-identical to the single-store run.
+    /// The shard-aware materialising adapter: the streamed per-shard
+    /// runs are offset back to global ids and index-sorted, reproducing
+    /// the legacy globally sorted output byte for byte.
     fn candidate_pairs_sharded(
         &self,
         external: &RecordStore,
         local: &ShardedStore,
     ) -> Vec<CandidatePair> {
-        let external_side = self.key.external_side(external);
-        let local_side = self.key.local_side_of(local.schema());
-        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
-        for i in 0..external.len() {
-            entries.push(Entry {
-                sort_key: external_side.sort_value(external, i),
-                index: i,
-                is_external: true,
-            });
-        }
-        for (s, shard) in local.shards().iter().enumerate() {
-            let base = local.offset(s);
-            for i in 0..shard.len() {
-                entries.push(Entry {
-                    sort_key: local_side.sort_value(shard, i),
-                    index: base + i,
-                    is_external: false,
-                });
-            }
-        }
-        sort_entries(&mut entries);
-        window_pairs(&entries, self.window)
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, local.into(), &mut runs);
+        let mut pairs = runs.into_global_pairs(local.into());
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Native streaming. The sliding window must run over the
+    /// **globally** sorted list (windows cross shard boundaries), so the
+    /// per-shard sort keys — all served by cached store-level
+    /// [`KeyIndex`]es, extracted once per shard with one
+    /// [`KeySide`](super::KeySide) resolved against the shared schema —
+    /// are merged into one sorted list before windowing; the window
+    /// pairs are then emitted straight into the per-shard runs. The
+    /// candidate set is byte-identical to the single-store run.
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
+        SortList::build(&self.key, external, local).window_pairs(self.window, out);
     }
 }
 

@@ -7,9 +7,9 @@
 //! belong to the same block."
 
 use super::key::BlockingKey;
-use super::{Blocker, CandidatePair};
+use super::{Blocker, CandidatePair, CandidateRuns};
+use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
-use std::collections::HashMap;
 
 /// Key-equality blocking.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,32 +36,62 @@ impl Blocker for StandardBlocker {
         "standard-blocking"
     }
 
+    /// The materialising adapter: stream into a single-shard sink and
+    /// sort (the legacy external-major emission order was index-sorted,
+    /// so the output is byte-identical).
     fn candidate_pairs(&self, external: &RecordStore, local: &RecordStore) -> Vec<CandidatePair> {
-        // Resolve the property IRIs once; the per-record loop is id-based.
-        let local_side = self.key.local_side(local);
-        let external_side = self.key.external_side(external);
-        // Index local records by key.
-        let mut local_blocks: HashMap<String, Vec<usize>> = HashMap::new();
-        for l in 0..local.len() {
-            let key = local_side.key(local, l);
-            if key.is_empty() && self.skip_empty_keys {
-                continue;
-            }
-            local_blocks.entry(key).or_default().push(l);
-        }
-        let mut pairs = Vec::new();
-        for e in 0..external.len() {
-            let key = external_side.key(external, e);
-            if key.is_empty() && self.skip_empty_keys {
-                continue;
-            }
-            if let Some(locals) = local_blocks.get(&key) {
-                for &l in locals {
-                    pairs.push((e, l));
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, LocalShards::single(local), &mut runs);
+        let mut pairs = runs.take_shard(0);
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// The sharded materialising adapter: unlike the trait default this
+    /// extracts the external keys **once**, not once per shard, before
+    /// flattening back to the legacy global-id layout.
+    fn candidate_pairs_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> Vec<CandidatePair> {
+        let mut runs = CandidateRuns::new();
+        self.stream_candidates(external, local.into(), &mut runs);
+        runs.into_global_pairs(local.into())
+    }
+
+    /// Native streaming: the external side's [`KeyIndex`] is built or
+    /// fetched **once**; each shard is then probed per external record
+    /// (equal-range lookup in the shard's sorted key table), emitting
+    /// the shard's block run per external — no per-record `String`, no
+    /// hash map, no allocation at all once the store-level indexes are
+    /// warm. Probing external-major keeps each run's emission order
+    /// identical to the legacy per-shard path, which also keeps the
+    /// comparison phase's access pattern (long same-left-record runs)
+    /// cache-friendly.
+    ///
+    /// [`KeyIndex`]: crate::token_index::KeyIndex
+    fn stream_candidates(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        out: &mut CandidateRuns,
+    ) {
+        out.reset(local.shard_count());
+        let external_index = external.key_index(&self.key.external_side(external));
+        let local_side = self.key.local_side_of(local.schema());
+        for (s, shard) in local.shards().iter().enumerate() {
+            let local_index = shard.key_index(&local_side);
+            for e in 0..external.len() {
+                let key = external_index.key(e);
+                if key.is_empty() && self.skip_empty_keys {
+                    continue;
+                }
+                for &l in local_index.records_with_key(key) {
+                    out.push(s, e, l as usize);
                 }
             }
         }
-        pairs
     }
 }
 

@@ -1,4 +1,10 @@
-//! A small generic inverted index used by the blocking methods.
+//! A small generic inverted index.
+//!
+//! Bigram blocking historically built its gram → records index here;
+//! it now probes the packed posting lists precomputed by the
+//! store-level [`KeyIndex`](crate::token_index::KeyIndex). The generic
+//! index remains part of the public API for external consumers that
+//! need an incremental string-keyed posting structure.
 
 use std::collections::HashMap;
 

@@ -15,7 +15,9 @@
 //!   variant (`*_with(scratch, a, b)`, see [`similarity::SimScratch`]).
 //! * [`token_index`] — store-level token/bigram precomputation: each
 //!   attribute value is tokenised once, so the set-based measures run as
-//!   sorted-merge intersections in the per-pair loop.
+//!   sorted-merge intersections in the per-pair loop. The blocking-side
+//!   analogue, [`token_index::KeyIndex`], caches every record's
+//!   normalised blocking key (and packed key bigrams) per recipe.
 //! * [`record`] — flat attribute/value records extracted from RDF items
 //!   (the builder-side representation).
 //! * [`intern`] / [`store`] — the execution-side representation: property
@@ -28,8 +30,13 @@
 //! * [`blocking`] — the candidate-pair generation strategies: cartesian,
 //!   standard key blocking, sorted neighbourhood, bi-gram indexing,
 //!   class-disjointness filtering and the rule-based blocker that wraps the
-//!   paper's classifier.
-//! * [`index`] — a small inverted index used by bigram blocking.
+//!   paper's classifier. All of them stream per-shard candidate runs
+//!   ([`blocking::Blocker::stream_candidates`])
+//!   straight into the pipeline's task queues; the materialising
+//!   `candidate_pairs*` APIs remain as thin adapters.
+//! * [`index`] — a small generic inverted index (kept for external
+//!   consumers; bigram blocking now probes the packed posting lists of
+//!   the [`token_index::KeyIndex`]).
 //! * [`shard`] — the sharded catalog: per-shard stores on a shared
 //!   [`intern::SchemaInterner`] with a router mapping
 //!   shard-local ids to global record ids and back.
@@ -73,8 +80,9 @@ pub mod store;
 pub mod token_index;
 
 pub use blocking::{
-    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CartesianBlocker,
-    DisjointnessFilter, KeySide, RuleBasedBlocker, SortedNeighborhoodBlocker, StandardBlocker,
+    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CandidateRuns,
+    CartesianBlocker, DisjointnessFilter, KeySide, RuleBasedBlocker, SortedNeighborhoodBlocker,
+    StandardBlocker,
 };
 pub use comparator::{
     AttributeRule, Comparison, CompiledComparator, MatchDecision, RecordComparator,
@@ -83,7 +91,7 @@ pub use index::InvertedIndex;
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
-pub use shard::{ShardedStore, ShardedStoreBuilder};
+pub use shard::{LocalShards, ShardedStore, ShardedStoreBuilder};
 pub use similarity::{SimScratch, SimilarityMeasure};
 pub use store::{RecordStore, RecordStoreBuilder, ValueList};
-pub use token_index::TokenIndex;
+pub use token_index::{KeyIndex, TokenIndex};

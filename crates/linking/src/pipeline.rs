@@ -18,11 +18,18 @@
 //! sorted by **index pair**, so the output is byte-identical regardless
 //! of thread count, steal order, or sharding; only the surviving links
 //! materialise their [`Term`]s.
+//!
+//! Blocking feeds the scheduler **by streaming**: the blocker emits
+//! per-shard runs of shard-local candidate pairs
+//! ([`Blocker::stream_candidates`] into a [`CandidateRuns`] sink), and
+//! those runs *are* the task queues — the pipeline never materialises a
+//! global candidate vector, never sorts candidates, and never routes a
+//! global id back to a shard.
 
-use crate::blocking::{Blocker, CandidatePair};
+use crate::blocking::{Blocker, CandidatePair, CandidateRuns};
 use crate::comparator::{CompiledComparator, MatchDecision, RecordComparator};
 use crate::record::Record;
-use crate::shard::ShardedStore;
+use crate::shard::{LocalShards, ShardedStore};
 use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use classilink_rdf::Term;
@@ -109,8 +116,14 @@ impl<'a> LinkagePipeline<'a> {
     }
 
     /// Run blocking and comparison over two record stores.
+    ///
+    /// Blocking streams (see [`Blocker::stream_candidates`]): the
+    /// monolithic store is a single-shard view whose candidate run *is*
+    /// the comparison task queue.
     pub fn run_stores(&self, external: &RecordStore, local: &RecordStore) -> LinkageResult {
-        let candidates = self.blocker.candidate_pairs(external, local);
+        let mut runs = CandidateRuns::new();
+        self.blocker
+            .stream_candidates(external, LocalShards::single(local), &mut runs);
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self.comparator.compile(external, local);
         if compiled.uses_token_index() {
@@ -122,29 +135,29 @@ impl<'a> LinkagePipeline<'a> {
         // A monolithic store is one task queue; workers still steal
         // blocks from it instead of folding fixed `len / threads` chunks,
         // so stragglers no longer serialise the join.
-        let queues = [TaskQueue::new(local, 0, &candidates)];
-        let (matches, possible) = self.score(&compiled, external, &queues, candidates.len());
-        self.finish(
-            matches,
-            possible,
-            candidates.len(),
-            naive_pairs,
-            external,
-            |l| local.id(l),
-        )
+        let comparisons = runs.total() as usize;
+        let queues = [TaskQueue::new(local, 0, runs.shard(0))];
+        let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
+        self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
+            local.id(l)
+        })
     }
 
     /// Run blocking and comparison against a sharded catalog.
     ///
-    /// Blocking runs shard-aware (see
-    /// [`Blocker::candidate_pairs_sharded`]) and emits global local-side
-    /// ids; the comparator is compiled **once** against the shared schema
-    /// and reused by every worker on every shard; the router splits the
-    /// candidates into per-shard task queues and the work-stealing
-    /// comparison phase drains them. Output is byte-identical to
+    /// Blocking **streams per-shard candidate runs** (shard-local ids,
+    /// see [`Blocker::stream_candidates`]) straight into the
+    /// work-stealing task queues: no global candidate vector is
+    /// materialised, nothing is sorted between the phases, and no global
+    /// id is routed back through the offset table's binary search — the
+    /// sum of run lengths is the comparison count. The comparator is
+    /// compiled **once** against the shared schema and reused by every
+    /// worker on every shard. Output is byte-identical to
     /// [`run_stores`](Self::run_stores) on the equivalent single store.
     pub fn run_sharded(&self, external: &RecordStore, local: &ShardedStore) -> LinkageResult {
-        let candidates = self.blocker.candidate_pairs_sharded(external, local);
+        let mut runs = CandidateRuns::new();
+        self.blocker
+            .stream_candidates(external, local.into(), &mut runs);
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self
             .comparator
@@ -155,21 +168,14 @@ impl<'a> LinkagePipeline<'a> {
                 shard.token_index();
             }
         }
-        let routed = local.route(&candidates);
-        let queues: Vec<TaskQueue<'_>> = routed
-            .iter()
-            .enumerate()
-            .map(|(s, pairs)| TaskQueue::new(local.shard(s), local.offset(s), pairs))
+        let comparisons = runs.total() as usize;
+        let queues: Vec<TaskQueue<'_>> = (0..local.shard_count())
+            .map(|s| TaskQueue::new(local.shard(s), local.offset(s), runs.shard(s)))
             .collect();
-        let (matches, possible) = self.score(&compiled, external, &queues, candidates.len());
-        self.finish(
-            matches,
-            possible,
-            candidates.len(),
-            naive_pairs,
-            external,
-            |l| local.id(l),
-        )
+        let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
+        self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
+            local.id(l)
+        })
     }
 
     /// Score every queued candidate block, serially or with work

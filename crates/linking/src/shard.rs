@@ -22,10 +22,14 @@
 //!   same scenario batch).
 //! * **Routing is a binary search.** [`ShardedStore::locate`] maps a
 //!   global id back to `(shard, local)` by binary-searching the offset
-//!   table, which is how [`ShardedStore::route`] splits a global
-//!   candidate list into per-shard task queues for the work-stealing
-//!   comparison phase (see
-//!   [`LinkagePipeline::run_sharded`](crate::pipeline::LinkagePipeline::run_sharded)).
+//!   table; [`ShardedStore::route`] splits a global candidate list into
+//!   per-shard lists the same way. The pipeline itself no longer routes:
+//!   blockers **stream** per-shard runs of shard-local pairs directly
+//!   into the work-stealing task queues (see
+//!   [`Blocker::stream_candidates`](crate::blocking::Blocker::stream_candidates)
+//!   and
+//!   [`LinkagePipeline::run_sharded`](crate::pipeline::LinkagePipeline::run_sharded));
+//!   routing remains for legacy materialised candidate lists.
 //!
 //! Each shard, being a plain [`RecordStore`], also owns its lazily-built
 //! [`TokenIndex`](crate::token_index::TokenIndex); when the compiled
@@ -247,6 +251,101 @@ impl ShardedStore {
             }
         }
         builder.build()
+    }
+}
+
+/// A borrowed view of the local side of a blocking run as one or more
+/// contiguous shards — the input of the streaming
+/// [`Blocker::stream_candidates`](crate::blocking::Blocker::stream_candidates)
+/// API.
+///
+/// The two constructors cover both pipeline entry points: a monolithic
+/// [`RecordStore`] is *one* shard at offset 0
+/// ([`LocalShards::single`]), and a [`ShardedStore`] contributes its
+/// shard list, offset table and shared schema (`From<&ShardedStore>`).
+/// Blockers iterate [`shards`](Self::shards) and emit **shard-local**
+/// ids; [`offset`](Self::offset) recovers global ids when a blocker
+/// (sorted neighbourhood) needs the global ordering during blocking.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalShards<'a>(ShardsInner<'a>);
+
+#[derive(Debug, Clone, Copy)]
+enum ShardsInner<'a> {
+    Single(&'a RecordStore),
+    Sharded(&'a ShardedStore),
+}
+
+impl<'a> LocalShards<'a> {
+    /// View a monolithic store as a single shard at offset 0.
+    pub fn single(store: &'a RecordStore) -> Self {
+        LocalShards(ShardsInner::Single(store))
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        match self.0 {
+            ShardsInner::Single(_) => 1,
+            ShardsInner::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// The per-shard stores, in catalog order.
+    pub fn shards(&self) -> &'a [RecordStore] {
+        match self.0 {
+            ShardsInner::Single(store) => std::slice::from_ref(store),
+            ShardsInner::Sharded(s) => s.shards(),
+        }
+    }
+
+    /// One shard's store.
+    pub fn shard(&self, shard: usize) -> &'a RecordStore {
+        &self.shards()[shard]
+    }
+
+    /// Global id of `shard`'s first record.
+    pub fn offset(&self, shard: usize) -> usize {
+        match self.0 {
+            ShardsInner::Single(_) => 0,
+            ShardsInner::Sharded(s) => s.offset(shard),
+        }
+    }
+
+    /// Total number of records across all shards.
+    pub fn len(&self) -> usize {
+        match self.0 {
+            ShardsInner::Single(store) => store.len(),
+            ShardsInner::Sharded(s) => s.len(),
+        }
+    }
+
+    /// `true` when no shard holds any record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The schema the local side resolves property IRIs against (shared
+    /// by every shard of a sharded catalog).
+    pub fn schema(&self) -> &'a PropertyInterner {
+        match self.0 {
+            ShardsInner::Single(store) => store.interner(),
+            ShardsInner::Sharded(s) => s.schema(),
+        }
+    }
+
+    /// The backing [`ShardedStore`], when this view was built from one.
+    /// The default [`Blocker::stream_candidates`](crate::blocking::Blocker::stream_candidates)
+    /// uses it to adapt legacy `candidate_pairs_sharded` overrides.
+    pub fn sharded(&self) -> Option<&'a ShardedStore> {
+        match self.0 {
+            ShardsInner::Single(_) => None,
+            ShardsInner::Sharded(s) => Some(s),
+        }
+    }
+}
+
+impl<'a> From<&'a ShardedStore> for LocalShards<'a> {
+    fn from(store: &'a ShardedStore) -> Self {
+        LocalShards(ShardsInner::Sharded(store))
     }
 }
 
@@ -480,6 +579,35 @@ mod tests {
         assert_eq!(store.shard_count(), 2);
         assert_eq!(store.len(), 2);
         assert_eq!(store.locate(1), (1, 0));
+    }
+
+    #[test]
+    fn local_shards_views_agree_with_their_backing() {
+        let records = records(7);
+        let single_store = RecordStore::from_records(&records);
+        let single = LocalShards::single(&single_store);
+        assert_eq!(single.shard_count(), 1);
+        assert_eq!(single.len(), 7);
+        assert!(!single.is_empty());
+        assert_eq!(single.offset(0), 0);
+        assert!(std::ptr::eq(single.shard(0), &single_store));
+        assert!(std::ptr::eq(single.schema(), single_store.interner()));
+        assert!(single.sharded().is_none());
+
+        let sharded_store = ShardedStore::from_records(&records, 3);
+        let sharded = LocalShards::from(&sharded_store);
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.len(), 7);
+        assert_eq!(sharded.shards().len(), 3);
+        for s in 0..3 {
+            assert_eq!(sharded.offset(s), sharded_store.offset(s));
+            assert!(std::ptr::eq(sharded.shard(s), sharded_store.shard(s)));
+        }
+        assert!(std::ptr::eq(sharded.schema(), sharded_store.schema()));
+        assert!(sharded.sharded().is_some());
+
+        let empty_store = RecordStore::from_records(&[]);
+        assert!(LocalShards::single(&empty_store).is_empty());
     }
 
     #[test]

@@ -31,12 +31,13 @@
 //! [`crate::shard`]) assign identical ids, so one resolution serves every
 //! store of the batch.
 
+use crate::blocking::key::{KeyRecipe, KeySide};
 use crate::intern::{PropertyId, PropertyInterner, SchemaInterner};
 use crate::record::Record;
-use crate::token_index::TokenIndex;
+use crate::token_index::{KeyIndex, TokenIndex};
 use classilink_rdf::{Graph, Term};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One property's column: all values of that property over all records,
 /// concatenated into a single text arena.
@@ -64,7 +65,7 @@ impl Column {
 
 /// Immutable, columnar store of flat records. See the [module
 /// docs](self) for the layout.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct RecordStore {
     /// The property symbol table this store was frozen with. Shared (via
     /// `Arc`) between every shard of a [`ShardedStore`](crate::shard::ShardedStore)
@@ -88,11 +89,16 @@ pub struct RecordStore {
     /// [`RecordStore::full_token_index`]); a cache, excluded from
     /// equality.
     full_token_index: OnceLock<TokenIndex>,
+    /// Lazily-built blocking-key precomputation, one [`KeyIndex`] per
+    /// key recipe (see [`RecordStore::key_index`]); a cache, excluded
+    /// from equality.
+    key_indexes: Mutex<HashMap<KeyRecipe, Arc<KeyIndex>>>,
 }
 
 impl PartialEq for RecordStore {
     /// Structural equality over the stored data; the lazily-built
-    /// [`TokenIndex`] cache is derived state and deliberately ignored.
+    /// [`TokenIndex`] and [`KeyIndex`] caches are derived state and
+    /// deliberately ignored.
     fn eq(&self, other: &Self) -> bool {
         self.interner == other.interner
             && self.ids == other.ids
@@ -100,6 +106,30 @@ impl PartialEq for RecordStore {
             && self.columns == other.columns
             && self.full_text == other.full_text
             && self.full_text_bounds == other.full_text_bounds
+    }
+}
+
+impl Clone for RecordStore {
+    /// Clones the stored data and the token-index caches; the key-index
+    /// cache is carried over as shared [`Arc`]s (indexes are immutable,
+    /// so the clone and the original can serve the same entries).
+    fn clone(&self) -> Self {
+        RecordStore {
+            interner: self.interner.clone(),
+            ids: self.ids.clone(),
+            id_index: self.id_index.clone(),
+            columns: self.columns.clone(),
+            full_text: self.full_text.clone(),
+            full_text_bounds: self.full_text_bounds.clone(),
+            token_index: self.token_index.clone(),
+            full_token_index: self.full_token_index.clone(),
+            key_indexes: Mutex::new(
+                self.key_indexes
+                    .lock()
+                    .expect("key index cache poisoned")
+                    .clone(),
+            ),
+        }
     }
 }
 
@@ -248,6 +278,21 @@ impl RecordStore {
     pub fn full_token_index(&self) -> &TokenIndex {
         self.full_token_index
             .get_or_init(|| TokenIndex::build_full(self))
+    }
+
+    /// The lazily-built blocking-key precomputation for one resolved
+    /// [`KeySide`]: every record's normalised key (and, on demand, its
+    /// padded key bigrams) computed once and cached for the store's
+    /// lifetime, shared by every recipe-compatible blocker. `side` must
+    /// have been resolved against this store's schema. First call per
+    /// recipe costs `O(store)`; later calls are a map lookup.
+    pub fn key_index(&self, side: &KeySide) -> Arc<KeyIndex> {
+        self.key_indexes
+            .lock()
+            .expect("key index cache poisoned")
+            .entry(side.recipe())
+            .or_insert_with(|| Arc::new(KeyIndex::build(self, side)))
+            .clone()
     }
 
     /// Number of per-property columns (≤ the schema's property count:
@@ -548,6 +593,7 @@ impl RecordStoreBuilder {
             full_text_bounds,
             token_index: OnceLock::new(),
             full_token_index: OnceLock::new(),
+            key_indexes: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -731,6 +777,30 @@ mod tests {
         assert_eq!(builder.len(), 2);
         assert!(!builder.is_empty());
         assert_eq!(builder.build(), RecordStore::from_graph(&g));
+    }
+
+    #[test]
+    fn key_index_is_cached_per_recipe() {
+        use crate::blocking::BlockingKey;
+        let store = RecordStore::from_records(&sample_records());
+        let four = BlockingKey::shared(PN, 4).external_side(&store);
+        let zero = BlockingKey::shared(PN, 0).external_side(&store);
+        // Same recipe → same Arc; different recipe → a different index.
+        let a = store.key_index(&four);
+        let b = store.key_index(&four);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = store.key_index(&zero);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.key(0), "crcw");
+        assert_eq!(c.key(0), "crcw080510k");
+        // Recipe-compatible sides share one entry even when resolved
+        // through different BlockingKey values (e.g. a standard blocker
+        // and a sorted-neighbourhood blocker on the same property).
+        let same = BlockingKey::per_side(PN, "http://other.org/v#x", 4).external_side(&store);
+        assert!(Arc::ptr_eq(&a, &store.key_index(&same)));
+        // Clones share the already-built entries.
+        let clone = store.clone();
+        assert!(Arc::ptr_eq(&a, &clone.key_index(&four)));
     }
 
     #[test]

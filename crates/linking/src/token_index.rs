@@ -29,11 +29,22 @@
 //! before spawning comparison workers when the compiled comparator has
 //! any set-measure rule.
 
+use crate::blocking::KeySide;
 use crate::similarity::jaro::jaro_winkler_with;
 use crate::similarity::scratch::SimScratch;
 use crate::similarity::token::{bigram_pairs, lowercase_eq, tokens};
 use crate::store::RecordStore;
 use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Pack a character bigram into one `u64` — the shared scalar bigram
+/// representation of the [`TokenIndex`] set kernels and the
+/// [`KeyIndex`] blocking artifacts (intersections become pure integer
+/// merges).
+#[inline]
+pub(crate) fn pack_bigram(a: char, b: char) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
 
 /// Distinct lowercased tokens of one store, concatenated.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -230,7 +241,7 @@ impl Builder {
             let bigram_start = column.bigrams.len();
             column
                 .bigrams
-                .extend(bigram_pairs(value).map(|(a, b)| ((a as u64) << 32) | b as u64));
+                .extend(bigram_pairs(value).map(|(a, b)| pack_bigram(a, b)));
             column.bigrams[bigram_start..].sort_unstable();
             let deduped = {
                 let mut write = bigram_start;
@@ -372,6 +383,227 @@ pub(crate) fn monge_elkan_kernel(
     (directed(a, b) + directed(b, a)) / 2.0
 }
 
+/// Store-level blocking-key precomputation: the blocking analogue of the
+/// [`TokenIndex`].
+///
+/// Blockers used to normalise (lowercase, filter, truncate) the blocking
+/// key of every record **per call** — and the bigram blocker re-built
+/// padded bigram `String` sets on top — so candidate generation allocated
+/// per record even though the underlying values never change. A
+/// [`KeyIndex`] moves that work to the store: for one key *recipe*
+/// (property × prefix length × alphanumeric filter, see
+/// [`BlockingKey`](crate::blocking::BlockingKey)) every record's
+/// normalised value is computed **once** into a text arena, together with
+///
+/// * the byte boundary of the truncated blocking key (the key is always a
+///   prefix of the full normalised value, so both views are slices of one
+///   arena — no second pass),
+/// * the records sorted by key, so key-equality blocking resolves a probe
+///   key to its block with two binary searches, and
+/// * on demand (the crate-private `KeyBigramIndex`), each key's
+///   **padded character bigrams** packed into `u64`s exactly as the
+///   [`TokenIndex`] packs value bigrams, plus an inverted gram → records
+///   index — bigram blocking becomes integer probes over precomputed
+///   postings.
+///
+/// Indexes are built lazily by [`RecordStore::key_index`] and cached per
+/// recipe for the store's lifetime, so repeated blocking calls (and every
+/// shard of a sharded run) reuse them; after the first call the streaming
+/// blockers allocate nothing per record (proved by
+/// `crates/linking/tests/zero_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct KeyIndex {
+    /// Full normalised values, concatenated.
+    text: String,
+    /// Byte boundaries: record `r`'s full normalised value (its sort
+    /// value) is `text[bounds[r] .. bounds[r + 1]]`.
+    bounds: Vec<u32>,
+    /// Absolute byte index where record `r`'s truncated blocking key ends
+    /// (`bounds[r] ≤ key_ends[r] ≤ bounds[r + 1]`).
+    key_ends: Vec<u32>,
+    /// Record ids sorted by (truncated key, id).
+    sorted: Vec<u32>,
+    /// Padded key bigrams, built on first bigram-blocking use.
+    bigrams: OnceLock<KeyBigramIndex>,
+}
+
+impl KeyIndex {
+    /// Normalise every record's key once. `side` must have been resolved
+    /// against `store`'s schema.
+    pub(crate) fn build(store: &RecordStore, side: &KeySide) -> Self {
+        fn offset(n: usize) -> u32 {
+            u32::try_from(n).expect("key index exceeds u32::MAX bytes")
+        }
+        let mut text = String::new();
+        let mut bounds = Vec::with_capacity(store.len() + 1);
+        bounds.push(0);
+        let mut key_ends = Vec::with_capacity(store.len());
+        for record in 0..store.len() {
+            let start = text.len();
+            let key_len = match side.property().and_then(|p| store.first(record, p)) {
+                Some(value) => side.write_normalised(value, &mut text),
+                None => 0,
+            };
+            key_ends.push(offset(start + key_len));
+            bounds.push(offset(text.len()));
+        }
+        let mut index = KeyIndex {
+            text,
+            bounds,
+            key_ends,
+            sorted: (0..store.len() as u32).collect(),
+            bigrams: OnceLock::new(),
+        };
+        let (text, bounds, key_ends) = (&index.text, &index.bounds, &index.key_ends);
+        let key = |r: u32| &text[bounds[r as usize] as usize..key_ends[r as usize] as usize];
+        index
+            .sorted
+            .sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
+        index
+    }
+
+    /// Number of records indexed.
+    pub fn len(&self) -> usize {
+        self.key_ends.len()
+    }
+
+    /// `true` when the index covers no record.
+    pub fn is_empty(&self) -> bool {
+        self.key_ends.is_empty()
+    }
+
+    /// The (truncated, normalised) blocking key of `record` — byte-equal
+    /// to [`KeySide::key`], as a borrow of the arena.
+    pub fn key(&self, record: usize) -> &str {
+        &self.text[self.bounds[record] as usize..self.key_ends[record] as usize]
+    }
+
+    /// The full normalised value of `record` — byte-equal to
+    /// [`KeySide::sort_value`], as a borrow of the arena.
+    pub fn sort_value(&self, record: usize) -> &str {
+        &self.text[self.bounds[record] as usize..self.bounds[record + 1] as usize]
+    }
+
+    /// The ids of every record whose blocking key equals `key`, in
+    /// ascending id order (two binary searches over the key-sorted ids).
+    pub fn records_with_key(&self, key: &str) -> &[u32] {
+        let lo = self.sorted.partition_point(|&r| self.key(r as usize) < key);
+        let run = self.sorted[lo..].partition_point(|&r| self.key(r as usize) == key);
+        &self.sorted[lo..lo + run]
+    }
+
+    /// The padded key-bigram artifacts, built on first use and cached.
+    pub(crate) fn bigram_index(&self) -> &KeyBigramIndex {
+        self.bigrams.get_or_init(|| KeyBigramIndex::build(self))
+    }
+}
+
+/// Per-record **padded** key bigram sets (packed `u64`s, sorted,
+/// deduplicated) plus the inverted gram → records index bigram blocking
+/// probes. Grams replicate the classic padded-bigram convention of
+/// [`classilink_segment::CharNGramSegmenter::padded_bigrams`] — the key
+/// `"ab"` yields `{#a, ab, b#}`, the empty key yields `{##}` — so the
+/// candidate sets are byte-identical to the string-based reference.
+#[derive(Debug, Default)]
+pub(crate) struct KeyBigramIndex {
+    /// Per-record bigram sets, flat; record `r` owns
+    /// `sets[set_offsets[r] .. set_offsets[r + 1]]`.
+    sets: Vec<u64>,
+    set_offsets: Vec<u32>,
+    /// Distinct grams over all records, sorted.
+    grams: Vec<u64>,
+    /// Posting boundaries into `postings`, parallel to `grams`.
+    posting_offsets: Vec<u32>,
+    /// Record ids per gram, ascending within each gram.
+    postings: Vec<u32>,
+}
+
+/// The padding character of the classic bigram-blocking convention.
+const PAD: char = '#';
+
+impl KeyBigramIndex {
+    fn build(keys: &KeyIndex) -> Self {
+        fn offset(n: usize) -> u32 {
+            u32::try_from(n).expect("key bigram index exceeds u32::MAX entries")
+        }
+        let mut sets: Vec<u64> = Vec::new();
+        let mut set_offsets = Vec::with_capacity(keys.len() + 1);
+        set_offsets.push(0);
+        for record in 0..keys.len() {
+            let start = sets.len();
+            let key = keys.key(record);
+            if key.is_empty() {
+                // The padded window of an empty value is the pad pair
+                // itself — not "no grams" — matching the segmenter.
+                sets.push(pack_bigram(PAD, PAD));
+            } else {
+                let mut prev = PAD;
+                for c in key.chars() {
+                    sets.push(pack_bigram(prev, c));
+                    prev = c;
+                }
+                sets.push(pack_bigram(prev, PAD));
+            }
+            sets[start..].sort_unstable();
+            let deduped = {
+                let mut write = start;
+                for read in start..sets.len() {
+                    if write == start || sets[read] != sets[write - 1] {
+                        sets[write] = sets[read];
+                        write += 1;
+                    }
+                }
+                write
+            };
+            sets.truncate(deduped);
+            set_offsets.push(offset(sets.len()));
+        }
+
+        // Invert: (gram, record) sorted by gram then record keeps each
+        // posting list ascending without per-gram allocations.
+        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(sets.len());
+        for record in 0..keys.len() {
+            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
+            pairs.extend(sets[range].iter().map(|&g| (g, record as u32)));
+        }
+        pairs.sort_unstable();
+        let mut grams = Vec::new();
+        let mut posting_offsets = vec![0u32];
+        let mut postings = Vec::with_capacity(pairs.len());
+        for (gram, record) in pairs {
+            if grams.last() != Some(&gram) {
+                grams.push(gram);
+                posting_offsets.push(offset(postings.len()));
+            }
+            postings.push(record);
+            *posting_offsets.last_mut().expect("seeded with 0") = offset(postings.len());
+        }
+        KeyBigramIndex {
+            sets,
+            set_offsets,
+            grams,
+            posting_offsets,
+            postings,
+        }
+    }
+
+    /// Record `r`'s distinct padded key bigrams, sorted.
+    pub(crate) fn set(&self, record: usize) -> &[u64] {
+        &self.sets[self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize]
+    }
+
+    /// The ids of every record whose key contains `gram`, ascending.
+    pub(crate) fn postings(&self, gram: u64) -> &[u32] {
+        match self.grams.binary_search(&gram) {
+            Ok(i) => {
+                &self.postings
+                    [self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +709,128 @@ mod tests {
         let full = index.full_tokens(0, store.full_text(0));
         assert_eq!(full.appear.len(), 2);
         assert_eq!(full.sorted.len(), 2);
+    }
+
+    mod key_index {
+        use super::*;
+        use crate::blocking::BlockingKey;
+        use classilink_segment::{CharNGramSegmenter, Segmenter};
+
+        fn store_of(values: &[&str]) -> RecordStore {
+            let records: Vec<Record> = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let mut r = Record::new(Term::iri(format!("http://e.org/item/{i}")));
+                    if !v.is_empty() || i % 2 == 0 {
+                        r.add(PN, *v);
+                    }
+                    r
+                })
+                .collect();
+            RecordStore::from_records(&records)
+        }
+
+        const VALUES: &[&str] = &[
+            "CRCW0805-10K",
+            "crcw0805 10k",
+            "T83-A225",
+            "",
+            "İSTANBUL-42",
+            "LM317",
+            "x",
+        ];
+
+        #[test]
+        fn keys_and_sort_values_match_the_key_side() {
+            let store = store_of(VALUES);
+            for prefix in [0, 3, 6] {
+                let side = BlockingKey::shared(PN, prefix).external_side(&store);
+                let index = KeyIndex::build(&store, &side);
+                assert_eq!(index.len(), store.len());
+                assert!(!index.is_empty());
+                for r in 0..store.len() {
+                    assert_eq!(index.key(r), side.key(&store, r), "record {r}");
+                    assert_eq!(
+                        index.sort_value(r),
+                        side.sort_value(&store, r),
+                        "record {r}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn records_with_key_is_the_exact_block() {
+            let store = store_of(VALUES);
+            let side = BlockingKey::shared(PN, 4).external_side(&store);
+            let index = KeyIndex::build(&store, &side);
+            for r in 0..store.len() {
+                let probe = side.key(&store, r);
+                let expected: Vec<u32> = (0..store.len() as u32)
+                    .filter(|&o| side.key(&store, o as usize) == probe)
+                    .collect();
+                assert_eq!(index.records_with_key(&probe), expected, "key {probe:?}");
+            }
+            assert!(index.records_with_key("no-such-key").is_empty());
+        }
+
+        #[test]
+        fn missing_property_yields_empty_keys() {
+            let store = store_of(VALUES);
+            let side = BlockingKey::shared("http://nowhere.org/v#x", 4).external_side(&store);
+            assert_eq!(side.property(), None);
+            let index = KeyIndex::build(&store, &side);
+            for r in 0..store.len() {
+                assert_eq!(index.key(r), "");
+                assert_eq!(index.sort_value(r), "");
+            }
+            assert_eq!(index.records_with_key("").len(), store.len());
+        }
+
+        /// The packed `u64` key bigram sets replicate the segmenter's
+        /// padded-bigram convention record by record.
+        #[test]
+        fn bigram_sets_match_the_padded_segmenter() {
+            let store = store_of(VALUES);
+            let segmenter = CharNGramSegmenter::padded_bigrams();
+            let side = BlockingKey::shared(PN, 0).external_side(&store);
+            let index = KeyIndex::build(&store, &side);
+            let bigrams = index.bigram_index();
+            for r in 0..store.len() {
+                let mut expected: Vec<u64> = segmenter
+                    .split_distinct(&side.key(&store, r))
+                    .iter()
+                    .map(|gram| {
+                        let mut chars = gram.chars();
+                        let (a, b) = (chars.next().unwrap(), chars.next().unwrap());
+                        assert!(chars.next().is_none(), "bigram {gram:?} not 2 chars");
+                        pack_bigram(a, b)
+                    })
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(bigrams.set(r), expected, "record {r}");
+            }
+        }
+
+        #[test]
+        fn postings_invert_the_sets() {
+            let store = store_of(VALUES);
+            let side = BlockingKey::shared(PN, 0).external_side(&store);
+            let index = KeyIndex::build(&store, &side);
+            let bigrams = index.bigram_index();
+            for r in 0..store.len() {
+                for &gram in bigrams.set(r) {
+                    let postings = bigrams.postings(gram);
+                    assert!(postings.contains(&(r as u32)), "record {r} gram {gram:#x}");
+                    assert!(
+                        postings.windows(2).all(|w| w[0] < w[1]),
+                        "unsorted postings"
+                    );
+                }
+            }
+            assert!(bigrams.postings(pack_bigram('\u{10FFFF}', 'q')).is_empty());
+        }
     }
 
     proptest! {

@@ -1,0 +1,404 @@
+//! The streaming-blocking equivalence guard: on a **generated scenario**
+//! (realistic part numbers, perturbations, a learned rule classifier),
+//! the streamed per-shard candidate runs of every built-in blocker —
+//! cartesian, standard key, sorted neighbourhood, bigram indexing and
+//! classification rules — are identical to an independent, naive
+//! **materialised reference** implementation of the same strategy, and
+//! the pipeline results built on those runs (scores included, bit for
+//! bit) match a from-scratch reference scorer over the reference
+//! candidate set, across {1, 3, 8} shards × {1, 4} threads.
+//!
+//! The reference implementations below are deliberately string- and
+//! hash-based and do not touch `stream_candidates`, `CandidateRuns` or
+//! the store-level `KeyIndex`, so a regression anywhere in the streaming
+//! stack cannot cancel out of both sides.
+
+use classilink_core::{LearnerConfig, PropertySelection, RuleClassifier, RuleLearner};
+use classilink_datagen::scenario::{generate, GeneratedScenario, ScenarioConfig};
+use classilink_datagen::vocab;
+use classilink_linking::blocking::{
+    BigramBlocker, Blocker, BlockingKey, CartesianBlocker, RuleBasedBlocker,
+    SortedNeighborhoodBlocker, StandardBlocker,
+};
+use classilink_linking::pipeline::{Link, LinkageResult};
+use classilink_linking::{
+    CandidateRuns, LinkagePipeline, MatchDecision, RecordComparator, RecordStore, SimScratch,
+    SimilarityMeasure,
+};
+use classilink_segment::{CharNGramSegmenter, Segmenter};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn key(prefix: usize) -> BlockingKey {
+    BlockingKey::per_side(
+        vocab::PROVIDER_PART_NUMBER,
+        vocab::LOCAL_PART_NUMBER,
+        prefix,
+    )
+}
+
+fn comparator() -> RecordComparator {
+    let rule = |left: &str, right: &str, measure, weight| classilink_linking::AttributeRule {
+        left_property: left.to_string(),
+        right_property: right.to_string(),
+        measure,
+        weight,
+    };
+    RecordComparator::new(vec![
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::JaroWinkler,
+            3.0,
+        ),
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::DiceBigrams,
+            1.0,
+        ),
+        rule(
+            vocab::PROVIDER_MANUFACTURER,
+            vocab::LOCAL_MANUFACTURER,
+            SimilarityMeasure::JaccardTokens,
+            1.0,
+        ),
+    ])
+    .with_thresholds(0.92, 0.6)
+}
+
+fn classifier(scenario: &GeneratedScenario) -> RuleClassifier {
+    let learner = LearnerConfig::default()
+        .with_support_threshold(0.01)
+        .with_properties(PropertySelection::single(vocab::PROVIDER_PART_NUMBER));
+    let outcome = RuleLearner::new(learner.clone())
+        .learn(&scenario.training, &scenario.ontology)
+        .expect("rule learning on the tiny scenario");
+    RuleClassifier::from_outcome(&outcome, &learner).with_min_confidence(0.4)
+}
+
+// ---------------------------------------------------------------------
+// Naive reference implementations (global ids, single store).
+// ---------------------------------------------------------------------
+
+fn reference_cartesian(external: &RecordStore, local: &RecordStore) -> BTreeSet<(usize, usize)> {
+    (0..external.len())
+        .flat_map(|e| (0..local.len()).map(move |l| (e, l)))
+        .collect()
+}
+
+fn reference_standard(
+    key: &BlockingKey,
+    external: &RecordStore,
+    local: &RecordStore,
+) -> BTreeSet<(usize, usize)> {
+    let external_side = key.external_side(external);
+    let local_side = key.local_side(local);
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for l in 0..local.len() {
+        let k = local_side.key(local, l);
+        if !k.is_empty() {
+            blocks.entry(k).or_default().push(l);
+        }
+    }
+    let mut pairs = BTreeSet::new();
+    for e in 0..external.len() {
+        let k = external_side.key(external, e);
+        if k.is_empty() {
+            continue;
+        }
+        for &l in blocks.get(&k).map(Vec::as_slice).unwrap_or(&[]) {
+            pairs.insert((e, l));
+        }
+    }
+    pairs
+}
+
+fn reference_bigram(
+    key: &BlockingKey,
+    threshold: f64,
+    external: &RecordStore,
+    local: &RecordStore,
+) -> BTreeSet<(usize, usize)> {
+    let segmenter = CharNGramSegmenter::padded_bigrams();
+    let external_side = key.external_side(external);
+    let local_side = key.local_side(local);
+    let grams = |k: &str| -> HashSet<String> { segmenter.split_distinct(k).into_iter().collect() };
+    let local_grams: Vec<HashSet<String>> = (0..local.len())
+        .map(|l| grams(&local_side.key(local, l)))
+        .collect();
+    let mut pairs = BTreeSet::new();
+    for e in 0..external.len() {
+        let external_grams = grams(&external_side.key(external, e));
+        for (l, lg) in local_grams.iter().enumerate() {
+            let shared = external_grams.intersection(lg).count();
+            let smaller = external_grams.len().min(lg.len()).max(1);
+            let required = (threshold * smaller as f64).ceil() as usize;
+            if shared >= required.max(1) {
+                pairs.insert((e, l));
+            }
+        }
+    }
+    pairs
+}
+
+fn reference_sorted_neighborhood(
+    key: &BlockingKey,
+    window: usize,
+    external: &RecordStore,
+    local: &RecordStore,
+) -> BTreeSet<(usize, usize)> {
+    let external_side = key.external_side(external);
+    let local_side = key.local_side(local);
+    // (sort key, is_external, index) — the materialised reference order.
+    let mut entries: Vec<(String, bool, usize)> = Vec::new();
+    for e in 0..external.len() {
+        entries.push((external_side.sort_value(external, e), true, e));
+    }
+    for l in 0..local.len() {
+        entries.push((local_side.sort_value(local, l), false, l));
+    }
+    entries.sort();
+    let mut pairs = BTreeSet::new();
+    for (i, a) in entries.iter().enumerate() {
+        for b in &entries[i + 1..(i + window.max(2)).min(entries.len())] {
+            match (a.1, b.1) {
+                (true, false) => pairs.insert((a.2, b.2)),
+                (false, true) => pairs.insert((b.2, a.2)),
+                _ => false,
+            };
+        }
+    }
+    pairs
+}
+
+fn reference_rule_based(
+    scenario: &GeneratedScenario,
+    classifier: &RuleClassifier,
+    fallback: bool,
+    external: &RecordStore,
+    local: &RecordStore,
+) -> BTreeSet<(usize, usize)> {
+    let mut pairs = BTreeSet::new();
+    for e in 0..external.len() {
+        let facts: Vec<(String, String)> = external
+            .facts(e)
+            .map(|(p, v)| (p.to_string(), v.to_string()))
+            .collect();
+        let predictions = classifier.classify_facts(&facts);
+        if predictions.is_empty() {
+            if fallback {
+                for l in 0..local.len() {
+                    pairs.insert((e, l));
+                }
+            }
+            continue;
+        }
+        for prediction in predictions {
+            for item in scenario
+                .instances
+                .extent(prediction.class, &scenario.ontology)
+            {
+                if let Some(l) = local.index_of(&item) {
+                    pairs.insert((e, l));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Score the reference candidate set pair by pair and build the result
+/// the pipeline should produce — candidates in index order, scores from
+/// the compiled comparator, links sorted by (external, local) index.
+fn reference_result(
+    comparator: &RecordComparator,
+    external: &RecordStore,
+    local: &RecordStore,
+    candidates: &BTreeSet<(usize, usize)>,
+) -> LinkageResult {
+    let compiled = comparator.compile(external, local);
+    let mut scratch = SimScratch::new();
+    let mut matches = Vec::new();
+    let mut possible = Vec::new();
+    for &(e, l) in candidates {
+        let (score, decision) = compiled.score(external, e, local, l, &mut scratch);
+        let link = || Link {
+            external: external.id(e).clone(),
+            local: local.id(l).clone(),
+            score,
+        };
+        match decision {
+            MatchDecision::Match => matches.push(link()),
+            MatchDecision::Possible => possible.push(link()),
+            MatchDecision::NonMatch => {}
+        }
+    }
+    let comparisons = candidates.len() as u64;
+    let naive_pairs = external.len() as u64 * local.len() as u64;
+    let reduction_ratio = if naive_pairs == 0 {
+        0.0
+    } else {
+        1.0 - comparisons as f64 / naive_pairs as f64
+    };
+    LinkageResult {
+        matches,
+        possible,
+        comparisons,
+        naive_pairs,
+        reduction_ratio,
+    }
+}
+
+/// The guard itself: streamed runs == reference candidate set (as sets
+/// *and* in count, so duplicates cannot hide), and every pipeline result
+/// built on the streamed runs == the reference scorer's result, for all
+/// shard and thread counts.
+fn assert_streaming_matches_reference(
+    scenario: &GeneratedScenario,
+    blocker: &dyn Blocker,
+    reference: &BTreeSet<(usize, usize)>,
+) {
+    let external = scenario.external_store();
+    let local = scenario.local_store();
+    let cmp = comparator();
+    let expected = reference_result(&cmp, &external, &local, reference);
+    assert!(
+        !expected.matches.is_empty(),
+        "{}: reference produced no links — the guard would be vacuous",
+        blocker.name()
+    );
+
+    // Single-store streaming (run_stores path).
+    let mut runs = CandidateRuns::new();
+    blocker.stream_candidates(
+        &external,
+        classilink_linking::LocalShards::single(&local),
+        &mut runs,
+    );
+    assert_eq!(
+        runs.total() as usize,
+        reference.len(),
+        "{}: single-store streamed candidate count",
+        blocker.name()
+    );
+    let streamed: BTreeSet<(usize, usize)> = runs.shard(0).iter().copied().collect();
+    assert_eq!(
+        &streamed,
+        reference,
+        "{}: single-store candidate set",
+        blocker.name()
+    );
+
+    for shard_count in SHARD_COUNTS {
+        let (sharded_external, sharded_local) = scenario.sharded_stores(shard_count);
+        // Streamed runs, globalised, must be the reference set exactly.
+        let mut runs = CandidateRuns::new();
+        blocker.stream_candidates(&sharded_external, (&sharded_local).into(), &mut runs);
+        assert_eq!(
+            runs.total() as usize,
+            reference.len(),
+            "{}: {shard_count} shards streamed candidate count",
+            blocker.name()
+        );
+        let globalised = runs.into_global_pairs((&sharded_local).into());
+        assert_eq!(globalised.len(), reference.len());
+        let streamed: BTreeSet<(usize, usize)> = globalised.into_iter().collect();
+        assert_eq!(
+            &streamed,
+            reference,
+            "{}: {shard_count} shards candidate set",
+            blocker.name()
+        );
+        // And the legacy materialising API agrees too.
+        let materialised: BTreeSet<(usize, usize)> = blocker
+            .candidate_pairs_sharded(&sharded_external, &sharded_local)
+            .into_iter()
+            .collect();
+        assert_eq!(
+            &materialised,
+            reference,
+            "{}: {shard_count} shards materialised candidate set",
+            blocker.name()
+        );
+
+        for threads in THREAD_COUNTS {
+            let result = LinkagePipeline::new(blocker, &cmp)
+                .with_threads(threads)
+                .run_sharded(&sharded_external, &sharded_local);
+            assert_eq!(
+                expected,
+                result,
+                "{}: {shard_count} shards / {threads} threads diverged from the \
+                 reference scorer (scores compared bit for bit)",
+                blocker.name()
+            );
+        }
+    }
+
+    // run_stores agrees with the reference as well.
+    let result = LinkagePipeline::new(blocker, &cmp).run_stores(&external, &local);
+    assert_eq!(expected, result, "{}: run_stores diverged", blocker.name());
+}
+
+#[test]
+fn cartesian_streaming_matches_reference() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let reference = reference_cartesian(&scenario.external_store(), &scenario.local_store());
+    assert_streaming_matches_reference(&scenario, &CartesianBlocker, &reference);
+}
+
+#[test]
+fn standard_streaming_matches_reference() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let blocker = StandardBlocker::new(key(4));
+    let reference =
+        reference_standard(&key(4), &scenario.external_store(), &scenario.local_store());
+    assert_streaming_matches_reference(&scenario, &blocker, &reference);
+}
+
+#[test]
+fn sorted_neighborhood_streaming_matches_reference() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let blocker = SortedNeighborhoodBlocker::new(key(0), 7);
+    let reference = reference_sorted_neighborhood(
+        &key(0),
+        7,
+        &scenario.external_store(),
+        &scenario.local_store(),
+    );
+    assert_streaming_matches_reference(&scenario, &blocker, &reference);
+}
+
+#[test]
+fn bigram_streaming_matches_reference() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let blocker = BigramBlocker::new(key(0), 0.5);
+    let reference = reference_bigram(
+        &key(0),
+        0.5,
+        &scenario.external_store(),
+        &scenario.local_store(),
+    );
+    assert_streaming_matches_reference(&scenario, &blocker, &reference);
+}
+
+#[test]
+fn rule_based_streaming_matches_reference() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let classifier = classifier(&scenario);
+    for fallback in [false, true] {
+        let blocker = RuleBasedBlocker::new(&classifier, &scenario.instances, &scenario.ontology)
+            .with_fallback(fallback);
+        let reference = reference_rule_based(
+            &scenario,
+            &classifier,
+            fallback,
+            &scenario.external_store(),
+            &scenario.local_store(),
+        );
+        assert_streaming_matches_reference(&scenario, &blocker, &reference);
+    }
+}

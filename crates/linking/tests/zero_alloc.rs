@@ -4,13 +4,23 @@
 //! heap allocation**, for every similarity measure — including the
 //! set measures (token-index merges) and the full-text fallback.
 //!
+//! The same contract now covers **blocking**: after the store-level
+//! `KeyIndex`es are warm and the `CandidateRuns` sink has grown its
+//! buffers, streaming candidate generation with `StandardBlocker` and
+//! `BigramBlocker` performs zero allocations — not just per record pair,
+//! but for the entire run.
+//!
 //! This test binary installs a counting global allocator and asserts
 //! the allocation counter does not move across a post-warmup scoring
 //! sweep. It lives in its own integration-test binary so no concurrent
 //! test can pollute the counter.
 
+use classilink_linking::blocking::{BigramBlocker, Blocker, BlockingKey, StandardBlocker};
 use classilink_linking::record::Record;
-use classilink_linking::{RecordComparator, RecordStore, SimScratch, SimilarityMeasure};
+use classilink_linking::{
+    CandidateRuns, LocalShards, RecordComparator, RecordStore, ShardedStore, SimScratch,
+    SimilarityMeasure,
+};
 use classilink_rdf::Term;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +48,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The allocation counter is process-global, so the tests serialise on
+/// this mutex: a concurrent test's warmup must not allocate inside
+/// another test's measurement window.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 const EXT_PN: &str = "http://provider.e.org/v#ref";
 const EXT_MFR: &str = "http://provider.e.org/v#maker";
@@ -76,6 +91,7 @@ fn stores() -> (RecordStore, RecordStore) {
 
 #[test]
 fn steady_state_score_never_allocates() {
+    let _serial = SERIAL.lock().unwrap();
     let (external, local) = stores();
     let mut scratch = SimScratch::new();
     for &measure in SimilarityMeasure::all() {
@@ -125,6 +141,7 @@ fn steady_state_score_never_allocates() {
 fn steady_state_fallback_score_never_allocates() {
     // A rule whose property exists on neither store forces the
     // full-text fallback (Monge-Elkan — a set kernel) on every pair.
+    let _serial = SERIAL.lock().unwrap();
     let (external, local) = stores();
     let mut scratch = SimScratch::new();
     let comparator = RecordComparator::single(
@@ -148,4 +165,67 @@ fn steady_state_fallback_score_never_allocates() {
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "fallback path allocated in steady state");
+}
+
+/// Stream a blocker's candidates twice into one sink and assert the
+/// second (steady-state) run performs zero allocations: the first call
+/// builds the store-level key indexes and grows the sink's output and
+/// scratch buffers; after that, candidate generation is pure index
+/// probing into retained capacity.
+fn assert_blocking_steady_state(
+    blocker: &dyn Blocker,
+    external: &RecordStore,
+    local: LocalShards<'_>,
+    runs: &mut CandidateRuns,
+) {
+    blocker.stream_candidates(external, local, runs);
+    let warm_total = runs.total();
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    blocker.stream_candidates(external, local, runs);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        runs.total(),
+        warm_total,
+        "{}: runs diverged",
+        blocker.name()
+    );
+    assert!(
+        warm_total > 0,
+        "{}: no candidates — the zero-alloc assertion would be vacuous",
+        blocker.name()
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "{} allocated {} times across a steady-state streaming run of {} candidates",
+        blocker.name(),
+        after - before,
+        warm_total
+    );
+}
+
+#[test]
+fn steady_state_blocking_never_allocates() {
+    let _serial = SERIAL.lock().unwrap();
+    let (external, local) = stores();
+    let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
+    let bigram = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.3);
+    let mut runs = CandidateRuns::new();
+    // Single-store view: the run_stores blocking path.
+    assert_blocking_steady_state(&standard, &external, LocalShards::single(&local), &mut runs);
+    assert_blocking_steady_state(&bigram, &external, LocalShards::single(&local), &mut runs);
+    // Sharded view: the run_sharded blocking path (per-shard key
+    // indexes, external-side artifacts shared across shards).
+    let sharded = ShardedStore::from_records(
+        &(0..24)
+            .map(|i| {
+                let mut r = Record::new(Term::iri(format!("http://local.e.org/prod/{i}")));
+                r.add(LOC_PN, format!("CRCW0805-{i:05}-{}", i % 5));
+                r
+            })
+            .collect::<Vec<_>>(),
+        3,
+    );
+    assert_blocking_steady_state(&standard, &external, (&sharded).into(), &mut runs);
+    assert_blocking_steady_state(&bigram, &external, (&sharded).into(), &mut runs);
 }
