@@ -7,17 +7,22 @@
 //! Three series are tracked:
 //!
 //! * `store_build/*` — time to columnarise the catalog, single-store vs
-//!   sharded (shared-schema) construction.
+//!   sharded (shared-schema, **parallel**) construction.
 //! * `blocking/<blocker>` — the streaming blocking phase alone
 //!   (`Blocker::stream_candidates` into a reused `CandidateRuns` sink,
 //!   4 shards), with `Throughput::Elements` set to the candidate count
 //!   so the shim reports **candidates per second**. Store-level key
 //!   indexes are warm after the first iteration, mirroring a serving
-//!   deployment.
+//!   deployment. The series includes `cartesian` — ~308 M candidates
+//!   that the run-block sink encodes in O(externals × shards) span
+//!   blocks; the flat pair encoding could not even hold them (~4.9 GB).
+//!   Each blocker also reports a **`queue_bytes` metric line**
+//!   (blocks-vs-pairs memory, printed and appended to
+//!   `CLASSILINK_BENCH_JSON`).
 //! * `pipeline/*` — the end-to-end blocking + comparison phase on
 //!   standard key blocking; `single_store` is the monolithic baseline,
 //!   `sharded/N` streams per-shard candidate runs into N task queues
-//!   with work stealing.
+//!   with count-based work stealing.
 //!
 //! Before the pipeline series, one instrumented run prints the
 //! **blocking vs comparison wall-time split** so the bench output shows
@@ -26,12 +31,40 @@
 use classilink_datagen::scenario::{generate, ScenarioConfig};
 use classilink_datagen::vocab;
 use classilink_eval::blocking_eval::default_key;
-use classilink_linking::blocking::{Blocker, SortedNeighborhoodBlocker, StandardBlocker};
+use classilink_linking::blocking::{
+    Blocker, CartesianBlocker, SortedNeighborhoodBlocker, StandardBlocker,
+};
 use classilink_linking::{
     BigramBlocker, CandidateRuns, LinkagePipeline, RecordComparator, SimilarityMeasure,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
+
+/// Append one metric JSON line to the `CLASSILINK_BENCH_JSON` file (the
+/// same file the criterion shim appends its timing lines to), recording
+/// the run-block queue memory against the flat pair encoding it
+/// replaced. Kept in the bench rather than the shim so the shim's API
+/// stays a strict subset of upstream criterion's.
+fn emit_queue_bytes(label: &str, queue_bytes: u64, pair_bytes: u64, candidates: u64) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"queue_bytes\":{queue_bytes},\"pair_bytes\":{pair_bytes},\
+         \"candidates\":{candidates}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
 
 fn bench_paper_scale(c: &mut Criterion) {
     let scenario = generate(&ScenarioConfig::paper());
@@ -63,15 +96,31 @@ fn bench_paper_scale(c: &mut Criterion) {
     let standard = StandardBlocker::new(default_key(4));
     let sorted = SortedNeighborhoodBlocker::new(default_key(0), 10);
     let bigram = BigramBlocker::new(default_key(0), 0.7);
-    let blockers: [(&str, &dyn Blocker); 3] = [
+    let blockers: [(&str, &dyn Blocker); 4] = [
         ("standard", &standard),
         ("sorted-neighborhood", &sorted),
         ("bigram", &bigram),
+        // Cartesian only exists in this series because of the run-block
+        // sink: ~308 M candidates fit in O(externals × shards) span
+        // blocks where the flat pair vector would need ~4.9 GB.
+        ("cartesian", &CartesianBlocker),
     ];
     for (name, blocker) in blockers {
         let mut runs = CandidateRuns::new();
         blocker.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
-        println!("blocking/{name}: {} candidates", runs.total());
+        println!(
+            "blocking/{name}: {} candidates, queue {} bytes (run blocks) vs {} bytes \
+             (pair encoding)",
+            runs.total(),
+            runs.queue_bytes(),
+            runs.pair_bytes(),
+        );
+        emit_queue_bytes(
+            &format!("paper_scale/blocking/{name}/queue_bytes"),
+            runs.queue_bytes(),
+            runs.pair_bytes(),
+            runs.total(),
+        );
         group.throughput(Throughput::Elements(runs.total()));
         group.bench_with_input(BenchmarkId::new("blocking", name), &(), |b, ()| {
             b.iter(|| {

@@ -81,13 +81,17 @@ impl Blocker for BigramBlocker {
         runs.into_global_pairs(local.into())
     }
 
-    /// Native streaming: the external side's padded key bigrams and
-    /// their inverted index come from the store-level
+    /// Native streaming: the external side's padded key bigrams come
+    /// from the store-level
     /// [`KeyIndex`](crate::token_index::KeyIndex) (built or fetched
-    /// **once** for all shards); each shard's probe loop walks its own
-    /// precomputed bigram sets, counts shared grams per external in a
-    /// reused counter array, and emits the pairs that meet the sharing
-    /// threshold.
+    /// **once** for all shards); each shard is then probed
+    /// **external-major** — every external's grams walk the *shard's*
+    /// inverted postings, counting shared grams per shard-local record
+    /// in a reused counter array — so the locals that meet the sharing
+    /// threshold for one external form **one explicit run** (in
+    /// deterministic first-gram-hit order) and the sink coalesces them
+    /// into a single block per (external, shard) instead of one entry
+    /// per pair.
     fn stream_candidates(
         &self,
         external: &RecordStore,
@@ -98,31 +102,35 @@ impl Blocker for BigramBlocker {
         let external_index = external.key_index(&self.key.external_side(external));
         let external_bigrams = external_index.bigram_index();
         let local_side = self.key.local_side_of(local.schema());
-        if out.scratch.counts.len() < external.len() {
-            out.scratch.counts.resize(external.len(), 0);
-        }
         for (s, shard) in local.shards().iter().enumerate() {
             let local_index = shard.key_index(&local_side);
             let local_bigrams = local_index.bigram_index();
-            for l in 0..shard.len() {
-                let set = local_bigrams.set(l);
-                // Count shared grams per external; `touched` lists the
-                // externals with a non-zero counter so the reset below
-                // is O(candidate externals), not O(|SE|).
+            if out.scratch.counts.len() < shard.len() {
+                out.scratch.counts.resize(shard.len(), 0);
+            }
+            for e in 0..external.len() {
+                let set = external_bigrams.set(e);
+                // Count shared grams per shard-local record; `touched`
+                // lists the locals with a non-zero counter so the reset
+                // below is O(candidate locals), not O(|shard|).
                 for &gram in set {
-                    for &e in external_bigrams.postings(gram) {
-                        let count = &mut out.scratch.counts[e as usize];
+                    for &l in local_bigrams.postings(gram) {
+                        let count = &mut out.scratch.counts[l as usize];
                         if *count == 0 {
-                            out.scratch.touched.push(e);
+                            out.scratch.touched.push(l);
                         }
                         *count += 1;
                     }
                 }
+                // Touched order (first-gram-hit order) is deterministic,
+                // and the pipeline index-sorts its output, so no sort is
+                // needed here — sorting ~shard-sized touched lists per
+                // external would dominate the probe loop.
                 for i in 0..out.scratch.touched.len() {
-                    let e = out.scratch.touched[i] as usize;
-                    let shared = out.scratch.counts[e] as usize;
-                    out.scratch.counts[e] = 0;
-                    if self.meets_threshold(shared, external_bigrams.set(e).len(), set.len()) {
+                    let l = out.scratch.touched[i] as usize;
+                    let shared = out.scratch.counts[l] as usize;
+                    out.scratch.counts[l] = 0;
+                    if self.meets_threshold(shared, set.len(), local_bigrams.set(l).len()) {
                         out.push(s, e, l);
                     }
                 }

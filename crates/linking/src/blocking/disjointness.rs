@@ -43,8 +43,11 @@ impl<'a> DisjointnessFilter<'a> {
     /// The streaming counterpart of [`filter`](Self::filter): drop the
     /// incompatible pairs from a [`CandidateRuns`] sink in place,
     /// per-shard local ids offset to the **global** ids that index
-    /// `local_classes`. The sink's comparison total is updated, so the
-    /// filtered runs can feed the pipeline's task queues directly.
+    /// `local_classes`. Every candidate block is decoded, filtered, and
+    /// the survivors re-encoded as explicit runs (a filtered span or
+    /// key range is no longer contiguous); the sink's comparison total
+    /// is updated, so the filtered runs can feed the pipeline's task
+    /// queues directly.
     pub fn retain_runs(
         &self,
         runs: &mut CandidateRuns,

@@ -19,7 +19,7 @@
 //! materialised. The built-in blockers compute their external-side
 //! artifacts (key tables, bigram postings, rule classifications) once
 //! per run and read per-record keys and bigrams from the store-level
-//! [`KeyIndex`](crate::token_index::KeyIndex) cache, making steady-state
+//! [`KeyIndex`] cache, making steady-state
 //! blocking allocation-free. The materialising
 //! [`Blocker::candidate_pairs`] / [`Blocker::candidate_pairs_sharded`]
 //! APIs remain as thin adapters for external callers.
@@ -40,17 +40,319 @@ pub use standard::StandardBlocker;
 
 use crate::shard::{LocalShards, ShardedStore};
 use crate::store::RecordStore;
+use crate::token_index::KeyIndex;
+use std::sync::Arc;
 
 /// A candidate pair, given as indexes into the external and local record
 /// stores handed to the blocker.
 pub type CandidatePair = (usize, usize);
 
-/// The streaming blocking sink: per-shard runs of **shard-local**
-/// candidate pairs, produced by
+/// How one [`CandidateBlock`]'s local side is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RunKind {
+    /// A contiguous span of shard-local ids, `start .. start + len`.
+    Span,
+    /// `len` entries of the shard [`KeyIndex`]'s key-sorted record
+    /// table, starting at `start`.
+    Keyed,
+    /// `len` entries of the sink's per-shard explicit-locals arena,
+    /// starting at `start`.
+    Explicit,
+}
+
+/// One run-length candidate block: one external record against a run of
+/// shard-local records — the unit the comparison scheduler claims and
+/// decodes (see [`CandidateRuns`]).
+///
+/// The left side of a block is constant *by construction*, which is
+/// what lets the comparison phase hoist the external record's resolved
+/// column values and token views once per block instead of re-fetching
+/// them per pair. The local side is one of three encodings
+/// ([`LocalRun`]): a contiguous span (cartesian, rule-based fallback),
+/// a slice of the shard [`KeyIndex`]'s key-sorted record table
+/// (standard blocking: one block per external × equal-range), or a
+/// slice of the sink's explicit-locals arena (sparse producers: bigram,
+/// sorted-neighbourhood windows, rule extents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateBlock {
+    /// The external record every pair of this block shares.
+    pub(crate) external: u32,
+    /// Encoding-specific start (span origin, key-table index, or
+    /// explicit-arena index).
+    pub(crate) start: u32,
+    /// Number of local records — the block's comparison count.
+    pub(crate) len: u32,
+    /// Which encoding `start`/`len` address.
+    pub(crate) kind: RunKind,
+}
+
+impl CandidateBlock {
+    /// The external record id shared by every pair of this block.
+    pub fn external(&self) -> usize {
+        self.external as usize
+    }
+
+    /// Number of candidate pairs this block encodes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when the block encodes no pair (never produced by the
+    /// built-in blockers — empty runs are skipped at push time).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Crate-internal decode against the backing arenas the comparison
+    /// scheduler borrows from the sink (`locals` = the shard's explicit
+    /// arena, `table` = the shard key index's sorted record table,
+    /// empty when no keyed block exists).
+    ///
+    /// # Panics
+    /// Panics when the block's range exceeds its backing arena (sink
+    /// API misuse; the scheduler validates with
+    /// [`bounds_valid`](Self::bounds_valid) first).
+    pub(crate) fn decode<'a>(&self, locals: &'a [u32], table: &'a [u32]) -> LocalRun<'a> {
+        match self.kind {
+            RunKind::Span => LocalRun::Span {
+                start: self.start as usize,
+                len: self.len as usize,
+            },
+            RunKind::Keyed => LocalRun::Keyed(&table[self.start as usize..][..self.len as usize]),
+            RunKind::Explicit => {
+                LocalRun::Explicit(&locals[self.start as usize..][..self.len as usize])
+            }
+        }
+    }
+
+    /// Crate-internal once-per-run bounds check: `true` when every pair
+    /// this block decodes to stays inside a local store of `store_len`
+    /// records. `table_matches_store` asserts the key table was built
+    /// from that store (its ids are then `< store_len` by
+    /// construction); explicit ids are covered by the sink's tracked
+    /// per-shard maximum, so only the arena range is checked here.
+    pub(crate) fn bounds_valid(
+        &self,
+        store_len: usize,
+        locals_len: usize,
+        table_len: usize,
+        table_matches_store: bool,
+    ) -> bool {
+        let end = self.start as usize + self.len as usize;
+        match self.kind {
+            RunKind::Span => end <= store_len,
+            RunKind::Keyed => table_matches_store && end <= table_len,
+            RunKind::Explicit => end <= locals_len,
+        }
+    }
+
+    /// Crate-internal: `true` when [`decode`](Self::decode) will not
+    /// panic against arenas of these lengths (the cold-path guard for
+    /// externally built sinks; span blocks always decode).
+    pub(crate) fn decodable(&self, locals_len: usize, table_len: usize) -> bool {
+        let end = self.start as usize + self.len as usize;
+        match self.kind {
+            RunKind::Span => true,
+            RunKind::Keyed => end <= table_len,
+            RunKind::Explicit => end <= locals_len,
+        }
+    }
+}
+
+/// A decoded view of one [`CandidateBlock`]'s local side.
+#[derive(Debug, Clone, Copy)]
+pub enum LocalRun<'a> {
+    /// A contiguous span of shard-local ids.
+    Span {
+        /// First shard-local id of the span.
+        start: usize,
+        /// Number of consecutive ids.
+        len: usize,
+    },
+    /// Shard-local ids from the shard [`KeyIndex`]'s key-sorted record
+    /// table (one standard-blocking block).
+    Keyed(&'a [u32]),
+    /// Explicitly enumerated shard-local ids (sparse producers).
+    Explicit(&'a [u32]),
+}
+
+impl<'a> LocalRun<'a> {
+    /// Number of local records in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            LocalRun::Span { len, .. } => *len,
+            LocalRun::Keyed(ids) | LocalRun::Explicit(ids) => ids.len(),
+        }
+    }
+
+    /// `true` when the run holds no local record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th shard-local id of the run.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            LocalRun::Span { start, len } => {
+                assert!(i < *len, "run index {i} out of range ({len})");
+                start + i
+            }
+            LocalRun::Keyed(ids) | LocalRun::Explicit(ids) => ids[i] as usize,
+        }
+    }
+
+    /// Iterate the shard-local ids in run order (the iterator borrows
+    /// the backing arena, not this — run-of-a-temporary decoding works).
+    pub fn iter(&self) -> LocalRunIter<'a> {
+        LocalRunIter {
+            inner: match self {
+                LocalRun::Span { start, len } => RunIterInner::Span(*start..*start + *len),
+                LocalRun::Keyed(ids) | LocalRun::Explicit(ids) => RunIterInner::Slice(ids.iter()),
+            },
+        }
+    }
+}
+
+impl<'a> IntoIterator for &LocalRun<'a> {
+    type Item = usize;
+    type IntoIter = LocalRunIter<'a>;
+
+    fn into_iter(self) -> LocalRunIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over one [`LocalRun`]'s shard-local ids.
+#[derive(Debug, Clone)]
+pub struct LocalRunIter<'a> {
+    inner: RunIterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum RunIterInner<'a> {
+    Span(std::ops::Range<usize>),
+    Slice(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for LocalRunIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.inner {
+            RunIterInner::Span(range) => range.next(),
+            RunIterInner::Slice(ids) => ids.next().map(|&l| l as usize),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            RunIterInner::Span(range) => range.size_hint(),
+            RunIterInner::Slice(ids) => ids.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for LocalRunIter<'_> {}
+
+/// One shard's share of the sink: its candidate blocks, the
+/// explicit-locals arena they slice, and (for keyed blocks) the shard's
+/// key index.
+#[derive(Debug, Default)]
+struct ShardRun {
+    /// The run-length candidate blocks, in emission order.
+    blocks: Vec<CandidateBlock>,
+    /// Explicit shard-local ids; [`RunKind::Explicit`] blocks own
+    /// disjoint consecutive slices of this arena.
+    locals: Vec<u32>,
+    /// The key index whose sorted record table [`RunKind::Keyed`]
+    /// blocks slice (set by the blocker before pushing keyed blocks).
+    key_table: Option<Arc<KeyIndex>>,
+    /// Largest id in `locals` — one per-run bound for the whole arena,
+    /// so the comparison decode loop needs no per-pair check.
+    explicit_max: u32,
+    /// Sum of this shard's block lengths — its comparison count.
+    count: u64,
+}
+
+impl ShardRun {
+    fn clear(&mut self) {
+        self.blocks.clear();
+        self.locals.clear();
+        self.key_table = None;
+        self.explicit_max = 0;
+        self.count = 0;
+    }
+
+    /// Decode one block's local side (the block must belong to this
+    /// shard).
+    ///
+    /// # Panics
+    /// Panics on a keyed block when no key table was attached, or when
+    /// the block's range exceeds its backing table/arena — both are
+    /// sink-API misuse, impossible through the built-in blockers.
+    fn local_run(&self, block: &CandidateBlock) -> LocalRun<'_> {
+        block.decode(&self.locals, block_table(block, self.key_table.as_ref()))
+    }
+
+    /// Append one explicit pair, coalescing with the last block when it
+    /// is the explicit run of the same external ending at the arena tip
+    /// — the single owner of the explicit-encoding invariant, shared by
+    /// [`CandidateRuns::push`] and [`CandidateRuns::retain`].
+    #[inline]
+    fn push_explicit(&mut self, external: u32, local: u32) {
+        self.explicit_max = self.explicit_max.max(local);
+        match self.blocks.last_mut() {
+            Some(block)
+                if block.kind == RunKind::Explicit
+                    && block.external == external
+                    && block.start as usize + block.len as usize == self.locals.len() =>
+            {
+                block.len += 1;
+            }
+            _ => self.blocks.push(CandidateBlock {
+                external,
+                start: run_u32(self.locals.len()),
+                len: 1,
+                kind: RunKind::Explicit,
+            }),
+        }
+        self.locals.push(local);
+        self.count += 1;
+    }
+}
+
+/// The streaming blocking sink: per-shard **run-length candidate
+/// blocks** over **shard-local** ids, produced by
 /// [`Blocker::stream_candidates`] and consumed directly as the
 /// work-stealing comparison scheduler's task queues — the global pair
 /// vector, its sort, and the route-back binary search of the old
-/// materialising path never exist.
+/// materialising path never exist, and dense blockers no longer pay one
+/// sink entry per pair.
+///
+/// Every block pairs **one external record** with a [`LocalRun`]:
+///
+/// * [`push_span`](Self::push_span) — a contiguous span of shard-local
+///   ids (cartesian, rule-based fallback): one block per external ×
+///   shard, O(1) however many pairs it encodes;
+/// * [`push_keyed`](Self::push_keyed) — a range of the shard
+///   [`KeyIndex`]'s key-sorted record table (standard blocking): one
+///   block per external × equal-range, again O(1);
+/// * [`push`](Self::push) — one explicit pair; consecutive pushes for
+///   the same (shard, external) coalesce into one explicit block over
+///   the sink's locals arena (bigram, sorted-neighbourhood, rule
+///   extents).
+///
+/// For dense producers queue memory is therefore O(runs), not
+/// O(candidates) — [`queue_bytes`](Self::queue_bytes) vs
+/// [`pair_bytes`](Self::pair_bytes) quantifies the drop (~100–5000×
+/// for cartesian and big standard blocks on the paper preset). Sparse
+/// producers whose pairs rarely coalesce (sorted neighbourhood's
+/// alternating window sides) degrade to one block + one arena entry
+/// per pair — ~20 bytes against the flat encoding's 16 — which is the
+/// accepted trade for making the dense case O(1) per run.
 ///
 /// The sink is reusable: [`stream_candidates`](Blocker::stream_candidates)
 /// clears it (capacity retained) before producing, so a long-lived sink
@@ -61,9 +363,9 @@ pub type CandidatePair = (usize, usize);
 /// `crates/linking/tests/zero_alloc.rs`.
 #[derive(Debug, Default)]
 pub struct CandidateRuns {
-    /// Per-shard candidate pairs, shard-local local ids.
-    per_shard: Vec<Vec<CandidatePair>>,
-    /// Sum of all run lengths — the comparison count, by construction.
+    /// Per-shard candidate blocks and their backing arenas.
+    per_shard: Vec<ShardRun>,
+    /// Sum of all block lengths — the comparison count, by construction.
     total: u64,
     /// Reusable probe scratch shared by the built-in blockers.
     pub(crate) scratch: RunScratch,
@@ -99,6 +401,31 @@ impl RunScratch {
     }
 }
 
+/// Convert an emitted id to the sink's `u32` encoding, failing loudly
+/// on overflow (stores are `u32`-bounded, so built-in blockers never
+/// hit this).
+#[inline]
+fn run_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("candidate block field exceeds u32::MAX; shard the store")
+}
+
+/// The arena a block's decode reads besides the explicit locals: the
+/// shard key table's sorted records for keyed blocks, nothing
+/// otherwise — the single owner of the keyed-decode rule, shared by
+/// [`ShardRun::local_run`] and [`CandidateRuns::retain`].
+///
+/// # Panics
+/// Panics on a keyed block with no attached key table (sink API
+/// misuse).
+fn block_table<'a>(block: &CandidateBlock, key_table: Option<&'a Arc<KeyIndex>>) -> &'a [u32] {
+    match block.kind {
+        RunKind::Keyed => key_table
+            .expect("keyed candidate block without a key table")
+            .sorted_records(),
+        _ => &[],
+    }
+}
+
 impl CandidateRuns {
     /// An empty sink; the first streaming call sizes it.
     pub fn new() -> Self {
@@ -115,17 +442,73 @@ impl CandidateRuns {
             run.clear();
         }
         while self.per_shard.len() < shard_count {
-            self.per_shard.push(Vec::new());
+            self.per_shard.push(ShardRun::default());
         }
         self.total = 0;
     }
 
     /// Emit one candidate: external record `external` against
-    /// **shard-local** record `local` of shard `shard`.
+    /// **shard-local** record `local` of shard `shard`. Consecutive
+    /// pushes for the same `(shard, external)` coalesce into one
+    /// explicit block.
     #[inline]
     pub fn push(&mut self, shard: usize, external: usize, local: usize) {
-        self.per_shard[shard].push((external, local));
+        self.per_shard[shard].push_explicit(run_u32(external), run_u32(local));
         self.total += 1;
+    }
+
+    /// Emit one **span** block: `external` against the contiguous
+    /// shard-local ids `start .. start + len` of shard `shard` (the
+    /// cartesian / fallback-to-all encoding — O(1) per block, however
+    /// many pairs it covers). Empty spans are skipped.
+    #[inline]
+    pub fn push_span(&mut self, shard: usize, external: usize, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let run = &mut self.per_shard[shard];
+        run.blocks.push(CandidateBlock {
+            external: run_u32(external),
+            start: run_u32(start),
+            len: run_u32(len),
+            kind: RunKind::Span,
+        });
+        run.count += len as u64;
+        self.total += len as u64;
+    }
+
+    /// Emit one **keyed** block: `external` against the `len` records
+    /// at `table_start` of the shard's key-sorted record table (the
+    /// standard-blocking encoding: one block per external ×
+    /// equal-range). The shard's [`KeyIndex`] must have been attached
+    /// with [`set_key_table`](Self::set_key_table) first. Empty ranges
+    /// are skipped.
+    #[inline]
+    pub fn push_keyed(&mut self, shard: usize, external: usize, table_start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let run = &mut self.per_shard[shard];
+        debug_assert!(
+            run.key_table.is_some(),
+            "push_keyed before set_key_table({shard}, …)"
+        );
+        run.blocks.push(CandidateBlock {
+            external: run_u32(external),
+            start: run_u32(table_start),
+            len: run_u32(len),
+            kind: RunKind::Keyed,
+        });
+        run.count += len as u64;
+        self.total += len as u64;
+    }
+
+    /// Attach the [`KeyIndex`] whose sorted record table this shard's
+    /// keyed blocks slice. Must precede any
+    /// [`push_keyed`](Self::push_keyed) for the shard; the sink keeps
+    /// the `Arc` alive for the decode path.
+    pub fn set_key_table(&mut self, shard: usize, table: Arc<KeyIndex>) {
+        self.per_shard[shard].key_table = Some(table);
     }
 
     /// Number of shards the sink currently holds runs for.
@@ -133,9 +516,33 @@ impl CandidateRuns {
         self.per_shard.len()
     }
 
-    /// One shard's candidate run (shard-local local ids).
-    pub fn shard(&self, shard: usize) -> &[CandidatePair] {
-        &self.per_shard[shard]
+    /// One shard's candidate blocks, in emission order.
+    pub fn blocks(&self, shard: usize) -> &[CandidateBlock] {
+        &self.per_shard[shard].blocks
+    }
+
+    /// Decode one shard's `index`-th block: its external record id and
+    /// its local run.
+    pub fn run(&self, shard: usize, index: usize) -> (usize, LocalRun<'_>) {
+        let run = &self.per_shard[shard];
+        let block = &run.blocks[index];
+        (block.external as usize, run.local_run(block))
+    }
+
+    /// Decode one shard's candidates as explicit pairs, in block
+    /// emission order (the materialising adapters' and tests' view of
+    /// the compressed runs).
+    pub fn pairs(&self, shard: usize) -> impl Iterator<Item = CandidatePair> + '_ {
+        let run = &self.per_shard[shard];
+        run.blocks.iter().flat_map(move |block| {
+            let external = block.external as usize;
+            run.local_run(block).iter().map(move |l| (external, l))
+        })
+    }
+
+    /// One shard's comparison count (the sum of its block lengths).
+    pub fn shard_total(&self, shard: usize) -> u64 {
+        self.per_shard[shard].count
     }
 
     /// Total number of candidates across all shards — the comparison
@@ -144,37 +551,96 @@ impl CandidateRuns {
         self.total
     }
 
+    /// Bytes the sink's queue structures occupy: blocks plus the
+    /// explicit-locals arenas (capacity, since the sink retains it).
+    /// O(runs) — compare [`pair_bytes`](Self::pair_bytes).
+    pub fn queue_bytes(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|run| {
+                (run.blocks.capacity() * std::mem::size_of::<CandidateBlock>()
+                    + run.locals.capacity() * std::mem::size_of::<u32>()) as u64
+            })
+            .sum()
+    }
+
+    /// Bytes the same candidates would occupy in the flat
+    /// one-`(usize, usize)`-per-pair encoding this sink replaced —
+    /// O(candidates), the denominator of the run-length saving.
+    pub fn pair_bytes(&self) -> u64 {
+        self.total * std::mem::size_of::<CandidatePair>() as u64
+    }
+
+    /// Crate-internal: one shard's explicit-locals arena (the decode
+    /// target of [`RunKind::Explicit`] blocks).
+    pub(crate) fn shard_locals(&self, shard: usize) -> &[u32] {
+        &self.per_shard[shard].locals
+    }
+
+    /// Crate-internal: one shard's attached key table, if any.
+    pub(crate) fn shard_key_table(&self, shard: usize) -> Option<&Arc<KeyIndex>> {
+        self.per_shard[shard].key_table.as_ref()
+    }
+
+    /// Crate-internal: the largest id in one shard's explicit arena —
+    /// the one bound the scheduler checks instead of a per-pair check.
+    pub(crate) fn shard_explicit_max(&self, shard: usize) -> u32 {
+        self.per_shard[shard].explicit_max
+    }
+
     /// Keep only the pairs `keep(shard, external, local)` accepts,
     /// updating the total (see
     /// [`DisjointnessFilter::retain_runs`](crate::blocking::DisjointnessFilter::retain_runs)).
+    ///
+    /// Surviving pairs are re-encoded as explicit runs (a filtered span
+    /// or key range is no longer contiguous), so this is the one sink
+    /// operation that is O(retained candidates) rather than O(runs).
     pub fn retain(&mut self, mut keep: impl FnMut(usize, usize, usize) -> bool) {
         let mut total = 0u64;
         for (shard, run) in self.per_shard.iter_mut().enumerate() {
-            run.retain(|&(e, l)| keep(shard, e, l));
-            total += run.len() as u64;
+            let old_blocks = std::mem::take(&mut run.blocks);
+            let old_locals = std::mem::take(&mut run.locals);
+            let key_table = run.key_table.take();
+            let mut rebuilt = ShardRun::default();
+            rebuilt.locals.reserve(old_locals.len());
+            for block in &old_blocks {
+                let table = block_table(block, key_table.as_ref());
+                for local in block.decode(&old_locals, table).iter() {
+                    if keep(shard, block.external as usize, local) {
+                        rebuilt.push_explicit(block.external, run_u32(local));
+                    }
+                }
+            }
+            total += rebuilt.count;
+            *run = rebuilt;
         }
         self.total = total;
     }
 
-    /// Move one shard's run out of the sink (the single-store adapter
-    /// path), leaving an empty run behind.
+    /// Decode one shard's candidates into a fresh pair vector and clear
+    /// the shard (the single-store adapter path).
     pub fn take_shard(&mut self, shard: usize) -> Vec<CandidatePair> {
-        let run = std::mem::take(&mut self.per_shard[shard]);
-        self.total -= run.len() as u64;
-        run
+        let pairs: Vec<CandidatePair> = self.pairs(shard).collect();
+        self.total -= self.per_shard[shard].count;
+        self.per_shard[shard].clear();
+        pairs
     }
 
     /// Flatten into one **global**-id pair vector in the legacy
-    /// materialised layout: each shard's run sorted by index pair, shards
-    /// concatenated in catalog order (exactly what the default
-    /// per-shard [`Blocker::candidate_pairs_sharded`] used to produce for
-    /// blockers whose per-shard output is sorted).
+    /// materialised layout: each shard's decoded run sorted by index
+    /// pair, shards concatenated in catalog order (exactly what the
+    /// default per-shard [`Blocker::candidate_pairs_sharded`] used to
+    /// produce for blockers whose per-shard output is sorted).
     pub fn into_global_pairs(self, local: LocalShards<'_>) -> Vec<CandidatePair> {
         let mut pairs = Vec::with_capacity(self.total as usize);
-        for (s, mut run) in self.per_shard.into_iter().enumerate() {
-            run.sort_unstable();
+        for s in 0..self.per_shard.len() {
+            let start = pairs.len();
+            pairs.extend(self.pairs(s));
+            pairs[start..].sort_unstable();
             let base = local.offset(s);
-            pairs.extend(run.into_iter().map(|(e, l)| (e, base + l)));
+            for pair in &mut pairs[start..] {
+                pair.1 += base;
+            }
         }
         pairs
     }
@@ -235,7 +701,7 @@ pub trait Blocker {
     /// the materialising APIs: the built-in blockers stream natively
     /// (external-side artifacts computed once and shared across shards,
     /// keys and bigrams served by the store-level
-    /// [`KeyIndex`](crate::token_index::KeyIndex)); the default
+    /// [`KeyIndex`]); the default
     /// implementation adapts the materialising path — per-shard
     /// [`candidate_pairs`](Self::candidate_pairs) for a single-store
     /// view, a routed [`candidate_pairs_sharded`](Self::candidate_pairs_sharded)
@@ -286,8 +752,10 @@ impl Blocker for CartesianBlocker {
         pairs
     }
 
-    /// Native streaming: every external × every shard record, emitted
-    /// per shard without an intermediate global vector.
+    /// Native streaming: every external × every shard record, as **one
+    /// span block per external per shard** — O(externals × shards)
+    /// blocks for O(externals × records) candidates, the densest
+    /// possible run-length compression.
     fn stream_candidates(
         &self,
         external: &RecordStore,
@@ -297,9 +765,7 @@ impl Blocker for CartesianBlocker {
         out.reset(local.shard_count());
         for (s, shard) in local.shards().iter().enumerate() {
             for e in 0..external.len() {
-                for l in 0..shard.len() {
-                    out.push(s, e, l);
-                }
+                out.push_span(s, e, 0, shard.len());
             }
         }
     }
@@ -482,6 +948,10 @@ mod tests {
         assert_eq!(stats.pairs_quality, 0.0);
     }
 
+    fn shard_pairs(runs: &CandidateRuns, shard: usize) -> Vec<CandidatePair> {
+        runs.pairs(shard).collect()
+    }
+
     #[test]
     fn candidate_runs_push_reset_and_totals() {
         let mut runs = CandidateRuns::new();
@@ -491,13 +961,14 @@ mod tests {
         runs.push(2, 0, 0);
         runs.push(2, 4, 1);
         assert_eq!(runs.total(), 3);
-        assert_eq!(runs.shard(0), &[(1, 2)]);
-        assert!(runs.shard(1).is_empty());
-        assert_eq!(runs.shard(2), &[(0, 0), (4, 1)]);
+        assert_eq!(shard_pairs(&runs, 0), vec![(1, 2)]);
+        assert!(shard_pairs(&runs, 1).is_empty());
+        assert_eq!(shard_pairs(&runs, 2), vec![(0, 0), (4, 1)]);
+        assert_eq!(runs.shard_total(2), 2);
         // Retain drops pairs and keeps the total honest.
         runs.retain(|shard, e, _l| shard == 2 && e > 0);
         assert_eq!(runs.total(), 1);
-        assert_eq!(runs.shard(2), &[(4, 1)]);
+        assert_eq!(shard_pairs(&runs, 2), vec![(4, 1)]);
         // take_shard moves a run out.
         let run = runs.take_shard(2);
         assert_eq!(run, vec![(4, 1)]);
@@ -507,7 +978,77 @@ mod tests {
         runs.reset(1);
         assert_eq!(runs.shard_count(), 1);
         assert_eq!(runs.total(), 0);
-        assert!(runs.shard(0).is_empty());
+        assert!(shard_pairs(&runs, 0).is_empty());
+    }
+
+    #[test]
+    fn consecutive_pushes_coalesce_into_one_explicit_block() {
+        let mut runs = CandidateRuns::new();
+        runs.reset(2);
+        // Same (shard, external) back to back — one block; interleaving
+        // another shard does not break the coalescing (per-shard arenas).
+        runs.push(0, 7, 1);
+        runs.push(1, 7, 0);
+        runs.push(0, 7, 3);
+        runs.push(0, 8, 4);
+        assert_eq!(runs.blocks(0).len(), 2);
+        assert_eq!(runs.blocks(1).len(), 1);
+        let (external, run) = runs.run(0, 0);
+        assert_eq!(external, 7);
+        assert_eq!(run.len(), 2);
+        assert_eq!((run.get(0), run.get(1)), (1, 3));
+        assert_eq!(shard_pairs(&runs, 0), vec![(7, 1), (7, 3), (8, 4)]);
+    }
+
+    #[test]
+    fn span_blocks_decode_to_contiguous_pairs() {
+        let mut runs = CandidateRuns::new();
+        runs.reset(1);
+        runs.push_span(0, 3, 2, 4);
+        runs.push_span(0, 5, 0, 0); // empty span is skipped
+        assert_eq!(runs.total(), 4);
+        assert_eq!(runs.blocks(0).len(), 1);
+        let (external, run) = runs.run(0, 0);
+        assert_eq!(external, 3);
+        assert!(matches!(run, LocalRun::Span { start: 2, len: 4 }));
+        assert_eq!(run.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        assert_eq!(shard_pairs(&runs, 0), vec![(3, 2), (3, 3), (3, 4), (3, 5)]);
+        // Queue memory is per block, not per pair: a dense span's byte
+        // ratio is ~len × the pair encoding.
+        let mut dense = CandidateRuns::new();
+        dense.reset(1);
+        dense.push_span(0, 0, 0, 1000);
+        assert!(dense.queue_bytes() * 10 < dense.pair_bytes());
+        // Retain re-encodes the surviving span tail as an explicit run.
+        runs.retain(|_, _, l| l >= 4);
+        assert_eq!(runs.total(), 2);
+        assert_eq!(shard_pairs(&runs, 0), vec![(3, 4), (3, 5)]);
+    }
+
+    #[test]
+    fn keyed_blocks_decode_through_the_key_table() {
+        let (_, local) = small_stores();
+        let side = BlockingKey::per_side(EXT_PN, LOC_PN, 4).local_side(&local);
+        let index = local.key_index(&side);
+        let range = index.key_range("crcw");
+        assert_eq!(range.len(), 2);
+        let mut runs = CandidateRuns::new();
+        runs.reset(1);
+        runs.set_key_table(0, index.clone());
+        runs.push_keyed(0, 9, range.start, range.len());
+        runs.push_keyed(0, 9, 0, 0); // empty range skipped
+        assert_eq!(runs.total(), 2);
+        let (external, run) = runs.run(0, 0);
+        assert_eq!(external, 9);
+        let decoded: Vec<usize> = run.iter().collect();
+        assert_eq!(
+            decoded,
+            index
+                .records_with_key("crcw")
+                .iter()
+                .map(|&r| r as usize)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -568,8 +1109,8 @@ mod tests {
         // shard 1, local id 1 with shards of 3 + 2).
         LegacySharded.stream_candidates(&external, (&sharded).into(), &mut runs);
         assert_eq!(runs.total(), 4);
-        assert!(runs.shard(0).is_empty());
-        assert_eq!(runs.shard(1), &[(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert!(shard_pairs(&runs, 0).is_empty());
+        assert_eq!(shard_pairs(&runs, 1), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
         // Single-store view → candidate_pairs.
         let local = RecordStore::from_records(&local_records);
         LegacySharded.stream_candidates(
@@ -578,7 +1119,7 @@ mod tests {
             &mut runs,
         );
         assert_eq!(runs.shard_count(), 1);
-        assert_eq!(runs.shard(0), &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(shard_pairs(&runs, 0), vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
     }
 
     #[test]

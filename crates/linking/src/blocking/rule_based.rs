@@ -78,6 +78,9 @@ impl Blocker for RuleBasedBlocker<'_> {
     /// per-shard legacy default re-did both per shard); extent items are
     /// looked up in every shard's id index and deduplicated across
     /// overlapping predictions with epoch-stamped marks over global ids.
+    /// Unclassified externals under the fallback pair with each whole
+    /// shard as **one span block** (O(1), not O(shard)); extent hits
+    /// accumulate into per-(external, shard) explicit runs.
     fn stream_candidates(
         &self,
         external: &RecordStore,
@@ -92,9 +95,7 @@ impl Blocker for RuleBasedBlocker<'_> {
             if predictions.is_empty() {
                 if self.fallback_to_all {
                     for (s, shard) in local.shards().iter().enumerate() {
-                        for l in 0..shard.len() {
-                            out.push(s, e, l);
-                        }
+                        out.push_span(s, e, 0, shard.len());
                     }
                 }
                 continue;

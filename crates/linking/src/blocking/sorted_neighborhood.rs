@@ -128,9 +128,12 @@ impl SortList {
     }
 
     /// Emit every cross-source pair whose sorted positions lie within one
-    /// window, as per-shard runs. Each pair is produced exactly once
-    /// (records occur once in the list, and only position pairs with
-    /// `j − i < window` qualify), so no dedup exists anywhere.
+    /// window, as per-shard runs (the sink coalesces consecutive pairs
+    /// of one external into explicit candidate blocks — sorted
+    /// neighbourhood is a sparse producer, so it uses the short-run
+    /// encoding). Each pair is produced exactly once (records occur
+    /// once in the list, and only position pairs with `j − i < window`
+    /// qualify), so no dedup exists anywhere.
     fn window_pairs(&self, window: usize, out: &mut CandidateRuns) {
         if window < 2 {
             // `new()` clamps, but the field is public: a window of 0 or 1

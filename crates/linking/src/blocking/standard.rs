@@ -63,9 +63,12 @@ impl Blocker for StandardBlocker {
     /// Native streaming: the external side's [`KeyIndex`] is built or
     /// fetched **once**; each shard is then probed per external record
     /// (equal-range lookup in the shard's sorted key table), emitting
-    /// the shard's block run per external — no per-record `String`, no
+    /// **one keyed block per external × equal-range** — the block
+    /// stores `(table_start, len)` into the shard's key-sorted record
+    /// table instead of `len` pairs, so the sink stays O(blocks)
+    /// however large the key blocks are. No per-record `String`, no
     /// hash map, no allocation at all once the store-level indexes are
-    /// warm. Probing external-major keeps each run's emission order
+    /// warm. Probing external-major keeps each run's decoded order
     /// identical to the legacy per-shard path, which also keeps the
     /// comparison phase's access pattern (long same-left-record runs)
     /// cache-friendly.
@@ -82,14 +85,14 @@ impl Blocker for StandardBlocker {
         let local_side = self.key.local_side_of(local.schema());
         for (s, shard) in local.shards().iter().enumerate() {
             let local_index = shard.key_index(&local_side);
+            out.set_key_table(s, local_index.clone());
             for e in 0..external.len() {
                 let key = external_index.key(e);
                 if key.is_empty() && self.skip_empty_keys {
                     continue;
                 }
-                for &l in local_index.records_with_key(key) {
-                    out.push(s, e, l as usize);
-                }
+                let range = local_index.key_range(key);
+                out.push_keyed(s, e, range.start, range.len());
             }
         }
     }

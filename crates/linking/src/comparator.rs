@@ -30,10 +30,10 @@ use crate::similarity::{
     damerau_levenshtein_similarity_with, jaro_winkler_with, jaro_with, levenshtein_similarity_with,
     SimilarityMeasure,
 };
-use crate::store::RecordStore;
+use crate::store::{RecordStore, ValueList};
 use crate::token_index::{
     dice_bigrams_kernel, jaccard_bigrams_kernel, jaccard_tokens_kernel, monge_elkan_kernel,
-    TokenIndex,
+    TokenIndex, ValueTokens,
 };
 use serde::{Deserialize, Serialize};
 
@@ -250,6 +250,41 @@ pub struct CompiledComparator<'a> {
     rules_use_sets: bool,
 }
 
+/// Reusable hoisted left-side scoring state: one external record's
+/// per-rule resolved value lists and token views, extracted **once per
+/// candidate block** by [`CompiledComparator::hoist_left`] and then
+/// shared by every [`CompiledComparator::score_hoisted`] call of the
+/// block — the left side of a run-length candidate block is constant by
+/// construction, so re-resolving it per pair is pure waste.
+///
+/// The buffers grow to the comparator's rule/value counts on first use
+/// and are reused for every subsequent block (a comparison worker owns
+/// one hoist for its whole run, next to its
+/// [`SimScratch`]).
+#[derive(Debug, Default)]
+pub struct LeftHoist<'e> {
+    /// The hoisted external record.
+    left: usize,
+    /// Per rule: the left value list (empty when the left property is
+    /// unresolved or the record carries no value — the rule cannot
+    /// fire).
+    lists: Vec<ValueList<'e>>,
+    /// Flat hoisted token views for set-kernel rules: rule `r` owns
+    /// `tokens[token_offsets[r] .. token_offsets[r + 1]]`, one view per
+    /// left value (empty for string-kernel rules).
+    tokens: Vec<ValueTokens<'e>>,
+    /// Per-rule boundaries into `tokens`; `len = rules + 1`.
+    token_offsets: Vec<u32>,
+}
+
+impl LeftHoist<'_> {
+    /// An empty hoist; the first [`CompiledComparator::hoist_left`]
+    /// call sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl CompiledComparator<'_> {
     /// `true` when scoring will read the stores'
     /// [`TokenIndex`]es on every pair —
@@ -257,6 +292,120 @@ impl CompiledComparator<'_> {
     /// workers never serialise on the lazy build.
     pub fn uses_token_index(&self) -> bool {
         self.rules_use_sets
+    }
+
+    /// Resolve the external record `left`'s per-rule value lists (and,
+    /// for set-kernel rules, its token views) **once**, into the
+    /// reusable `out` — the per-block half of the hoisted scoring path;
+    /// [`score_hoisted`](Self::score_hoisted) runs the per-pair half.
+    pub fn hoist_left<'e>(&self, external: &'e RecordStore, left: usize, out: &mut LeftHoist<'e>) {
+        out.left = left;
+        out.lists.clear();
+        out.tokens.clear();
+        out.token_offsets.clear();
+        out.token_offsets.push(0);
+        let token_index = self.rules_use_sets.then(|| external.token_index());
+        for (&(left_property, right_property), kernel) in self.properties.iter().zip(&self.kernels)
+        {
+            // A rule with either side unresolved can never fire
+            // ([`score_hoisted`](Self::score_hoisted) skips it), so
+            // don't pay its value-list or token-view extraction.
+            let list = match (left_property, right_property) {
+                (Some(lp), Some(_)) => external.value_list(left, lp),
+                _ => ValueList::empty(),
+            };
+            if let (Kernel::Set(_), Some(index), Some(lp)) = (kernel, token_index, left_property) {
+                for i in 0..list.len() {
+                    out.tokens.push(index.value_tokens(
+                        lp.index(),
+                        list.value_index(i),
+                        list.get(i),
+                    ));
+                }
+            }
+            out.token_offsets
+                .push(u32::try_from(out.tokens.len()).expect("hoisted more than u32::MAX views"));
+            out.lists.push(list);
+        }
+    }
+
+    /// Score the hoisted external record (see
+    /// [`hoist_left`](Self::hoist_left)) against local record `right`:
+    /// same arithmetic as [`score`](Self::score) — the per-rule best
+    /// pairing walks values and token views in identical order and the
+    /// aggregation shares `finish_score` — so the
+    /// result is **bit-identical**, only the left-side resolution work
+    /// is amortised across the block
+    /// (`crates/linking/tests/streaming_blocking.rs` pins the
+    /// equivalence end-to-end).
+    pub fn score_hoisted(
+        &self,
+        hoist: &LeftHoist<'_>,
+        external: &RecordStore,
+        local: &RecordStore,
+        right: usize,
+        scratch: &mut SimScratch,
+    ) -> (f64, MatchDecision) {
+        let local_index = self.rules_use_sets.then(|| local.token_index());
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for (rule_index, ((rule, &(_, right_property)), kernel)) in self
+            .comparator
+            .rules
+            .iter()
+            .zip(&self.properties)
+            .zip(&self.kernels)
+            .enumerate()
+        {
+            let Some(rp) = right_property else {
+                continue;
+            };
+            let left_values = hoist.lists[rule_index];
+            if left_values.is_empty() {
+                continue;
+            }
+            let right_values = local.value_list(right, rp);
+            if right_values.is_empty() {
+                continue;
+            }
+            let mut best = 0.0f64;
+            match *kernel {
+                Kernel::Str(kernel) => {
+                    for i in 0..left_values.len() {
+                        let lv = left_values.get(i);
+                        for j in 0..right_values.len() {
+                            best = best.max(kernel(scratch, lv, right_values.get(j)));
+                        }
+                    }
+                }
+                Kernel::Set(kernel) => {
+                    let local_index = local_index.expect("set kernels imply rules_use_sets");
+                    let views = &hoist.tokens[hoist.token_offsets[rule_index] as usize
+                        ..hoist.token_offsets[rule_index + 1] as usize];
+                    for lv in views {
+                        for j in 0..right_values.len() {
+                            let rv = local_index.value_tokens(
+                                rp.index(),
+                                right_values.value_index(j),
+                                right_values.get(j),
+                            );
+                            best = best.max(kernel.eval(lv, &rv, scratch));
+                        }
+                    }
+                }
+            }
+            weighted_sum += best * rule.weight;
+            weight_total += rule.weight;
+        }
+        self.finish_score(
+            weighted_sum,
+            weight_total,
+            external,
+            hoist.left,
+            local,
+            right,
+            scratch,
+        )
     }
 
     /// Score one candidate pair: the aggregated similarity and its
@@ -372,6 +521,35 @@ impl CompiledComparator<'_> {
             weighted_sum += best * rule.weight;
             weight_total += rule.weight;
         }
+        self.finish_score(
+            weighted_sum,
+            weight_total,
+            external,
+            left,
+            local,
+            right,
+            scratch,
+        )
+    }
+
+    /// The shared tail of every scoring path: fold the weighted rule
+    /// similarities (or the full-text fallback when no rule fired) into
+    /// the aggregated score and its threshold decision. Keeping this in
+    /// one place is what makes the hoisted block path bit-identical to
+    /// [`eval`](Self::eval).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn finish_score(
+        &self,
+        weighted_sum: f64,
+        weight_total: f64,
+        external: &RecordStore,
+        left: usize,
+        local: &RecordStore,
+        right: usize,
+        scratch: &mut SimScratch,
+    ) -> (f64, MatchDecision) {
+        let comparator = self.comparator;
         let score = if weight_total > 0.0 {
             weighted_sum / weight_total
         } else {

@@ -80,12 +80,12 @@ pub mod store;
 pub mod token_index;
 
 pub use blocking::{
-    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidatePair, CandidateRuns,
-    CartesianBlocker, DisjointnessFilter, KeySide, RuleBasedBlocker, SortedNeighborhoodBlocker,
-    StandardBlocker,
+    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidateBlock, CandidatePair,
+    CandidateRuns, CartesianBlocker, DisjointnessFilter, KeySide, LocalRun, RuleBasedBlocker,
+    SortedNeighborhoodBlocker, StandardBlocker,
 };
 pub use comparator::{
-    AttributeRule, Comparison, CompiledComparator, MatchDecision, RecordComparator,
+    AttributeRule, Comparison, CompiledComparator, LeftHoist, MatchDecision, RecordComparator,
 };
 pub use index::InvertedIndex;
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};

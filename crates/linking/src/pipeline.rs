@@ -8,33 +8,39 @@
 //!
 //! The comparison phase runs on the columnar [`RecordStore`]: the
 //! comparator is compiled once (property IRIs → interned ids), and the
-//! candidate pairs are scored by a **work-stealing block scheduler** —
+//! candidates are scored by a **work-stealing run-block scheduler** —
 //! every store (or every shard of a [`ShardedStore`], see
 //! [`LinkagePipeline::run_sharded`]) contributes a task queue of
-//! fixed-size candidate blocks; workers drain their home queue first and
-//! then steal whole blocks from the remaining queues, claiming blocks
-//! with one atomic increment (no locks, no term cloning in the loop).
-//! Workers keep per-thread output vectors that are concatenated and
-//! sorted by **index pair**, so the output is byte-identical regardless
-//! of thread count, steal order, or sharding; only the surviving links
-//! materialise their [`Term`]s.
+//! run-length [`CandidateBlock`]s with a comparison-count prefix sum;
+//! workers claim the next `STEAL_BLOCK` **comparisons** with one atomic
+//! increment (claims split inside large blocks, so a single cartesian
+//! span still load-balances), drain their home queue first, then steal
+//! from the remaining queues (no locks, no term cloning in the loop).
+//! Each claimed block hoists its constant external record once
+//! ([`CompiledComparator::hoist_left`]) and decodes its locals straight
+//! off the span / key-table / explicit encoding; per-block bounds are
+//! validated once at queue build, not per pair. Workers keep per-thread
+//! output vectors that are concatenated and sorted by **index pair**,
+//! so the output is byte-identical regardless of thread count, steal
+//! order, or sharding; only the surviving links materialise their
+//! [`Term`]s.
 //!
 //! Blocking feeds the scheduler **by streaming**: the blocker emits
-//! per-shard runs of shard-local candidate pairs
+//! per-shard run-length blocks of shard-local candidates
 //! ([`Blocker::stream_candidates`] into a [`CandidateRuns`] sink), and
-//! those runs *are* the task queues — the pipeline never materialises a
-//! global candidate vector, never sorts candidates, and never routes a
-//! global id back to a shard.
+//! those blocks *are* the task queues — the pipeline never materialises
+//! a global candidate vector (or even a per-pair vector), never sorts
+//! candidates, and never routes a global id back to a shard.
 
-use crate::blocking::{Blocker, CandidatePair, CandidateRuns};
-use crate::comparator::{CompiledComparator, MatchDecision, RecordComparator};
+use crate::blocking::{Blocker, CandidateBlock, CandidateRuns, LocalRun};
+use crate::comparator::{CompiledComparator, LeftHoist, MatchDecision, RecordComparator};
 use crate::record::Record;
 use crate::shard::{LocalShards, ShardedStore};
 use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use classilink_rdf::Term;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One discovered link (or possible link) between an external and a local
 /// record.
@@ -133,10 +139,11 @@ impl<'a> LinkagePipeline<'a> {
             local.token_index();
         }
         // A monolithic store is one task queue; workers still steal
-        // blocks from it instead of folding fixed `len / threads` chunks,
-        // so stragglers no longer serialise the join.
+        // comparison ranges from it instead of folding fixed
+        // `len / threads` chunks, so stragglers no longer serialise the
+        // join.
         let comparisons = runs.total() as usize;
-        let queues = [TaskQueue::new(local, 0, runs.shard(0))];
+        let queues = [TaskQueue::new(local, 0, &runs, 0, external.len())];
         let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
         self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
             local.id(l)
@@ -170,7 +177,7 @@ impl<'a> LinkagePipeline<'a> {
         }
         let comparisons = runs.total() as usize;
         let queues: Vec<TaskQueue<'_>> = (0..local.shard_count())
-            .map(|s| TaskQueue::new(local.shard(s), local.offset(s), runs.shard(s)))
+            .map(|s| TaskQueue::new(local.shard(s), local.offset(s), &runs, s, external.len()))
             .collect();
         let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
         self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
@@ -188,18 +195,19 @@ impl<'a> LinkagePipeline<'a> {
         queues: &[TaskQueue<'_>],
         candidate_count: usize,
     ) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
-        if self.threads <= 1 || candidate_count < STEAL_BLOCK {
+        if self.threads <= 1 || candidate_count < STEAL_BLOCK as usize {
             let mut matches = Vec::new();
             let mut possible = Vec::new();
             let mut scratch = SimScratch::new();
+            let mut hoist = LeftHoist::new();
             for queue in queues {
-                score_block(
+                score_range(
                     compiled,
-                    queue.pairs,
+                    queue,
+                    0..queue.total,
                     external,
-                    queue.store,
-                    queue.base,
                     &mut scratch,
+                    &mut hoist,
                     &mut matches,
                     &mut possible,
                 );
@@ -241,49 +249,114 @@ impl<'a> LinkagePipeline<'a> {
     }
 }
 
-/// Number of candidate pairs a worker claims per steal. Large enough that
-/// the atomic claim is noise, small enough that an uneven shard doesn't
-/// leave workers idle at the tail.
-const STEAL_BLOCK: usize = 1024;
+/// Number of **comparisons** a worker claims per steal. Large enough
+/// that the atomic claim is noise, small enough that an uneven shard
+/// doesn't leave workers idle at the tail.
+const STEAL_BLOCK: u64 = 1024;
 
-/// One store's (or shard's) share of the comparison work: its candidate
-/// pairs in shard-local ids, claimed block by block via an atomic cursor.
+/// One store's (or shard's) share of the comparison work: its
+/// run-length candidate blocks plus a comparison-count prefix sum, so
+/// workers claim by **comparison count** (an atomic cursor over
+/// `0..total`) rather than by block — a single giant cartesian span
+/// still splits across steals and load-balances.
 struct TaskQueue<'a> {
     store: &'a RecordStore,
     /// Global id of the store's record 0 (0 for a monolithic store).
     base: usize,
-    /// Candidate pairs with the local side in shard-local ids.
-    pairs: &'a [CandidatePair],
-    /// Index of the next unclaimed block.
-    next_block: AtomicUsize,
+    /// The shard's candidate blocks, in emission order.
+    blocks: &'a [CandidateBlock],
+    /// The shard's explicit-locals arena ([`LocalRun::Explicit`]).
+    locals: &'a [u32],
+    /// The shard key index's sorted record table
+    /// ([`LocalRun::Keyed`]; empty when no keyed block exists).
+    table: &'a [u32],
+    /// `prefix[i]` = comparisons in `blocks[..i]`; `len = blocks + 1`,
+    /// `prefix[blocks.len()] == total`. O(runs) memory, built once per
+    /// run.
+    prefix: Vec<u64>,
+    /// Total comparisons queued.
+    total: u64,
+    /// `true` when the once-per-run bounds validation passed for every
+    /// block — the always case for the built-in blockers — letting the
+    /// decode loop drop the legacy per-pair bounds checks down to
+    /// `debug_assert!`s.
+    valid: bool,
+    /// Comparison-count cursor: the next unclaimed comparison.
+    next: AtomicU64,
 }
 
 impl<'a> TaskQueue<'a> {
-    fn new(store: &'a RecordStore, base: usize, pairs: &'a [CandidatePair]) -> Self {
+    /// Build shard `shard`'s queue from the streamed sink: borrow the
+    /// blocks and their backing arenas, prefix-sum the block lengths,
+    /// and run the **per-run bounds validation** that replaces the old
+    /// per-pair `e >= external.len() || l >= local.len()` check — every
+    /// block's external id and local-run bounds are checked once here
+    /// (the explicit arena via the sink's tracked maximum), not once
+    /// per candidate.
+    fn new(
+        store: &'a RecordStore,
+        base: usize,
+        runs: &'a CandidateRuns,
+        shard: usize,
+        external_len: usize,
+    ) -> Self {
+        let blocks = runs.blocks(shard);
+        let locals = runs.shard_locals(shard);
+        let table = runs
+            .shard_key_table(shard)
+            .map(|index| index.sorted_records())
+            .unwrap_or(&[]);
+        let mut prefix = Vec::with_capacity(blocks.len() + 1);
+        prefix.push(0u64);
+        let mut valid =
+            locals.is_empty() || (runs.shard_explicit_max(shard) as usize) < store.len();
+        // A key table built from this store indexes only ids below
+        // `store.len()`, so validating the slice bounds (and the table's
+        // provenance, by length) covers every keyed id.
+        let table_valid = table.len() == store.len();
+        for block in blocks {
+            prefix.push(prefix.last().expect("seeded") + block.len() as u64);
+            valid &= block.external() < external_len
+                && block.bounds_valid(store.len(), locals.len(), table.len(), table_valid);
+        }
+        let total = *prefix.last().expect("seeded");
+        debug_assert_eq!(total, runs.shard_total(shard));
         TaskQueue {
             store,
             base,
-            pairs,
-            next_block: AtomicUsize::new(0),
+            blocks,
+            locals,
+            table,
+            prefix,
+            total,
+            valid,
+            next: AtomicU64::new(0),
         }
     }
 
-    /// Claim the next block of pairs, or `None` when the queue is drained.
-    fn claim(&self) -> Option<&'a [CandidatePair]> {
-        let block = self.next_block.fetch_add(1, Ordering::Relaxed);
-        let start = block.checked_mul(STEAL_BLOCK)?;
-        if start >= self.pairs.len() {
+    /// Decode one block's local run from the queue's borrowed arenas.
+    fn local_run(&self, block: &CandidateBlock) -> LocalRun<'a> {
+        block.decode(self.locals, self.table)
+    }
+
+    /// Claim the next range of comparisons, or `None` when the queue is
+    /// drained.
+    fn claim(&self) -> Option<std::ops::Range<u64>> {
+        let start = self.next.fetch_add(STEAL_BLOCK, Ordering::Relaxed);
+        if start >= self.total {
             return None;
         }
-        Some(&self.pairs[start..(start + STEAL_BLOCK).min(self.pairs.len())])
+        Some(start..(start + STEAL_BLOCK).min(self.total))
     }
 }
 
 /// The work-stealing comparison phase: `threads` scoped workers, each
 /// starting on its home queue (`worker index mod queue count`) and, once
-/// that is drained, stealing blocks from the remaining queues in ring
-/// order. Queues never refill, so a single sweep over the ring visits all
-/// work; the atomic block cursor makes claims race-free without locks.
+/// that is drained, stealing comparison ranges from the remaining queues
+/// in ring order. Queues never refill, so a single sweep over the ring
+/// visits all work; the atomic comparison-count cursor makes claims
+/// race-free without locks, and because claims split *inside* blocks, a
+/// single giant cartesian span load-balances like any other work.
 fn score_stealing(
     compiled: &CompiledComparator<'_>,
     external: &RecordStore,
@@ -296,19 +369,21 @@ fn score_stealing(
                 scope.spawn(move || {
                     let mut matches = Vec::new();
                     let mut possible = Vec::new();
-                    // Each worker owns one scratch for its whole run:
-                    // every pair it scores reuses the same buffers.
+                    // Each worker owns one scratch and one left-side
+                    // hoist for its whole run: every pair it scores
+                    // reuses the same buffers.
                     let mut scratch = SimScratch::new();
+                    let mut hoist = LeftHoist::new();
                     for hop in 0..queues.len() {
                         let queue = &queues[(worker + hop) % queues.len()];
-                        while let Some(block) = queue.claim() {
-                            score_block(
+                        while let Some(range) = queue.claim() {
+                            score_range(
                                 compiled,
-                                block,
+                                queue,
+                                range,
                                 external,
-                                queue.store,
-                                queue.base,
                                 &mut scratch,
+                                &mut hoist,
                                 &mut matches,
                                 &mut possible,
                             );
@@ -330,31 +405,109 @@ fn score_stealing(
     })
 }
 
-/// Compare every candidate of one block, keeping index pairs only (the
-/// local side offset back to global ids). Runs on the detail-free
-/// [`CompiledComparator::score`] path: the only allocations are the
-/// (amortised) pushes of surviving pairs.
+/// Score the comparisons `range` of one queue (a claimed slice of its
+/// comparison-count space), keeping index pairs only (the local side
+/// offset back to global ids).
+///
+/// The range is mapped to blocks through the queue's prefix sum; each
+/// overlapped block **hoists its external record once**
+/// ([`CompiledComparator::hoist_left`] — the left side of a block is
+/// constant by construction) and decodes its local run straight off the
+/// span/key-table/explicit encoding. The legacy per-pair bounds check
+/// is gone: the queue validated every block once at construction, so
+/// the decode loop carries only `debug_assert!`s (an invalid queue —
+/// impossible through the built-in blockers — falls back to a cold
+/// per-pair-checked path preserving the old skip semantics). Runs on
+/// the detail-free [`CompiledComparator::score_hoisted`] path: the only
+/// allocations are the (amortised) pushes of surviving pairs.
 #[allow(clippy::too_many_arguments)]
-fn score_block(
+fn score_range<'e>(
     compiled: &CompiledComparator<'_>,
-    candidates: &[CandidatePair],
+    queue: &TaskQueue<'_>,
+    range: std::ops::Range<u64>,
+    external: &'e RecordStore,
+    scratch: &mut SimScratch,
+    hoist: &mut LeftHoist<'e>,
+    matches: &mut Vec<ScoredPair>,
+    possible: &mut Vec<ScoredPair>,
+) {
+    if range.is_empty() {
+        return;
+    }
+    // The block containing the range's first comparison, and the offset
+    // of that comparison within it.
+    let mut block_index = queue.prefix.partition_point(|&p| p <= range.start) - 1;
+    let mut offset = (range.start - queue.prefix[block_index]) as usize;
+    let mut remaining = range.end - range.start;
+    while remaining > 0 {
+        let block = &queue.blocks[block_index];
+        let take = ((block.len() - offset) as u64).min(remaining) as usize;
+        let e = block.external();
+        if queue.valid {
+            compiled.hoist_left(external, e, hoist);
+            // The decoded loop carries no per-pair check or dispatch:
+            // the run is matched once, and the block was validated when
+            // the queue was built.
+            match queue.local_run(block) {
+                LocalRun::Span { start, .. } => {
+                    for l in start + offset..start + offset + take {
+                        debug_assert!(l < queue.store.len(), "validated span out of range");
+                        score_one(
+                            compiled, hoist, external, queue, e, l, scratch, matches, possible,
+                        );
+                    }
+                }
+                LocalRun::Keyed(ids) | LocalRun::Explicit(ids) => {
+                    for &l in &ids[offset..offset + take] {
+                        let l = l as usize;
+                        debug_assert!(l < queue.store.len(), "validated run out of range");
+                        score_one(
+                            compiled, hoist, external, queue, e, l, scratch, matches, possible,
+                        );
+                    }
+                }
+            }
+        } else if e < external.len() && block.decodable(queue.locals.len(), queue.table.len()) {
+            // Cold path (externally built sinks only): per-pair checked,
+            // skipping out-of-range ids like the legacy scheduler did.
+            compiled.hoist_left(external, e, hoist);
+            let run = queue.local_run(block);
+            for i in offset..offset + take {
+                let l = run.get(i);
+                if l >= queue.store.len() {
+                    continue;
+                }
+                score_one(
+                    compiled, hoist, external, queue, e, l, scratch, matches, possible,
+                );
+            }
+        }
+        remaining -= take as u64;
+        block_index += 1;
+        offset = 0;
+    }
+}
+
+/// Score one decoded candidate and bucket it by decision (the shared
+/// per-pair tail of [`score_range`]'s hot and cold loops).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn score_one(
+    compiled: &CompiledComparator<'_>,
+    hoist: &LeftHoist<'_>,
     external: &RecordStore,
-    local: &RecordStore,
-    base: usize,
+    queue: &TaskQueue<'_>,
+    e: usize,
+    l: usize,
     scratch: &mut SimScratch,
     matches: &mut Vec<ScoredPair>,
     possible: &mut Vec<ScoredPair>,
 ) {
-    for &(e, l) in candidates {
-        if e >= external.len() || l >= local.len() {
-            continue;
-        }
-        let (score, decision) = compiled.score(external, e, local, l, scratch);
-        match decision {
-            MatchDecision::Match => matches.push((e, base + l, score)),
-            MatchDecision::Possible => possible.push((e, base + l, score)),
-            MatchDecision::NonMatch => {}
-        }
+    let (score, decision) = compiled.score_hoisted(hoist, external, queue.store, l, scratch);
+    match decision {
+        MatchDecision::Match => matches.push((e, queue.base + l, score)),
+        MatchDecision::Possible => possible.push((e, queue.base + l, score)),
+        MatchDecision::NonMatch => {}
     }
 }
 

@@ -421,7 +421,25 @@ impl ShardedStoreBuilder {
     }
 
     /// Freeze every shard, all sharing one schema snapshot.
-    pub fn build(mut self) -> ShardedStore {
+    ///
+    /// Shards columnarise **concurrently**: interning is already done
+    /// (the mutex-guarded [`SchemaInterner`] was only needed while
+    /// records were pushed), so each shard's `finish` — column
+    /// assembly, full-text precompute, id index — is independent work,
+    /// fanned out under `std::thread::scope` across the machine's
+    /// cores. Per-shard construction is deterministic, so the result is
+    /// byte-identical to a sequential build (asserted by
+    /// `parallel_build_is_byte_identical_to_sequential`).
+    pub fn build(self) -> ShardedStore {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.build_with_workers(workers)
+    }
+
+    /// [`build`](Self::build) with an explicit worker-thread cap
+    /// (`1` = sequential; the cap is also clamped to the shard count).
+    pub fn build_with_workers(mut self, workers: usize) -> ShardedStore {
         if self.shards.is_empty() {
             self.begin_shard();
         }
@@ -429,17 +447,52 @@ impl ShardedStoreBuilder {
         // shard sees the full schema regardless of which shard interned
         // a property first.
         let schema = Arc::new(self.schema.snapshot());
-        let mut offsets = Vec::with_capacity(self.shards.len() + 1);
+        let shard_count = self.shards.len();
+        let workers = workers.clamp(1, shard_count);
+        let shards: Vec<RecordStore> = if workers <= 1 {
+            self.shards
+                .into_iter()
+                .map(|builder| builder.finish(schema.clone()))
+                .collect()
+        } else {
+            // Claim shards off one atomic counter: big and small shards
+            // interleave across workers without any up-front partition.
+            let slots: Vec<std::sync::Mutex<Option<RecordStoreBuilder>>> = self
+                .shards
+                .into_iter()
+                .map(|builder| std::sync::Mutex::new(Some(builder)))
+                .collect();
+            let results: Vec<std::sync::OnceLock<RecordStore>> = (0..shard_count)
+                .map(|_| std::sync::OnceLock::new())
+                .collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let shard = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if shard >= shard_count {
+                            break;
+                        }
+                        let builder = slots[shard]
+                            .lock()
+                            .expect("shard slot poisoned")
+                            .take()
+                            .expect("every shard slot is claimed exactly once");
+                        let built = results[shard].set(builder.finish(schema.clone()));
+                        assert!(built.is_ok(), "shard {shard} built twice");
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every claimed shard was built"))
+                .collect()
+        };
+        let mut offsets = Vec::with_capacity(shard_count + 1);
         offsets.push(0);
-        let shards: Vec<RecordStore> = self
-            .shards
-            .into_iter()
-            .map(|builder| {
-                let store = builder.finish(schema.clone());
-                offsets.push(offsets.last().expect("non-empty") + store.len());
-                store
-            })
-            .collect();
+        for store in &shards {
+            offsets.push(offsets.last().expect("non-empty") + store.len());
+        }
         ShardedStore {
             shards,
             offsets,
@@ -608,6 +661,37 @@ mod tests {
 
         let empty_store = RecordStore::from_records(&[]);
         assert!(LocalShards::single(&empty_store).is_empty());
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        // Uneven shard sizes, a property present in only some shards,
+        // multi-valued attributes — the parallel columnarisation must
+        // reproduce the sequential build exactly (PartialEq on
+        // ShardedStore is structural over all stored data).
+        let records = records(23);
+        let mut sequential = ShardedStore::builder();
+        let mut parallel = ShardedStore::builder();
+        for (i, record) in records.iter().enumerate() {
+            if i % 5 == 0 {
+                sequential.begin_shard();
+                parallel.begin_shard();
+            }
+            sequential.push(record);
+            parallel.push(record);
+        }
+        let sequential = sequential.build_with_workers(1);
+        for workers in [2, 4, 16] {
+            let built = parallel.clone().build_with_workers(workers);
+            assert_eq!(sequential, built, "{workers} workers");
+        }
+        // The default build (auto worker count) agrees too, and so do
+        // the global ids.
+        let default_build = parallel.build();
+        assert_eq!(sequential, default_build);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(default_build.id(i), &record.id);
+        }
     }
 
     #[test]

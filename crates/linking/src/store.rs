@@ -380,6 +380,15 @@ pub struct ValueList<'a> {
 }
 
 impl<'a> ValueList<'a> {
+    /// An empty list (what a rule with an unresolved property hoists).
+    pub(crate) fn empty() -> Self {
+        ValueList {
+            column: None,
+            start: 0,
+            len: 0,
+        }
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         self.len

@@ -487,9 +487,26 @@ impl KeyIndex {
     /// The ids of every record whose blocking key equals `key`, in
     /// ascending id order (two binary searches over the key-sorted ids).
     pub fn records_with_key(&self, key: &str) -> &[u32] {
+        &self.sorted[self.key_range(key)]
+    }
+
+    /// The range of [`sorted_records`](Self::sorted_records) holding
+    /// every record whose blocking key equals `key` (two binary
+    /// searches). This is what keyed candidate blocks store instead of
+    /// the pairs themselves: a standard-blocking block is
+    /// `(external, key_range)` — O(1), however large the block.
+    pub fn key_range(&self, key: &str) -> std::ops::Range<usize> {
         let lo = self.sorted.partition_point(|&r| self.key(r as usize) < key);
         let run = self.sorted[lo..].partition_point(|&r| self.key(r as usize) == key);
-        &self.sorted[lo..lo + run]
+        lo..lo + run
+    }
+
+    /// The key-sorted record table: every record id, ordered by
+    /// (truncated key, id). Keyed candidate blocks
+    /// ([`CandidateRuns`](crate::blocking::CandidateRuns)) are decoded
+    /// as slices of this table.
+    pub fn sorted_records(&self) -> &[u32] {
+        &self.sorted
     }
 
     /// The padded key-bigram artifacts, built on first use and cached.

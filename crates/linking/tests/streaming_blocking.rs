@@ -252,6 +252,44 @@ fn reference_result(
     }
 }
 
+/// Structural invariants of the run-block representation: per shard,
+/// the block lengths sum to the shard total (and the totals to the
+/// sink total), every block decodes to exactly `len` pairs, and
+/// [`LocalRun`] random access agrees with its iterator — so the pair
+/// sets asserted below really did travel through the compressed
+/// encoding, not around it.
+fn assert_block_invariants(runs: &CandidateRuns, blocker: &str) {
+    let mut total = 0u64;
+    for shard in 0..runs.shard_count() {
+        let mut shard_total = 0u64;
+        let mut decoded = 0u64;
+        for (index, block) in runs.blocks(shard).iter().enumerate() {
+            assert!(!block.is_empty(), "{blocker}: empty block emitted");
+            shard_total += block.len() as u64;
+            let (external, run) = runs.run(shard, index);
+            assert_eq!(external, block.external(), "{blocker}: external mismatch");
+            assert_eq!(run.len(), block.len(), "{blocker}: run/block len mismatch");
+            let ids: Vec<usize> = run.iter().collect();
+            assert_eq!(ids.len(), run.len(), "{blocker}: iterator length");
+            for (i, &l) in ids.iter().enumerate() {
+                assert_eq!(run.get(i), l, "{blocker}: get({i}) vs iterator");
+            }
+            decoded += ids.len() as u64;
+        }
+        assert_eq!(
+            shard_total,
+            runs.shard_total(shard),
+            "{blocker}: shard {shard} total"
+        );
+        assert_eq!(
+            decoded, shard_total,
+            "{blocker}: shard {shard} decode count"
+        );
+        total += shard_total;
+    }
+    assert_eq!(total, runs.total(), "{blocker}: sink total");
+}
+
 /// The guard itself: streamed runs == reference candidate set (as sets
 /// *and* in count, so duplicates cannot hide), and every pipeline result
 /// built on the streamed runs == the reference scorer's result, for all
@@ -271,7 +309,8 @@ fn assert_streaming_matches_reference(
         blocker.name()
     );
 
-    // Single-store streaming (run_stores path).
+    // Single-store streaming (run_stores path), decoded **through the
+    // block representation**.
     let mut runs = CandidateRuns::new();
     blocker.stream_candidates(
         &external,
@@ -284,7 +323,8 @@ fn assert_streaming_matches_reference(
         "{}: single-store streamed candidate count",
         blocker.name()
     );
-    let streamed: BTreeSet<(usize, usize)> = runs.shard(0).iter().copied().collect();
+    assert_block_invariants(&runs, blocker.name());
+    let streamed: BTreeSet<(usize, usize)> = runs.pairs(0).collect();
     assert_eq!(
         &streamed,
         reference,
@@ -303,6 +343,7 @@ fn assert_streaming_matches_reference(
             "{}: {shard_count} shards streamed candidate count",
             blocker.name()
         );
+        assert_block_invariants(&runs, blocker.name());
         let globalised = runs.into_global_pairs((&sharded_local).into());
         assert_eq!(globalised.len(), reference.len());
         let streamed: BTreeSet<(usize, usize)> = globalised.into_iter().collect();
@@ -383,6 +424,152 @@ fn bigram_streaming_matches_reference() {
         &scenario.local_store(),
     );
     assert_streaming_matches_reference(&scenario, &blocker, &reference);
+}
+
+mod local_run_decode {
+    //! Proptest: whatever mixture of explicit pushes and span blocks a
+    //! producer emits, decoding the `LocalRun` blocks reproduces the
+    //! explicit pair enumeration exactly — per shard, in order, with
+    //! totals intact; and for keyed blocks, the decoded slice equals
+    //! the key index's explicit `records_with_key` enumeration.
+
+    use super::*;
+    use classilink_linking::record::Record;
+    use classilink_rdf::Term;
+    use proptest::prelude::*;
+
+    /// One emitted candidate unit: an explicit pair or a span run,
+    /// decoded deterministically from one seed (the shimmed proptest
+    /// has no `prop_oneof`/`prop_map`).
+    #[derive(Debug, Clone)]
+    enum Op {
+        Push {
+            shard: usize,
+            e: usize,
+            l: usize,
+        },
+        Span {
+            shard: usize,
+            e: usize,
+            start: usize,
+            len: usize,
+        },
+    }
+
+    fn decode_op(seed: u64, shards: usize) -> Op {
+        let shard = (seed % shards as u64) as usize;
+        let e = ((seed >> 8) % 24) as usize;
+        if seed & 1 == 0 {
+            Op::Push {
+                shard,
+                e,
+                l: ((seed >> 16) % 24) as usize,
+            }
+        } else {
+            Op::Span {
+                shard,
+                e,
+                start: ((seed >> 16) % 16) as usize,
+                len: ((seed >> 24) % 9) as usize,
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn decode_equals_explicit_enumeration(
+            shards in 1usize..5,
+            seeds in proptest::collection::vec(0u64..u64::MAX, 1..64),
+        ) {
+            let mut runs = CandidateRuns::new();
+            runs.reset(shards);
+            let mut expected: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shards];
+            for &seed in &seeds {
+                match decode_op(seed, shards) {
+                    Op::Push { shard, e, l } => {
+                        runs.push(shard, e, l);
+                        expected[shard].push((e, l));
+                    }
+                    Op::Span { shard, e, start, len } => {
+                        runs.push_span(shard, e, start, len);
+                        expected[shard].extend((start..start + len).map(|l| (e, l)));
+                    }
+                }
+            }
+            let expected_total: usize = expected.iter().map(Vec::len).sum();
+            prop_assert_eq!(runs.total() as usize, expected_total);
+            for (shard, shard_expected) in expected.iter().enumerate() {
+                // Decoded pairs equal the explicit enumeration, in
+                // emission order.
+                let decoded: Vec<(usize, usize)> = runs.pairs(shard).collect();
+                prop_assert_eq!(&decoded, shard_expected, "shard {}", shard);
+                prop_assert_eq!(runs.shard_total(shard) as usize, shard_expected.len());
+                // Block-by-block: run.get(i) == iterator == slice of the
+                // explicit enumeration.
+                let mut cursor = 0usize;
+                for index in 0..runs.blocks(shard).len() {
+                    let (external, run) = runs.run(shard, index);
+                    for (i, l) in run.iter().enumerate() {
+                        prop_assert_eq!(run.get(i), l);
+                        prop_assert_eq!(shard_expected[cursor], (external, l));
+                        cursor += 1;
+                    }
+                }
+                prop_assert_eq!(cursor, shard_expected.len());
+            }
+            // Retain keeps exactly the accepted pairs, re-encoded.
+            let kept: Vec<Vec<(usize, usize)>> = expected
+                .iter()
+                .map(|pairs| {
+                    pairs.iter().copied().filter(|&(e, l)| (e + l) % 2 == 0).collect()
+                })
+                .collect();
+            runs.retain(|_, e, l| (e + l) % 2 == 0);
+            for (shard, shard_kept) in kept.iter().enumerate() {
+                let decoded: Vec<(usize, usize)> = runs.pairs(shard).collect();
+                prop_assert_eq!(&decoded, shard_kept, "retained shard {}", shard);
+            }
+            prop_assert_eq!(
+                runs.total() as usize,
+                kept.iter().map(Vec::len).sum::<usize>()
+            );
+        }
+
+        #[test]
+        fn keyed_decode_equals_records_with_key(
+            values in proptest::collection::vec("[a-c]{0,3}", 1..20),
+            probes in proptest::collection::vec("[a-c]{0,3}", 1..8),
+        ) {
+            let records: Vec<Record> = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    let mut r = Record::new(Term::iri(format!("http://e.org/i/{i}")));
+                    r.add(vocab::LOCAL_PART_NUMBER, v.as_str());
+                    r
+                })
+                .collect();
+            let store = RecordStore::from_records(&records);
+            let side = key(0).local_side(&store);
+            let index = store.key_index(&side);
+            let mut runs = CandidateRuns::new();
+            runs.reset(1);
+            runs.set_key_table(0, index.clone());
+            let mut expected: Vec<(usize, usize)> = Vec::new();
+            for (e, probe) in probes.iter().enumerate() {
+                let range = index.key_range(probe);
+                runs.push_keyed(0, e, range.start, range.len());
+                expected.extend(
+                    index
+                        .records_with_key(probe)
+                        .iter()
+                        .map(|&l| (e, l as usize)),
+                );
+            }
+            let decoded: Vec<(usize, usize)> = runs.pairs(0).collect();
+            prop_assert_eq!(decoded, expected);
+        }
+    }
 }
 
 #[test]

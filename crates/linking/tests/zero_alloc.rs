@@ -15,7 +15,9 @@
 //! sweep. It lives in its own integration-test binary so no concurrent
 //! test can pollute the counter.
 
-use classilink_linking::blocking::{BigramBlocker, Blocker, BlockingKey, StandardBlocker};
+use classilink_linking::blocking::{
+    BigramBlocker, Blocker, BlockingKey, CartesianBlocker, StandardBlocker,
+};
 use classilink_linking::record::Record;
 use classilink_linking::{
     CandidateRuns, LocalShards, RecordComparator, RecordStore, ShardedStore, SimScratch,
@@ -211,9 +213,17 @@ fn steady_state_blocking_never_allocates() {
     let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
     let bigram = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.3);
     let mut runs = CandidateRuns::new();
-    // Single-store view: the run_stores blocking path.
+    // Single-store view: the run_stores blocking path. Standard emits
+    // keyed blocks, bigram explicit runs, cartesian span blocks — all
+    // three encodings of the block sink stay allocation-free warm.
     assert_blocking_steady_state(&standard, &external, LocalShards::single(&local), &mut runs);
     assert_blocking_steady_state(&bigram, &external, LocalShards::single(&local), &mut runs);
+    assert_blocking_steady_state(
+        &CartesianBlocker,
+        &external,
+        LocalShards::single(&local),
+        &mut runs,
+    );
     // Sharded view: the run_sharded blocking path (per-shard key
     // indexes, external-side artifacts shared across shards).
     let sharded = ShardedStore::from_records(
@@ -228,4 +238,5 @@ fn steady_state_blocking_never_allocates() {
     );
     assert_blocking_steady_state(&standard, &external, (&sharded).into(), &mut runs);
     assert_blocking_steady_state(&bigram, &external, (&sharded).into(), &mut runs);
+    assert_blocking_steady_state(&CartesianBlocker, &external, (&sharded).into(), &mut runs);
 }
