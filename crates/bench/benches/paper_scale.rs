@@ -66,6 +66,35 @@ fn emit_queue_bytes(label: &str, queue_bytes: u64, pair_bytes: u64, candidates: 
     }
 }
 
+/// Append the bigram filter pipeline's per-run accounting as one metric
+/// JSON line: posting entries removed by the length filter, walk
+/// positions removed by the prefix filter, first touches dropped by the
+/// positional filter, and verification merges actually run.
+fn emit_filter_stats(label: &str, stats: &classilink_linking::BigramFilterStats) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"grams_skipped_prefix\":{},\"postings_skipped_length\":{},\
+         \"postings_skipped_position\":{},\"verify_merges\":{}}}\n",
+        stats.grams_skipped_prefix,
+        stats.postings_skipped_length,
+        stats.postings_skipped_position,
+        stats.verify_merges,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
+
 fn bench_paper_scale(c: &mut Criterion) {
     let scenario = generate(&ScenarioConfig::paper());
     let threads = std::thread::available_parallelism()
@@ -128,6 +157,48 @@ fn bench_paper_scale(c: &mut Criterion) {
                 runs.total()
             })
         });
+    }
+
+    // The bigram filter pipeline's own accounting: how much work each
+    // filter removed on the paper preset, as one metric JSON line the
+    // bench-smoke validator checks alongside the queue metrics.
+    {
+        let mut runs = CandidateRuns::new();
+        bigram.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
+        let stats = runs.bigram_filter_stats();
+        println!(
+            "blocking/bigram filter stats: {} postings skipped (length), {} grams skipped \
+             (prefix), {} first touches dropped (position), {} verify merges",
+            stats.postings_skipped_length,
+            stats.grams_skipped_prefix,
+            stats.postings_skipped_position,
+            stats.verify_merges,
+        );
+        emit_filter_stats("paper_scale/blocking/bigram/filter_stats", &stats);
+    }
+
+    // Threshold sweep: the filtered probe across the paper's operating
+    // range. Lower thresholds widen posting windows and emit more
+    // candidates; the series shows how the filters degrade gracefully.
+    for threshold in [0.4, 0.6, 0.8] {
+        let swept = BigramBlocker::new(default_key(0), threshold);
+        let mut runs = CandidateRuns::new();
+        swept.stream_candidates(&blocking_external, (&blocking_local).into(), &mut runs);
+        group.throughput(Throughput::Elements(runs.total()));
+        group.bench_with_input(
+            BenchmarkId::new("blocking/bigram/threshold", format!("{threshold:.1}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    swept.stream_candidates(
+                        &blocking_external,
+                        (&blocking_local).into(),
+                        &mut runs,
+                    );
+                    runs.total()
+                })
+            },
+        );
     }
 
     // Comparison phase over standard-blocking candidates. Throughput is

@@ -348,11 +348,13 @@ impl ShardRun {
 /// For dense producers queue memory is therefore O(runs), not
 /// O(candidates) — [`queue_bytes`](Self::queue_bytes) vs
 /// [`pair_bytes`](Self::pair_bytes) quantifies the drop (~100–5000×
-/// for cartesian and big standard blocks on the paper preset). Sparse
-/// producers whose pairs rarely coalesce (sorted neighbourhood's
-/// alternating window sides) degrade to one block + one arena entry
-/// per pair — ~20 bytes against the flat encoding's 16 — which is the
-/// accepted trade for making the dense case O(1) per run.
+/// for cartesian and big standard blocks on the paper preset). The
+/// sparse producers keep their pushes per external consecutive (bigram
+/// emits per probe, sorted neighbourhood anchors its window walk on
+/// the external entries), so even they coalesce into one block per
+/// (shard, external) and stay below the flat encoding — the bench
+/// validator asserts `queue_bytes ≤ pair_bytes` for every
+/// non-cartesian blocker.
 ///
 /// The sink is reusable: [`stream_candidates`](Blocker::stream_candidates)
 /// clears it (capacity retained) before producing, so a long-lived sink
@@ -375,19 +377,80 @@ pub struct CandidateRuns {
 /// visit marks, grown once and reused across streaming calls.
 #[derive(Debug, Default)]
 pub(crate) struct RunScratch {
-    /// Per-external shared-gram counters (bigram blocking).
+    /// Per-local shared-gram counter cells (bigram blocking), packed
+    /// `(count_epoch << 5) | count` so the array stays `u32` (and
+    /// L1-sized on paper-scale shards): a new probe invalidates every
+    /// cell by bumping the epoch instead of resetting — cells tagged
+    /// with an older epoch read as count 0. The 5-bit count saturates
+    /// at 30 (the decide loop falls back to the exact verification scan
+    /// past that), and count 31 is the positional filter's *dropped*
+    /// sentinel: re-touching a dropped record is one compare instead of
+    /// a re-derived bound.
     pub counts: Vec<u32>,
-    /// Externals with a non-zero counter, for O(touched) reset.
+    /// Locals whose count reached their decision floor
+    /// `min(PREFIX_ORDER, required)` — exactly the records the decide
+    /// loop must visit (free rejections never enter).
     pub touched: Vec<u32>,
     /// Epoch-stamped marks (rule-based dedup): `marks[i] == epoch` means
     /// "seen in the current epoch".
     pub marks: Vec<u32>,
+    /// `tceil[m] = ceil(threshold · m)` — the integer overlap-threshold
+    /// table the filtered bigram probe replaces per-pair float math
+    /// with. Rebuilt per streaming call (the threshold is per-blocker),
+    /// within retained capacity.
+    pub tceil: Vec<u32>,
+    /// External gram id → shard gram id translation (`u32::MAX` =
+    /// absent from the shard), rebuilt per shard by a sorted merge of
+    /// the two gram tables.
+    pub gram_map: Vec<u32>,
+    /// One external's grams resolved to the probed shard, re-sorted
+    /// into the shard's (df, gram id) order.
+    pub probe: Vec<ProbeGram>,
+    /// Filter effectiveness counters of the last bigram streaming call.
+    pub filter_stats: BigramFilterStats,
     epoch: u32,
+    /// Epoch of the packed [`counts`](Self::counts) cells — 27 usable
+    /// bits; the wrap clears the array.
+    count_epoch: u32,
+}
+
+/// One probe-side gram of the filtered bigram join: an external gram
+/// translated to the shard's gram table, carrying the shard document
+/// frequency it is ordered by (`df == 0` ⟺ absent from the shard).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProbeGram {
+    /// Shard document frequency (0 when the shard lacks the gram).
+    pub df: u32,
+    /// Shard gram id, or `u32::MAX` when absent.
+    pub shard_gram: u32,
+}
+
+/// How hard the filtered bigram probe's pruning worked on one
+/// streaming call, summed over every (external, shard) probe — the
+/// `blocking/bigram/filter_stats` bench line tracks these across PRs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BigramFilterStats {
+    /// Df-ordered probe grams never walked because no unseen local
+    /// could still reach its overlap threshold (prefix filter), plus
+    /// walked grams whose length-filtered window was empty.
+    pub grams_skipped_prefix: u64,
+    /// Posting entries outside the per-gram maximum-set-size window
+    /// (length filter).
+    pub postings_skipped_length: u64,
+    /// Posting entries whose first touch could no longer reach the
+    /// threshold given both records' remaining df-ordered grams
+    /// (positional filter).
+    pub postings_skipped_position: u64,
+    /// Counted-but-undecided candidates finished by the exact
+    /// mark-probing verification scan.
+    pub verify_merges: u64,
 }
 
 impl RunScratch {
     /// Open a new mark epoch over `len` slots and return its stamp;
-    /// stale stamps from earlier epochs read as "unseen".
+    /// stale stamps from earlier epochs read as "unseen". The
+    /// (theoretical) wrap clears the array — an epoch value may
+    /// otherwise alias a stale pre-wrap stamp.
     pub(crate) fn next_epoch(&mut self, len: usize) -> u32 {
         if self.marks.len() < len {
             self.marks.resize(len, 0);
@@ -398,6 +461,22 @@ impl RunScratch {
         }
         self.epoch += 1;
         self.epoch
+    }
+
+    /// Open a new epoch for the packed [`counts`](Self::counts) cells
+    /// over `len` slots and return its tag. The 27-bit wrap (once per
+    /// ~134 M probes) clears the array, so a fresh epoch can never
+    /// alias a stale cell.
+    pub(crate) fn next_count_epoch(&mut self, len: usize) -> u32 {
+        if self.counts.len() < len {
+            self.counts.resize(len, 0);
+        }
+        if self.count_epoch >= (1 << 27) - 1 {
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.count_epoch = 0;
+        }
+        self.count_epoch += 1;
+        self.count_epoch
     }
 }
 
@@ -538,6 +617,13 @@ impl CandidateRuns {
             let external = block.external as usize;
             run.local_run(block).iter().map(move |l| (external, l))
         })
+    }
+
+    /// Filter effectiveness counters of the last
+    /// [`BigramBlocker`] streaming call into this sink (all zero for
+    /// other producers — only the filtered bigram probe writes them).
+    pub fn bigram_filter_stats(&self) -> BigramFilterStats {
+        self.scratch.filter_stats
     }
 
     /// One shard's comparison count (the sum of its block lengths).

@@ -128,12 +128,19 @@ impl SortList {
     }
 
     /// Emit every cross-source pair whose sorted positions lie within one
-    /// window, as per-shard runs (the sink coalesces consecutive pairs
-    /// of one external into explicit candidate blocks — sorted
-    /// neighbourhood is a sparse producer, so it uses the short-run
-    /// encoding). Each pair is produced exactly once (records occur
-    /// once in the list, and only position pairs with `j − i < window`
-    /// qualify), so no dedup exists anywhere.
+    /// window, as per-shard runs. The enumeration is **anchored on the
+    /// external entries**: for each external at sorted position `i`,
+    /// every local within `window − 1` positions on *either* side is
+    /// emitted — a pair `(external@i, local@j)` lies in some window
+    /// exactly when `|i − j| < window`, and each record occurs once in
+    /// the list, so every pair is produced exactly once with no dedup.
+    /// Anchoring keeps all pushes of one external consecutive (per
+    /// shard), so the sink coalesces them into **one explicit block per
+    /// (shard, external)** instead of degrading to one block per pair
+    /// when externals and locals alternate in key order — that is what
+    /// keeps the run-block queue smaller than the flat pair encoding
+    /// (asserted by the bench validator's `queue_bytes ≤ pair_bytes`
+    /// check).
     fn window_pairs(&self, window: usize, out: &mut CandidateRuns) {
         if window < 2 {
             // `new()` clamps, but the field is public: a window of 0 or 1
@@ -141,15 +148,17 @@ impl SortList {
             return;
         }
         for (i, a) in self.entries.iter().enumerate() {
-            for b in &self.entries[i + 1..(i + window).min(self.entries.len())] {
-                match (a.shard == EXTERNAL, b.shard == EXTERNAL) {
-                    (true, false) => {
-                        out.push(b.shard as usize, a.record as usize, b.record as usize)
-                    }
-                    (false, true) => {
-                        out.push(a.shard as usize, b.record as usize, a.record as usize)
-                    }
-                    _ => {}
+            if a.shard != EXTERNAL {
+                continue;
+            }
+            let before = i.saturating_sub(window - 1);
+            let after = (i + window).min(self.entries.len());
+            for b in self.entries[before..i]
+                .iter()
+                .chain(&self.entries[i + 1..after])
+            {
+                if b.shard != EXTERNAL {
+                    out.push(b.shard as usize, a.record as usize, b.record as usize);
                 }
             }
         }

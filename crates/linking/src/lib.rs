@@ -80,9 +80,9 @@ pub mod store;
 pub mod token_index;
 
 pub use blocking::{
-    BigramBlocker, Blocker, BlockingKey, BlockingStats, CandidateBlock, CandidatePair,
-    CandidateRuns, CartesianBlocker, DisjointnessFilter, KeySide, LocalRun, RuleBasedBlocker,
-    SortedNeighborhoodBlocker, StandardBlocker,
+    BigramBlocker, BigramFilterStats, Blocker, BlockingKey, BlockingStats, CandidateBlock,
+    CandidatePair, CandidateRuns, CartesianBlocker, DisjointnessFilter, KeySide, LocalRun,
+    RuleBasedBlocker, SortedNeighborhoodBlocker, StandardBlocker,
 };
 pub use comparator::{
     AttributeRule, Comparison, CompiledComparator, LeftHoist, MatchDecision, RecordComparator,

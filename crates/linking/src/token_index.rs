@@ -35,7 +35,7 @@ use crate::similarity::scratch::SimScratch;
 use crate::similarity::token::{bigram_pairs, lowercase_eq, tokens};
 use crate::store::RecordStore;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Pack a character bigram into one `u64` — the shared scalar bigram
 /// representation of the [`TokenIndex`] set kernels and the
@@ -521,22 +521,121 @@ impl KeyIndex {
 /// [`classilink_segment::CharNGramSegmenter::padded_bigrams`] — the key
 /// `"ab"` yields `{#a, ab, b#}`, the empty key yields `{##}` — so the
 /// candidate sets are byte-identical to the string-based reference.
+///
+/// Beyond the plain sets, the index carries the set-similarity-join
+/// layout the filtered bigram probe
+/// ([`BigramBlocker`](crate::blocking::BigramBlocker)) walks:
+///
+/// * [`df_set`](Self::df_set) — each record's grams as *gram ids*,
+///   ordered by ascending document frequency (rare grams first; equal
+///   df breaks by gram id, i.e. gram value) — a total order shared by
+///   every record, which is what makes prefix and positional filtering
+///   sound;
+/// * each gram's posting list sorted by **ascending set size** (ties by
+///   record id), each posting carrying its record's set size (the
+///   positional filter's threshold input) and **tail length** — the
+///   number of grams from this one to the end of the record's
+///   df-ordered set, `tail = size − position`;
+/// * per-threshold [`ThresholdLayout`]s (built lazily, cached by
+///   threshold bits) that re-sort every gram's postings by the largest
+///   probe size still needing them, so a probe cuts each list to
+///   exactly its needed postings with one `partition_point` — the
+///   ubiquitous grams that sit at the tail of every record's df order
+///   are never even scanned.
 #[derive(Debug, Default)]
 pub(crate) struct KeyBigramIndex {
-    /// Per-record bigram sets, flat; record `r` owns
+    /// Per-record bigram sets, flat, **value-sorted**; record `r` owns
     /// `sets[set_offsets[r] .. set_offsets[r + 1]]`.
     sets: Vec<u64>,
     set_offsets: Vec<u32>,
-    /// Distinct grams over all records, sorted.
+    /// Per-record gram ids (indexes into `grams`), **df-sorted** (rare
+    /// first, ties by gram id); shares `set_offsets` with `sets`.
+    df_sets: Vec<u32>,
+    /// Distinct grams over all records, sorted by value.
     grams: Vec<u64>,
-    /// Posting boundaries into `postings`, parallel to `grams`.
+    /// Posting boundaries into the posting arrays, parallel to `grams`.
     posting_offsets: Vec<u32>,
-    /// Record ids per gram, ascending within each gram.
+    /// Record ids per gram, sorted by (ascending set size, record id)
+    /// within each gram — probe positions too late for same-or-larger
+    /// sets cut this list to the small sets whose own threshold is
+    /// still reachable with one `partition_point` over the size slice.
     postings: Vec<u32>,
+    /// Set size of each posting's record, parallel to `postings` — the
+    /// positional filter's threshold input.
+    posting_sizes: Vec<u32>,
+    /// Tail length of each posting: grams from this one (inclusive) to
+    /// the end of its record's df-ordered set, parallel to `postings`.
+    posting_tails: Vec<u32>,
+    /// Per-threshold posting permutations ([`ThresholdLayout`]), built
+    /// on a threshold's first probe and cached for the index's
+    /// lifetime (keyed by the threshold's bit pattern).
+    layouts: Mutex<Vec<(u64, Arc<ThresholdLayout>)>>,
+    /// Smallest per-record set size (0 only when the index is empty).
+    min_set_len: u32,
+    /// Largest per-record set size.
+    max_set_len: u32,
+}
+
+/// One threshold's posting permutation: every gram's postings sorted by
+/// **descending entry key** `ekey` — the largest probe set size that
+/// still needs this posting.
+///
+/// A posting (record `B`, set size `b`, tail `t`) is *needed* by a
+/// probe of set size `a` exactly when the pair's sharing rule fits the
+/// posting's tail plus the prefix-order slack:
+/// `required(min(a, b)) ≤ t + K − 1  ⟺  min(a, b) ≤ maxa(t)`, where
+/// `maxa(t)` is the largest set size `m` with `required(m) ≤ t + K − 1`
+/// (`required` is non-decreasing, so the equivalence is exact). That
+/// makes the needed-entry test a pure threshold on one precomputed
+/// per-posting key,
+///
+/// `ekey = if b ≤ maxa(t) { u32::MAX } else { maxa(t) }`,
+///
+/// (`b ≤ maxa(t)` ⟹ needed by *every* probe), so a probe cuts each
+/// gram's list to **exactly** its needed postings with one binary
+/// search for `ekey ≥ a` — no second window, no dedup pass, every
+/// scanned entry counted at most once per walk position by
+/// construction.
+#[derive(Debug, Default)]
+pub(crate) struct ThresholdLayout {
+    /// Posting boundaries, parallel to the owning index's `grams`
+    /// (copied so the layout is self-contained).
+    offsets: Vec<u32>,
+    /// Entry keys per posting, descending within each gram.
+    ekeys: Vec<u32>,
+    /// Record ids parallel to `ekeys`.
+    records: Vec<u32>,
+    /// Set sizes parallel to `ekeys`.
+    sizes: Vec<u32>,
+    /// Tail lengths parallel to `ekeys`.
+    tails: Vec<u32>,
+}
+
+impl ThresholdLayout {
+    /// Gram id `id`'s postings as parallel slices
+    /// `(entry keys, records, set sizes, tail lengths)`, entry keys
+    /// descending.
+    pub(crate) fn window(&self, id: usize) -> (&[u32], &[u32], &[u32], &[u32]) {
+        let range = self.offsets[id] as usize..self.offsets[id + 1] as usize;
+        (
+            &self.ekeys[range.clone()],
+            &self.records[range.clone()],
+            &self.sizes[range.clone()],
+            &self.tails[range],
+        )
+    }
 }
 
 /// The padding character of the classic bigram-blocking convention.
 const PAD: char = '#';
+
+/// Prefix-filter order of the filtered bigram probe (see
+/// [`BigramBlocker`](crate::blocking::BigramBlocker)): walked counts
+/// are kept complete over every record's first `size − T + K`
+/// df-ordered grams, so a count below `min(K, T)` rejects without a
+/// verification scan. The constant lives here because it shapes the
+/// posting layout: every [`ThresholdLayout`] entry key bakes `K` in.
+pub(crate) const PREFIX_ORDER: usize = 3;
 
 impl KeyBigramIndex {
     fn build(keys: &KeyIndex) -> Self {
@@ -576,46 +675,208 @@ impl KeyBigramIndex {
             set_offsets.push(offset(sets.len()));
         }
 
-        // Invert: (gram, record) sorted by gram then record keeps each
-        // posting list ascending without per-gram allocations.
+        // Distinct grams and their document frequencies: one flat
+        // (gram, record) sort, as a plain inversion would do.
         let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(sets.len());
         for record in 0..keys.len() {
             let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
             pairs.extend(sets[range].iter().map(|&g| (g, record as u32)));
         }
         pairs.sort_unstable();
-        let mut grams = Vec::new();
-        let mut posting_offsets = vec![0u32];
-        let mut postings = Vec::with_capacity(pairs.len());
-        for (gram, record) in pairs {
-            if grams.last() != Some(&gram) {
+        let mut grams: Vec<u64> = Vec::new();
+        let mut dfs: Vec<u32> = Vec::new();
+        for &(gram, _) in &pairs {
+            if grams.last() == Some(&gram) {
+                *dfs.last_mut().expect("df parallel to grams") += 1;
+            } else {
                 grams.push(gram);
+                dfs.push(1);
+            }
+        }
+        drop(pairs);
+        // Per-record df-ordered gram ids: rare grams first, equal df
+        // broken by gram id (= gram value) — one total order shared by
+        // every record, so prefix and positional filtering agree on it.
+        let mut df_sets: Vec<u32> = Vec::with_capacity(sets.len());
+        for record in 0..keys.len() {
+            let start = df_sets.len();
+            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
+            for &gram in &sets[range] {
+                let id = grams
+                    .binary_search(&gram)
+                    .expect("set gram missing from the gram table");
+                df_sets.push(id as u32);
+            }
+            df_sets[start..].sort_unstable_by_key(|&id| (dfs[id as usize], id));
+        }
+        // Postings: one (gram id, set size, record, tail length) entry
+        // per set element, sorted so each gram's list ascends by
+        // (set size, record id) — the late-position size cut's
+        // `partition_point` window — and carries the tail length (grams
+        // from this one to the record's df-order end), which the
+        // positional filter and the per-threshold layouts consume.
+        let mut entries: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(df_sets.len());
+        let mut min_set_len = u32::MAX;
+        let mut max_set_len = 0u32;
+        for record in 0..keys.len() {
+            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
+            let size = offset(range.len());
+            min_set_len = min_set_len.min(size);
+            max_set_len = max_set_len.max(size);
+            for (position, &id) in df_sets[range].iter().enumerate() {
+                let tail = size - offset(position);
+                entries.push((id, size, record as u32, tail));
+            }
+        }
+        if keys.is_empty() {
+            min_set_len = 0;
+        }
+        entries.sort_unstable();
+        let mut posting_offsets = Vec::with_capacity(grams.len() + 1);
+        posting_offsets.push(0);
+        let mut postings = Vec::with_capacity(entries.len());
+        let mut posting_sizes = Vec::with_capacity(entries.len());
+        let mut posting_tails = Vec::with_capacity(entries.len());
+        let mut boundary = 0u32;
+        for &(id, size, record, tail) in &entries {
+            while boundary < id {
                 posting_offsets.push(offset(postings.len()));
+                boundary += 1;
             }
             postings.push(record);
-            *posting_offsets.last_mut().expect("seeded with 0") = offset(postings.len());
+            posting_sizes.push(size);
+            posting_tails.push(tail);
+        }
+        while posting_offsets.len() < grams.len() + 1 {
+            posting_offsets.push(offset(postings.len()));
         }
         KeyBigramIndex {
             sets,
             set_offsets,
+            df_sets,
             grams,
             posting_offsets,
             postings,
+            posting_sizes,
+            posting_tails,
+            layouts: Mutex::new(Vec::new()),
+            min_set_len,
+            max_set_len,
         }
     }
 
-    /// Record `r`'s distinct padded key bigrams, sorted.
+    /// Record `r`'s distinct padded key bigrams, sorted by value.
     pub(crate) fn set(&self, record: usize) -> &[u64] {
         &self.sets[self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize]
     }
 
-    /// The ids of every record whose key contains `gram`, ascending.
+    /// Record `r`'s grams as ids into [`gram_values`](Self::gram_values),
+    /// ordered by (document frequency, gram id) — rarest first.
+    pub(crate) fn df_set(&self, record: usize) -> &[u32] {
+        &self.df_sets[self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize]
+    }
+
+    /// The distinct grams over all records, sorted by packed value;
+    /// positions in this table are the gram ids every other accessor
+    /// speaks.
+    pub(crate) fn gram_values(&self) -> &[u64] {
+        &self.grams
+    }
+
+    /// Document frequency of gram id `id`.
+    pub(crate) fn df(&self, id: usize) -> u32 {
+        self.posting_offsets[id + 1] - self.posting_offsets[id]
+    }
+
+    /// Gram id `id`'s posting list as parallel slices
+    /// `(records, set sizes, tail lengths)`, sorted by (ascending set
+    /// size, record id) — a largest-viable-size cut is one
+    /// `partition_point` over the size slice, and the record's
+    /// df-order position of the gram recovers as `size − tail`.
+    pub(crate) fn posting_list(&self, id: usize) -> (&[u32], &[u32], &[u32]) {
+        let range = self.posting_offsets[id] as usize..self.posting_offsets[id + 1] as usize;
+        (
+            &self.postings[range.clone()],
+            &self.posting_sizes[range.clone()],
+            &self.posting_tails[range],
+        )
+    }
+
+    /// The cached [`ThresholdLayout`] for `threshold`, built on its
+    /// first request. The build is `O(postings log postings)` and runs
+    /// once per distinct threshold for the index's lifetime; warm
+    /// probes take the lock, find the entry, and clone the `Arc`
+    /// without allocating.
+    pub(crate) fn threshold_layout(&self, threshold: f64) -> Arc<ThresholdLayout> {
+        let bits = threshold.to_bits();
+        let mut cache = self
+            .layouts
+            .lock()
+            .expect("threshold layout cache poisoned");
+        if let Some((_, layout)) = cache.iter().find(|(key, _)| *key == bits) {
+            return Arc::clone(layout);
+        }
+        // `maxa[x]`: the largest set size `m ≤ max_set_len` whose
+        // sharing rule `required(m) = max(ceil(threshold · m), 1)` is at
+        // most `x` (0 when none is). `required` is non-decreasing, so
+        // one forward sweep fills the whole table.
+        let top = self.max_set_len as usize + PREFIX_ORDER - 1;
+        let required = |m: usize| ((threshold * m as f64).ceil() as usize).max(1);
+        let mut maxa = vec![0u32; top + 1];
+        let mut m = 0usize;
+        for (x, slot) in maxa.iter_mut().enumerate() {
+            while m < self.max_set_len as usize && required(m + 1) <= x {
+                m += 1;
+            }
+            *slot = m as u32;
+        }
+        let mut entries: Vec<(u32, std::cmp::Reverse<u32>, u32, u32, u32)> =
+            Vec::with_capacity(self.postings.len());
+        for id in 0..self.grams.len() {
+            let (records, sizes, tails) = self.posting_list(id);
+            for ((&record, &size), &tail) in records.iter().zip(sizes).zip(tails) {
+                let cap = maxa[(tail as usize + PREFIX_ORDER - 1).min(top)];
+                let ekey = if size <= cap { u32::MAX } else { cap };
+                entries.push((id as u32, std::cmp::Reverse(ekey), record, size, tail));
+            }
+        }
+        entries.sort_unstable();
+        let mut layout = ThresholdLayout {
+            offsets: self.posting_offsets.clone(),
+            ekeys: Vec::with_capacity(entries.len()),
+            records: Vec::with_capacity(entries.len()),
+            sizes: Vec::with_capacity(entries.len()),
+            tails: Vec::with_capacity(entries.len()),
+        };
+        for &(_, std::cmp::Reverse(ekey), record, size, tail) in &entries {
+            layout.ekeys.push(ekey);
+            layout.records.push(record);
+            layout.sizes.push(size);
+            layout.tails.push(tail);
+        }
+        let layout = Arc::new(layout);
+        cache.push((bits, Arc::clone(&layout)));
+        layout
+    }
+
+    /// Smallest per-record gram-set size (0 only on an empty index).
+    pub(crate) fn min_set_len(&self) -> u32 {
+        self.min_set_len
+    }
+
+    /// Largest per-record gram-set size.
+    pub(crate) fn max_set_len(&self) -> u32 {
+        self.max_set_len
+    }
+
+    /// The ids of every record whose key contains `gram`, ordered by
+    /// (ascending set size, record id). The probe itself goes through
+    /// [`posting_list`](Self::posting_list) and [`ThresholdLayout`] by
+    /// gram id; this value-keyed view serves the inversion tests.
+    #[cfg(test)]
     pub(crate) fn postings(&self, gram: u64) -> &[u32] {
         match self.grams.binary_search(&gram) {
-            Ok(i) => {
-                &self.postings
-                    [self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
-            }
+            Ok(i) => self.posting_list(i).0,
             Err(_) => &[],
         }
     }
@@ -840,13 +1101,116 @@ mod tests {
                 for &gram in bigrams.set(r) {
                     let postings = bigrams.postings(gram);
                     assert!(postings.contains(&(r as u32)), "record {r} gram {gram:#x}");
-                    assert!(
-                        postings.windows(2).all(|w| w[0] < w[1]),
-                        "unsorted postings"
+                }
+            }
+            // Posting lists are (ascending set size, record id)-sorted:
+            // the late-position size cut's partition_point window.
+            for id in 0..bigrams.gram_values().len() {
+                let (records, sizes, tails) = bigrams.posting_list(id);
+                assert_eq!(records.len(), bigrams.df(id) as usize, "gram id {id}");
+                let by_size: Vec<(u32, u32)> =
+                    sizes.iter().copied().zip(records.iter().copied()).collect();
+                assert!(by_size.windows(2).all(|w| w[0] < w[1]), "gram id {id}");
+                for ((&record, &size), &tail) in records.iter().zip(sizes).zip(tails) {
+                    let record = record as usize;
+                    assert_eq!(size as usize, bigrams.set(record).len(), "gram id {id}");
+                    assert!(tail >= 1 && tail <= size, "gram id {id}");
+                    assert_eq!(
+                        bigrams.df_set(record)[(size - tail) as usize] as usize,
+                        id,
+                        "size − tail must point back at the gram"
                     );
                 }
             }
             assert!(bigrams.postings(pack_bigram('\u{10FFFF}', 'q')).is_empty());
+        }
+
+        /// Every [`ThresholdLayout`] is an exact per-gram permutation of
+        /// the base postings under the documented entry-key formula:
+        /// `ekey` descending, `ekey = u32::MAX` when the record's own
+        /// sharing rule fits its tail plus prefix slack, the largest
+        /// fitting probe size otherwise — and the cache returns the
+        /// same layout on a repeat request.
+        #[test]
+        fn threshold_layouts_permute_the_postings() {
+            let store = store_of(VALUES);
+            let side = BlockingKey::shared(PN, 0).external_side(&store);
+            let index = KeyIndex::build(&store, &side);
+            let bigrams = index.bigram_index();
+            for threshold in [0.0, 0.3, 0.7, 1.0] {
+                let layout = bigrams.threshold_layout(threshold);
+                let required = |m: u32| ((threshold * m as f64).ceil() as u32).max(1);
+                let maxa = |tail: u32| {
+                    (1..=bigrams.max_set_len())
+                        .take_while(|&m| (required(m) as usize) < tail as usize + PREFIX_ORDER)
+                        .last()
+                        .unwrap_or(0)
+                };
+                for id in 0..bigrams.gram_values().len() {
+                    let (records, sizes, tails) = bigrams.posting_list(id);
+                    let (ekeys, records2, sizes2, tails2) = layout.window(id);
+                    assert!(
+                        ekeys.windows(2).all(|w| w[0] >= w[1]),
+                        "gram id {id}: entry keys must descend"
+                    );
+                    for ((&ekey, &size), &tail) in ekeys.iter().zip(sizes2).zip(tails2) {
+                        let cap = maxa(tail);
+                        let expect = if size <= cap { u32::MAX } else { cap };
+                        assert_eq!(ekey, expect, "gram id {id} t={threshold}");
+                    }
+                    let entry_set = |r: &[u32], s: &[u32], t: &[u32]| {
+                        let mut e: Vec<(u32, u32, u32)> = r
+                            .iter()
+                            .zip(s)
+                            .zip(t)
+                            .map(|((&r, &s), &t)| (r, s, t))
+                            .collect();
+                        e.sort_unstable();
+                        e
+                    };
+                    assert_eq!(
+                        entry_set(records, sizes, tails),
+                        entry_set(records2, sizes2, tails2),
+                        "gram id {id} t={threshold}: layout must permute the postings"
+                    );
+                }
+                assert!(
+                    Arc::ptr_eq(&layout, &bigrams.threshold_layout(threshold)),
+                    "t={threshold}: repeat request must hit the cache"
+                );
+            }
+        }
+
+        /// The df-ordered per-record gram lists are a permutation of
+        /// the value-sorted sets under one shared (df, gram id) order.
+        #[test]
+        fn df_sets_are_df_ordered_permutations() {
+            let store = store_of(VALUES);
+            let side = BlockingKey::shared(PN, 0).external_side(&store);
+            let index = KeyIndex::build(&store, &side);
+            let bigrams = index.bigram_index();
+            let (mut min_seen, mut max_seen) = (u32::MAX, 0u32);
+            for r in 0..store.len() {
+                let df_set = bigrams.df_set(r);
+                assert_eq!(df_set.len(), bigrams.set(r).len(), "record {r}");
+                min_seen = min_seen.min(df_set.len() as u32);
+                max_seen = max_seen.max(df_set.len() as u32);
+                let mut values: Vec<u64> = df_set
+                    .iter()
+                    .map(|&id| bigrams.gram_values()[id as usize])
+                    .collect();
+                values.sort_unstable();
+                assert_eq!(values, bigrams.set(r), "record {r}: not a permutation");
+                assert!(
+                    df_set
+                        .windows(2)
+                        .all(|w| (bigrams.df(w[0] as usize), w[0])
+                            < (bigrams.df(w[1] as usize), w[1])),
+                    "record {r}: df order violated"
+                );
+            }
+            assert_eq!(bigrams.min_set_len(), min_seen);
+            assert_eq!(bigrams.max_set_len(), max_seen);
         }
     }
 

@@ -212,12 +212,21 @@ fn steady_state_blocking_never_allocates() {
     let (external, local) = stores();
     let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
     let bigram = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.3);
+    // A second threshold forces a second cached `ThresholdLayout` per
+    // shard index: the warm call must find it without allocating.
+    let bigram_high = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.7);
     let mut runs = CandidateRuns::new();
     // Single-store view: the run_stores blocking path. Standard emits
     // keyed blocks, bigram explicit runs, cartesian span blocks — all
     // three encodings of the block sink stay allocation-free warm.
     assert_blocking_steady_state(&standard, &external, LocalShards::single(&local), &mut runs);
     assert_blocking_steady_state(&bigram, &external, LocalShards::single(&local), &mut runs);
+    assert_blocking_steady_state(
+        &bigram_high,
+        &external,
+        LocalShards::single(&local),
+        &mut runs,
+    );
     assert_blocking_steady_state(
         &CartesianBlocker,
         &external,
@@ -238,5 +247,6 @@ fn steady_state_blocking_never_allocates() {
     );
     assert_blocking_steady_state(&standard, &external, (&sharded).into(), &mut runs);
     assert_blocking_steady_state(&bigram, &external, (&sharded).into(), &mut runs);
+    assert_blocking_steady_state(&bigram_high, &external, (&sharded).into(), &mut runs);
     assert_blocking_steady_state(&CartesianBlocker, &external, (&sharded).into(), &mut runs);
 }
