@@ -35,7 +35,8 @@ use classilink_linking::blocking::{
     Blocker, CartesianBlocker, SortedNeighborhoodBlocker, StandardBlocker,
 };
 use classilink_linking::{
-    BigramBlocker, CandidateRuns, LinkagePipeline, RecordComparator, SimilarityMeasure,
+    BigramBlocker, CandidateRuns, LinkagePipeline, Linker, ProbeScratch, RecordComparator,
+    SimilarityMeasure,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
@@ -56,6 +57,29 @@ fn emit_queue_bytes(label: &str, queue_bytes: u64, pair_bytes: u64, candidates: 
         "{{\"label\":{label:?},\"queue_bytes\":{queue_bytes},\"pair_bytes\":{pair_bytes},\
          \"candidates\":{candidates}}}\n"
     );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
+
+/// Append one hand-timed latency line in the criterion shim's timing
+/// schema (`label`/`mean_ns`/`iterations`), for serving-layer phases
+/// measured outside a criterion group (epoch swaps rebuild and re-warm
+/// the whole catalog, so they are timed directly rather than iterated).
+fn emit_latency(label: &str, mean_ns: u64, iterations: u64) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line =
+        format!("{{\"label\":{label:?},\"mean_ns\":{mean_ns},\"iterations\":{iterations}}}\n");
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -251,6 +275,56 @@ fn bench_paper_scale(c: &mut Criterion) {
                 b.iter(|| pipeline.run_sharded(&sharded_external, &sharded_local))
             },
         );
+    }
+
+    // Serving layer: single-record probes against a pre-warmed 4-shard
+    // epoch, single-threaded with one reused `ProbeScratch`, one series
+    // per blocker; throughput is the probe count, so the report reads
+    // **probes per second**. Each blocker also emits a
+    // `serve/swap_latency/<blocker>` timing line — the wall time of
+    // `Linker::swap`, i.e. a full epoch rebuild + warm (outside the
+    // lock) plus the pointer flip, hand-timed because iterating
+    // catalog rebuilds through criterion would dwarf the smoke run.
+    {
+        let probe_records: Vec<_> = (0..64).map(|e| external.record(e)).collect();
+        let serve_blockers: [(&str, &(dyn Blocker + Sync)); 2] =
+            [("standard", &standard), ("bigram", &bigram)];
+        for (name, blocker) in serve_blockers {
+            let linker = Linker::new(blocker, &comparator, blocking_local.clone());
+            let mut scratch = ProbeScratch::new();
+            let mut warm_links = 0usize;
+            for record in &probe_records {
+                warm_links += linker.probe_with(record, &mut scratch).matches.len();
+            }
+            println!(
+                "serve/probe/{name}: {warm_links} links across {} warm probes",
+                probe_records.len(),
+            );
+            group.throughput(Throughput::Elements(probe_records.len() as u64));
+            group.bench_with_input(BenchmarkId::new("serve/probe", name), &(), |b, ()| {
+                b.iter(|| {
+                    let mut links = 0usize;
+                    for record in &probe_records {
+                        links += linker.probe_with(record, &mut scratch).matches.len();
+                    }
+                    links
+                })
+            });
+            const SWAPS: u64 = 2;
+            let replacements: Vec<_> = (0..SWAPS).map(|_| blocking_local.clone()).collect();
+            let start = Instant::now();
+            for replacement in replacements {
+                linker.swap(replacement);
+            }
+            let mean_ns =
+                u64::try_from(start.elapsed().as_nanos() / u128::from(SWAPS)).unwrap_or(u64::MAX);
+            println!("serve/swap_latency/{name}: {mean_ns} ns mean over {SWAPS} swaps");
+            emit_latency(
+                &format!("paper_scale/serve/swap_latency/{name}"),
+                mean_ns.max(1),
+                SWAPS,
+            );
+        }
     }
     group.finish();
 }

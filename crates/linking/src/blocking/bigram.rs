@@ -436,6 +436,19 @@ impl Blocker for BigramBlocker {
         }
         out.scratch.filter_stats = stats;
     }
+
+    /// Build each shard's key index, bigram postings and this
+    /// threshold's posting-permutation layout (the local-side artifacts
+    /// the filtered probe walk reads).
+    fn warm(&self, local: LocalShards<'_>) {
+        let local_side = self.key.local_side_of(local.schema());
+        for shard in local.shards() {
+            shard
+                .key_index(&local_side)
+                .bigram_index()
+                .threshold_layout(self.threshold);
+        }
+    }
 }
 
 #[cfg(test)]

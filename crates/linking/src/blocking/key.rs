@@ -126,6 +126,18 @@ impl KeySide {
         }
     }
 
+    /// Reconstitute the side a recipe fingerprint was taken from — the
+    /// store-level key-index cache rebuilds its indexes by recipe when
+    /// the store's contents are replaced in place (the serving layer's
+    /// probe store).
+    pub(crate) fn from_recipe(recipe: KeyRecipe) -> KeySide {
+        KeySide {
+            property: recipe.property,
+            prefix_length: recipe.prefix_length,
+            alphanumeric_only: recipe.alphanumeric_only,
+        }
+    }
+
     /// Append the **full** normalised value to `out` and return the byte
     /// length (relative to where writing started) of its truncated
     /// prefix — i.e. [`key`](Self::key) is the first `returned` bytes of
@@ -139,14 +151,17 @@ impl KeySide {
         } else {
             usize::MAX
         };
-        // Lowercase before filtering: lowercasing can emit combining
-        // marks (e.g. 'İ' → "i\u{307}") that the alphanumeric filter
-        // must then strip, and the prefix counts *output* characters.
-        let lowered = value.to_lowercase();
+        // Lowercase char by char before filtering: lowercasing can emit
+        // combining marks (e.g. 'İ' → "i\u{307}") that the alphanumeric
+        // filter must then strip, and the prefix counts *output*
+        // characters. Char-wise mapping (instead of `str::to_lowercase`)
+        // keeps key extraction allocation-free — the serving layer
+        // re-keys its one-record probe store on every call — forgoing
+        // only the final-sigma special case of the `str` version.
         let start = out.len();
         let mut kept = 0;
         let mut key_end = None;
-        for c in lowered.chars() {
+        for c in value.chars().flat_map(char::to_lowercase) {
             if self.alphanumeric_only && !c.is_alphanumeric() {
                 continue;
             }

@@ -815,6 +815,18 @@ pub trait Blocker {
             }
         }
     }
+
+    /// Eagerly build the **local-side artifacts** this blocker reads
+    /// while streaming — key indexes, sort ladders, bigram postings and
+    /// threshold layouts. The serving layer
+    /// ([`Linker`](crate::serve::Linker)) calls this once per published
+    /// catalog epoch so no probe ever pays a first-call index build;
+    /// batch callers never need it (the same builds happen lazily on
+    /// first stream). The default does nothing (cartesian and external
+    /// impls keep no local-side state).
+    fn warm(&self, local: LocalShards<'_>) {
+        let _ = local;
+    }
 }
 
 /// The exhaustive baseline: every external record is compared with every

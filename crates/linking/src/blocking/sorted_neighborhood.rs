@@ -4,23 +4,34 @@
 //! data items using a sorting key. A window of a given size is moved on the
 //! list of sorted data items and those belonging to the window are compared."
 //!
-//! Both sources are merged into one list, sorted by the sorting key; a
-//! sliding window of size `w` moves over the sorted list, and every
-//! (external, local) pair inside the window becomes a candidate.
+//! The locals are sorted by the sorting key into one **ladder** (the
+//! cached per-shard [`KeyIndex::value_sorted`] tables, merged on the fly
+//! across shard boundaries); each external record is then *inserted*
+//! into that ladder at its own sort position and windows against the
+//! `window − 1` nearest locals on either side. This per-external
+//! formulation has three properties the engine leans on:
 //!
-//! Two observations keep this hash-free at paper scale:
+//! * **The window is a property of the record, not of the batch.** An
+//!   external's candidates depend only on its sort value and the local
+//!   ladder — other externals never consume window slots. A
+//!   single-record probe (see [`crate::serve`]) therefore produces
+//!   exactly the candidates the same record gets inside a bulk run,
+//!   and a singleton external side windows against every shard's
+//!   ladder like any other record.
+//! * **No dedup is needed.** The below/above walks cover disjoint
+//!   ladder positions and each local occurs once in the ladder, so
+//!   every (external, local) pair is emitted at most once; all pushes
+//!   of one external are consecutive per shard, so the sink coalesces
+//!   them into one explicit block per (shard, external).
+//! * **Shard counts are invisible.** The walk merges the per-shard
+//!   ladders by (sort value, global id) with one cursor per shard, so
+//!   the candidate set over a [`ShardedStore`] is byte-identical to
+//!   the single-store run even when a window straddles shards.
 //!
-//! * A pair of sorted positions `(i, j)` lies in *some* window of size
-//!   `w` exactly when `0 < j − i < w`, so enumerating, per position, only
-//!   the following `w − 1` positions emits **every window pair exactly
-//!   once** — no `HashSet` dedup of the overlapping windows is needed,
-//!   and the per-window runs are merged by one final index sort.
-//! * The window only needs each record's *sort key*, which is a
-//!   per-record computation. Against a [`ShardedStore`] the keys are
-//!   therefore extracted per shard (tagged with global ids) and merged
-//!   into one globally sorted list, so the sharded candidate set is
-//!   byte-identical to the single-store one even though windows span
-//!   shard boundaries.
+//! Ties replicate the classic merged-list convention: an external with
+//! sort value `v` inserts **after** every local whose sort value is
+//! `≤ v` (locals sort before externals on equal keys), and equal-valued
+//! locals order by global id.
 
 use super::key::BlockingKey;
 use super::{Blocker, CandidatePair, CandidateRuns};
@@ -29,13 +40,14 @@ use crate::store::RecordStore;
 use crate::token_index::KeyIndex;
 use std::sync::Arc;
 
-/// Sorted-neighbourhood blocking over a merged, key-sorted list.
+/// Sorted-neighbourhood blocking over the key-sorted local ladder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SortedNeighborhoodBlocker {
     /// The sorting key recipe.
     pub key: BlockingKey,
-    /// The window size (≥ 2); a window of `w` covers `w` consecutive records
-    /// of the sorted merged list.
+    /// The window size (≥ 2); each external record pairs with the
+    /// `window − 1` nearest locals below its sort position and the
+    /// `window − 1` nearest above.
     pub window: usize,
 }
 
@@ -45,122 +57,6 @@ impl SortedNeighborhoodBlocker {
         SortedNeighborhoodBlocker {
             key,
             window: window.max(2),
-        }
-    }
-}
-
-/// One entry of the merged sort list: which shard it came from
-/// (`EXTERNAL` marks the external side) and its record id — shard-local
-/// for local entries, so the sort key is resolved from that shard's
-/// [`KeyIndex`] without any per-record `String`.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    /// Shard index of a local entry, or [`EXTERNAL`].
-    shard: u32,
-    /// Record id (shard-local for locals, store index for externals).
-    record: u32,
-}
-
-/// The `shard` marker of external-side entries.
-const EXTERNAL: u32 = u32::MAX;
-
-/// The merged, globally sorted entry list over the external store and
-/// every local shard, with all sort keys served by the store-level
-/// [`KeyIndex`]es. Ordering replicates the materialised reference: sort
-/// key, then side (locals first), then the record's global id — a total
-/// order, so the result is independent of how entries were gathered.
-struct SortList {
-    external_keys: Arc<KeyIndex>,
-    local_keys: Vec<Arc<KeyIndex>>,
-    entries: Vec<Entry>,
-}
-
-impl SortList {
-    fn build(key: &BlockingKey, external: &RecordStore, local: LocalShards<'_>) -> SortList {
-        let external_keys = external.key_index(&key.external_side(external));
-        let local_side = key.local_side_of(local.schema());
-        let local_keys: Vec<Arc<KeyIndex>> = local
-            .shards()
-            .iter()
-            .map(|shard| shard.key_index(&local_side))
-            .collect();
-        let mut entries: Vec<Entry> = Vec::with_capacity(external.len() + local.len());
-        for record in 0..external.len() as u32 {
-            entries.push(Entry {
-                shard: EXTERNAL,
-                record,
-            });
-        }
-        for (s, shard) in local.shards().iter().enumerate() {
-            for record in 0..shard.len() as u32 {
-                entries.push(Entry {
-                    shard: s as u32,
-                    record,
-                });
-            }
-        }
-        let mut list = SortList {
-            external_keys,
-            local_keys,
-            entries,
-        };
-        let (external_keys, local_keys, local) = (&list.external_keys, &list.local_keys, &local);
-        let sort_key = |e: &Entry| -> &str {
-            if e.shard == EXTERNAL {
-                external_keys.sort_value(e.record as usize)
-            } else {
-                local_keys[e.shard as usize].sort_value(e.record as usize)
-            }
-        };
-        // Contiguous shards make (shard, local id) order the global id
-        // order, so the tie-breaks match the materialised reference
-        // (key, locals before externals, global id).
-        let global = |e: &Entry| -> (bool, usize) {
-            if e.shard == EXTERNAL {
-                (true, e.record as usize)
-            } else {
-                (false, local.offset(e.shard as usize) + e.record as usize)
-            }
-        };
-        list.entries
-            .sort_unstable_by(|a, b| sort_key(a).cmp(sort_key(b)).then(global(a).cmp(&global(b))));
-        list
-    }
-
-    /// Emit every cross-source pair whose sorted positions lie within one
-    /// window, as per-shard runs. The enumeration is **anchored on the
-    /// external entries**: for each external at sorted position `i`,
-    /// every local within `window − 1` positions on *either* side is
-    /// emitted — a pair `(external@i, local@j)` lies in some window
-    /// exactly when `|i − j| < window`, and each record occurs once in
-    /// the list, so every pair is produced exactly once with no dedup.
-    /// Anchoring keeps all pushes of one external consecutive (per
-    /// shard), so the sink coalesces them into **one explicit block per
-    /// (shard, external)** instead of degrading to one block per pair
-    /// when externals and locals alternate in key order — that is what
-    /// keeps the run-block queue smaller than the flat pair encoding
-    /// (asserted by the bench validator's `queue_bytes ≤ pair_bytes`
-    /// check).
-    fn window_pairs(&self, window: usize, out: &mut CandidateRuns) {
-        if window < 2 {
-            // `new()` clamps, but the field is public: a window of 0 or 1
-            // holds no cross-source pair (and would invert the range).
-            return;
-        }
-        for (i, a) in self.entries.iter().enumerate() {
-            if a.shard != EXTERNAL {
-                continue;
-            }
-            let before = i.saturating_sub(window - 1);
-            let after = (i + window).min(self.entries.len());
-            for b in self.entries[before..i]
-                .iter()
-                .chain(&self.entries[i + 1..after])
-            {
-                if b.shard != EXTERNAL {
-                    out.push(b.shard as usize, a.record as usize, b.record as usize);
-                }
-            }
         }
     }
 }
@@ -181,8 +77,7 @@ impl Blocker for SortedNeighborhoodBlocker {
     }
 
     /// The shard-aware materialising adapter: the streamed per-shard
-    /// runs are offset back to global ids and index-sorted, reproducing
-    /// the legacy globally sorted output byte for byte.
+    /// runs are offset back to global ids and index-sorted.
     fn candidate_pairs_sharded(
         &self,
         external: &RecordStore,
@@ -195,22 +90,97 @@ impl Blocker for SortedNeighborhoodBlocker {
         pairs
     }
 
-    /// Native streaming. The sliding window must run over the
-    /// **globally** sorted list (windows cross shard boundaries), so the
-    /// per-shard sort keys — all served by cached store-level
-    /// [`KeyIndex`]es, extracted once per shard with one
-    /// [`KeySide`](super::KeySide) resolved against the shared schema —
-    /// are merged into one sorted list before windowing; the window
-    /// pairs are then emitted straight into the per-shard runs. The
-    /// candidate set is byte-identical to the single-store run.
+    /// Native streaming. Per external record: two binary searches per
+    /// shard locate its insertion position in every shard's cached
+    /// [`KeyIndex::value_sorted`] ladder, then two k-way cursor walks
+    /// emit the `window − 1` globally-nearest locals below and above —
+    /// `O(shards · (log n + window))` per external, with all sort
+    /// values served as arena borrows (no per-record `String`). Each
+    /// external's pushes are consecutive per shard, so the sink
+    /// coalesces them into one explicit block per (shard, external).
     fn stream_candidates(
         &self,
         external: &RecordStore,
         local: LocalShards<'_>,
         out: &mut CandidateRuns,
     ) {
-        out.reset(local.shard_count());
-        SortList::build(&self.key, external, local).window_pairs(self.window, out);
+        let shard_count = local.shard_count();
+        out.reset(shard_count);
+        if self.window < 2 || external.is_empty() || local.is_empty() {
+            // `new()` clamps, but the field is public: a window of 0 or
+            // 1 holds no cross-source pair (and would invert the walk).
+            return;
+        }
+        let reach = self.window - 1;
+        let external_keys = external.key_index(&self.key.external_side(external));
+        let local_side = self.key.local_side_of(local.schema());
+        let local_keys: Vec<Arc<KeyIndex>> = local
+            .shards()
+            .iter()
+            .map(|shard| shard.key_index(&local_side))
+            .collect();
+        let ladders: Vec<&[u32]> = local_keys.iter().map(|keys| keys.value_sorted()).collect();
+        // One below-cursor and one above-cursor per shard, reused
+        // across externals.
+        let mut below = vec![0usize; shard_count];
+        let mut above = vec![0usize; shard_count];
+        for e in 0..external.len() {
+            let value = external_keys.sort_value(e);
+            for s in 0..shard_count {
+                below[s] =
+                    ladders[s].partition_point(|&r| local_keys[s].sort_value(r as usize) <= value);
+                above[s] = below[s];
+            }
+            // Walk downward: at each step take the globally largest
+            // (sort value, global id) among the per-shard candidates
+            // just below the cursors.
+            for _ in 0..reach {
+                let mut best: Option<(usize, &str, usize)> = None;
+                for s in 0..shard_count {
+                    if below[s] == 0 {
+                        continue;
+                    }
+                    let record = ladders[s][below[s] - 1] as usize;
+                    let sort_value = local_keys[s].sort_value(record);
+                    let global = local.offset(s) + record;
+                    if best.is_none_or(|(_, bv, bg)| (sort_value, global) > (bv, bg)) {
+                        best = Some((s, sort_value, global));
+                    }
+                }
+                let Some((s, _, _)) = best else { break };
+                below[s] -= 1;
+                out.push(s, e, ladders[s][below[s]] as usize);
+            }
+            // Walk upward: globally smallest candidate at or after the
+            // insertion position. The two walks cover disjoint ladder
+            // positions, so no pair is emitted twice.
+            for _ in 0..reach {
+                let mut best: Option<(usize, &str, usize)> = None;
+                for s in 0..shard_count {
+                    if above[s] >= ladders[s].len() {
+                        continue;
+                    }
+                    let record = ladders[s][above[s]] as usize;
+                    let sort_value = local_keys[s].sort_value(record);
+                    let global = local.offset(s) + record;
+                    if best.is_none_or(|(_, bv, bg)| (sort_value, global) < (bv, bg)) {
+                        best = Some((s, sort_value, global));
+                    }
+                }
+                let Some((s, _, _)) = best else { break };
+                out.push(s, e, ladders[s][above[s]] as usize);
+                above[s] += 1;
+            }
+        }
+    }
+
+    /// Build each shard's key index **and** its sort ladder (the two
+    /// local-side artifacts the window walk reads).
+    fn warm(&self, local: LocalShards<'_>) {
+        let local_side = self.key.local_side_of(local.schema());
+        for shard in local.shards() {
+            shard.key_index(&local_side).value_sorted();
+        }
     }
 }
 
@@ -302,9 +272,8 @@ mod tests {
 
     #[test]
     fn no_duplicate_pairs() {
-        // Each unordered position pair within the window distance is
-        // enumerated exactly once, so the emitted list must already be
-        // duplicate-free (the old implementation needed a HashSet here).
+        // The below/above walks cover disjoint ladder positions, so the
+        // emitted list must already be duplicate-free.
         let (external, local) = small_stores();
         for window in 2..8 {
             let pairs =
@@ -316,11 +285,43 @@ mod tests {
         }
     }
 
+    /// The streamed candidates match a naive per-external reference:
+    /// insert the external into the (sort value, id)-ordered local
+    /// list, take `window − 1` on each side.
+    #[test]
+    fn pairs_match_the_per_external_reference() {
+        let (external, local) = small_stores();
+        let side_e = key().external_side(&external);
+        let side_l = key().local_side_of(local.interner());
+        for window in [2, 3, 5, 40] {
+            let mut expected: Vec<CandidatePair> = Vec::new();
+            let mut ladder: Vec<(String, usize)> = (0..local.len())
+                .map(|l| (side_l.sort_value(&local, l), l))
+                .collect();
+            ladder.sort();
+            for e in 0..external.len() {
+                let value = side_e.sort_value(&external, e);
+                let position = ladder.partition_point(|(v, _)| *v <= value);
+                for (_, l) in &ladder[position.saturating_sub(window - 1)..position] {
+                    expected.push((e, *l));
+                }
+                for (_, l) in ladder[position..].iter().take(window - 1) {
+                    expected.push((e, *l));
+                }
+            }
+            expected.sort_unstable();
+            expected.dedup();
+            let pairs =
+                SortedNeighborhoodBlocker::new(key(), window).candidate_pairs(&external, &local);
+            assert_eq!(pairs, expected, "window {window}");
+        }
+    }
+
     #[test]
     fn sharded_candidates_equal_single_store() {
-        // The override sorts globally across shard boundaries, so the
-        // sharded set must be byte-identical to the single-store set
-        // even for windows that straddle two shards.
+        // The walk merges per-shard ladders by (sort value, global id),
+        // so the sharded set must be byte-identical to the single-store
+        // set even for windows that straddle two shards.
         let (external_records, local_records) = {
             let external: Vec<_> = (0..12)
                 .map(|i| ext_record(i, &format!("PN-{:03}", i * 3)))
@@ -341,6 +342,49 @@ mod tests {
                 let sharded = blocker.candidate_pairs_sharded(&external, &sharded_store);
                 assert_eq!(sharded, single, "window {window}, {shard_count} shards");
             }
+        }
+    }
+
+    /// Regression for the 1-record-external edge: a singleton external
+    /// must window against **every** shard's ladder, across the full
+    /// sweep of degenerate window sizes — 1 (no pairs), larger than
+    /// the whole catalog (every local), and everything between.
+    #[test]
+    fn singleton_external_windows_against_every_shard() {
+        let local_records: Vec<_> = (0..9)
+            .map(|i| loc_record(i, &format!("PN-{:03}", i * 2)))
+            .collect();
+        let external = crate::store::RecordStore::from_records(&[ext_record(0, "PN-009")]);
+        for shard_count in [1, 3, 9, 12] {
+            let sharded = crate::shard::ShardedStore::from_records(&local_records, shard_count);
+            // Window 1 (set through the public field): no pairs.
+            let degenerate = SortedNeighborhoodBlocker {
+                key: key(),
+                window: 1,
+            };
+            assert!(
+                degenerate
+                    .candidate_pairs_sharded(&external, &sharded)
+                    .is_empty(),
+                "{shard_count} shards, window 1"
+            );
+            // Window larger than the catalog: every local, from every
+            // shard, exactly once.
+            let all = SortedNeighborhoodBlocker::new(key(), local_records.len() + 5);
+            let pairs = all.candidate_pairs_sharded(&external, &sharded);
+            let expected: Vec<CandidatePair> = (0..local_records.len()).map(|l| (0, l)).collect();
+            assert_eq!(pairs, expected, "{shard_count} shards, full window");
+            // An intermediate window takes the nearest locals on both
+            // sides of the external's sort position. "PN-009" inserts
+            // after PN-000..PN-008 (locals 0..=4) and before
+            // PN-010..PN-016 (locals 5..=8).
+            let nearest = SortedNeighborhoodBlocker::new(key(), 3);
+            let pairs = nearest.candidate_pairs_sharded(&external, &sharded);
+            assert_eq!(
+                pairs,
+                vec![(0, 3), (0, 4), (0, 5), (0, 6)],
+                "{shard_count} shards, window 3"
+            );
         }
     }
 }

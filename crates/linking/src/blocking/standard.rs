@@ -96,6 +96,15 @@ impl Blocker for StandardBlocker {
             }
         }
     }
+
+    /// Build each shard's key index (the only local-side artifact
+    /// standard blocking reads).
+    fn warm(&self, local: LocalShards<'_>) {
+        let local_side = self.key.local_side_of(local.schema());
+        for shard in local.shards() {
+            shard.key_index(&local_side);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -283,6 +283,42 @@ impl LeftHoist<'_> {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Empty the hoist and release its borrow of the external store,
+    /// **keeping the buffers' capacity**. The serving layer parks a
+    /// `LeftHoist<'static>` in its per-caller scratch between probes and
+    /// re-borrows it for each call, so a warm probe never re-allocates
+    /// the hoist. Sound because every element is removed first: an empty
+    /// `Vec<ValueList<'a>>` holds no `'a` data, only capacity.
+    pub fn recycle<'b>(mut self) -> LeftHoist<'b> {
+        self.token_offsets.clear();
+        LeftHoist {
+            left: 0,
+            lists: recycle_vec(self.lists),
+            tokens: recycle_vec(self.tokens),
+            token_offsets: self.token_offsets,
+        }
+    }
+}
+
+/// Convert an emptied `Vec<A>` into a `Vec<B>` of the same capacity
+/// without reallocating. `A` and `B` must be layout-identical (asserted)
+/// — in practice two instantiations of one generic type differing only
+/// in lifetime.
+fn recycle_vec<A, B>(mut v: Vec<A>) -> Vec<B> {
+    const {
+        assert!(std::mem::size_of::<A>() == std::mem::size_of::<B>());
+        assert!(std::mem::align_of::<A>() == std::mem::align_of::<B>());
+    }
+    v.clear();
+    let mut v = std::mem::ManuallyDrop::new(v);
+    let (ptr, capacity) = (v.as_mut_ptr(), v.capacity());
+    // SAFETY: the vector is empty, so no `A` value is ever read as `B`;
+    // size and alignment match (checked at compile time), so the
+    // allocation's layout for `capacity` elements is identical under
+    // either type; `ManuallyDrop` transfers sole ownership of the
+    // buffer to the new vector.
+    unsafe { Vec::from_raw_parts(ptr.cast::<B>(), 0, capacity) }
 }
 
 impl CompiledComparator<'_> {

@@ -43,6 +43,10 @@
 //! * [`pipeline`] — blocking → comparison → links, with comparison
 //!   accounting; the comparison phase runs serially, or on a
 //!   work-stealing block scheduler over one store or over all shards.
+//! * [`serve`] — link-as-a-service: a pre-warmed [`serve::Linker`]
+//!   handle answering single-record probes through the batch code path
+//!   (bit-identical links), over a catalog swapped atomically by epoch
+//!   so updates never block in-flight probes.
 //!
 //! ## Quick example
 //!
@@ -74,6 +78,7 @@ pub mod index;
 pub mod intern;
 pub mod pipeline;
 pub mod record;
+pub mod serve;
 pub mod shard;
 pub mod similarity;
 pub mod store;
@@ -91,6 +96,7 @@ pub use index::InvertedIndex;
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
+pub use serve::{CatalogEpoch, Linker, LinkerCatalog, ProbeHits, ProbeScratch};
 pub use shard::{LocalShards, ShardedStore, ShardedStoreBuilder};
 pub use similarity::{SimScratch, SimilarityMeasure};
 pub use store::{RecordStore, RecordStoreBuilder, ValueList};

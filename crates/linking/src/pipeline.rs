@@ -83,8 +83,10 @@ impl LinkageResult {
 }
 
 /// A scored candidate, still as store indexes (terms are materialised
-/// only for pairs that survive thresholding).
-type ScoredPair = (usize, usize, f64);
+/// only for pairs that survive thresholding). Crate-visible: the
+/// serving layer ([`crate::serve`]) buckets its probe scores into the
+/// same shape before materialising.
+pub(crate) type ScoredPair = (usize, usize, f64);
 
 /// A blocking strategy plus a record comparator, with optional multi-threaded
 /// comparison.
@@ -259,7 +261,12 @@ const STEAL_BLOCK: u64 = 1024;
 /// workers claim by **comparison count** (an atomic cursor over
 /// `0..total`) rather than by block — a single giant cartesian span
 /// still splits across steals and load-balances.
-struct TaskQueue<'a> {
+///
+/// Crate-visible: the serving layer ([`crate::serve`]) scores its
+/// single-probe candidate runs through the **same** queue + range code
+/// path as the batch pipeline, which is what makes probe results
+/// bit-identical to batch results by construction.
+pub(crate) struct TaskQueue<'a> {
     store: &'a RecordStore,
     /// Global id of the store's record 0 (0 for a monolithic store).
     base: usize,
@@ -293,12 +300,27 @@ impl<'a> TaskQueue<'a> {
     /// block's external id and local-run bounds are checked once here
     /// (the explicit arena via the sink's tracked maximum), not once
     /// per candidate.
-    fn new(
+    pub(crate) fn new(
         store: &'a RecordStore,
         base: usize,
         runs: &'a CandidateRuns,
         shard: usize,
         external_len: usize,
+    ) -> Self {
+        Self::with_prefix(store, base, runs, shard, external_len, Vec::new())
+    }
+
+    /// [`TaskQueue::new`], but refilling a caller-provided prefix buffer
+    /// instead of allocating one — recover it with [`Self::into_prefix`]
+    /// after scoring. This is what keeps warm serving-layer probes
+    /// allocation-free: the probe scratch owns the buffer across calls.
+    pub(crate) fn with_prefix(
+        store: &'a RecordStore,
+        base: usize,
+        runs: &'a CandidateRuns,
+        shard: usize,
+        external_len: usize,
+        mut prefix: Vec<u64>,
     ) -> Self {
         let blocks = runs.blocks(shard);
         let locals = runs.shard_locals(shard);
@@ -306,7 +328,8 @@ impl<'a> TaskQueue<'a> {
             .shard_key_table(shard)
             .map(|index| index.sorted_records())
             .unwrap_or(&[]);
-        let mut prefix = Vec::with_capacity(blocks.len() + 1);
+        prefix.clear();
+        prefix.reserve(blocks.len() + 1);
         prefix.push(0u64);
         let mut valid =
             locals.is_empty() || (runs.shard_explicit_max(shard) as usize) < store.len();
@@ -332,6 +355,18 @@ impl<'a> TaskQueue<'a> {
             valid,
             next: AtomicU64::new(0),
         }
+    }
+
+    /// Total comparisons queued (the end of the range
+    /// [`score_range`] accepts).
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Recover the prefix buffer passed to [`Self::with_prefix`] so the
+    /// caller can reuse its capacity for the next queue.
+    pub(crate) fn into_prefix(self) -> Vec<u64> {
+        self.prefix
     }
 
     /// Decode one block's local run from the queue's borrowed arenas.
@@ -421,7 +456,7 @@ fn score_stealing(
 /// the detail-free [`CompiledComparator::score_hoisted`] path: the only
 /// allocations are the (amortised) pushes of surviving pairs.
 #[allow(clippy::too_many_arguments)]
-fn score_range<'e>(
+pub(crate) fn score_range<'e>(
     compiled: &CompiledComparator<'_>,
     queue: &TaskQueue<'_>,
     range: std::ops::Range<u64>,

@@ -1,0 +1,366 @@
+//! Link-as-a-service: the epoch-swapped single-record probe path.
+//!
+//! The batch pipeline ([`crate::pipeline`]) answers "link these two
+//! datasets"; a serving deployment asks the transposed question — "one
+//! record just arrived, what does it link to in the catalog *right
+//! now*?" — thousands of times per second, while the catalog itself is
+//! periodically republished. [`Linker`] packages the batch machinery
+//! for that shape without forking any of it:
+//!
+//! * **Pre-warmed epochs.** A published catalog is a [`CatalogEpoch`]:
+//!   the [`ShardedStore`] with every blocker-side artifact built
+//!   eagerly (key indexes, sort ladders, bigram postings and threshold
+//!   layouts via [`Blocker::warm`]; token indexes when the comparator's
+//!   kernels read them) and the comparator compiled once
+//!   ([`RecordComparator::compile_schemas`]). No probe ever pays a
+//!   first-call index build.
+//! * **Atomic epoch swap.** Epochs are published as `Arc`s behind a
+//!   [`RwLock`] ([`LinkerCatalog`]): [`Linker::swap`] builds and warms
+//!   the new epoch *outside* the lock, then flips the pointer. In-flight
+//!   probes keep the `Arc` of the epoch they started on, so a probe is
+//!   never torn across a swap and a swap never waits for probes.
+//! * **The batch code path, verbatim.** A probe wraps the record in a
+//!   one-record external store (refilled **in place**, see
+//!   [`RecordStore`] internals), streams the epoch's blockers into the
+//!   caller's [`CandidateRuns`] sink, and scores through the *same*
+//!   [`TaskQueue`](crate::pipeline) + `score_range` code the batch
+//!   pipeline runs — which is what makes probe scores bit-identical to
+//!   `run_sharded` by construction
+//!   (`crates/linking/tests/probe_equivalence.rs` pins it).
+//! * **Allocation-free warm probes.** All per-probe state lives in a
+//!   caller-owned [`ProbeScratch`] (probe store, sink, similarity
+//!   scratch, recycled [`LeftHoist`], result buffers); a warm
+//!   [`Linker::probe_with`] performs zero heap allocations until links
+//!   materialise their [`Term`](classilink_rdf::Term)s
+//!   (`crates/linking/tests/zero_alloc.rs` pins it).
+
+use crate::blocking::{Blocker, CandidateRuns};
+use crate::comparator::{CompiledComparator, LeftHoist, RecordComparator};
+use crate::intern::{PropertyId, SchemaInterner};
+use crate::pipeline::{score_range, Link, ScoredPair, TaskQueue};
+use crate::record::Record;
+use crate::shard::ShardedStore;
+use crate::similarity::SimScratch;
+use crate::store::RecordStore;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One published catalog generation: the sharded store with every
+/// blocker/comparator artifact pre-built, plus the comparator compiled
+/// against it. Immutable once published; probes hold the epoch they
+/// started on via `Arc`, so replacing the catalog never invalidates a
+/// probe in flight.
+#[derive(Debug)]
+pub struct CatalogEpoch<'a> {
+    /// Monotonic publication number (the initial epoch is 1).
+    sequence: u64,
+    /// The catalog this epoch serves.
+    store: ShardedStore,
+    /// The comparator, compiled against (probe schema, catalog schema).
+    compiled: CompiledComparator<'a>,
+}
+
+impl CatalogEpoch<'_> {
+    /// Monotonic publication number of this epoch (the initial epoch,
+    /// published by [`Linker::new`], is 1).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    /// The catalog this epoch serves.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+}
+
+/// The atomically-swapped epoch slot of a [`Linker`].
+///
+/// Readers take the read lock only long enough to clone the `Arc`;
+/// writers swap the pointer under the write lock after the (expensive)
+/// epoch build has already happened outside it. Neither side ever holds
+/// the lock across blocking or scoring work.
+#[derive(Debug)]
+pub struct LinkerCatalog<'a> {
+    current: RwLock<Arc<CatalogEpoch<'a>>>,
+}
+
+impl<'a> LinkerCatalog<'a> {
+    /// The currently-published epoch (an `Arc` clone; the caller keeps
+    /// this one consistent epoch for as long as it holds the handle,
+    /// regardless of concurrent swaps).
+    pub fn load(&self) -> Arc<CatalogEpoch<'a>> {
+        self.current
+            .read()
+            .expect("linker catalog poisoned")
+            .clone()
+    }
+
+    /// Publish `epoch` as the next generation, assigning its sequence
+    /// number under the write lock (so sequences are strictly
+    /// monotonic even under concurrent swappers).
+    fn publish(&self, mut epoch: CatalogEpoch<'a>) -> u64 {
+        let mut current = self.current.write().expect("linker catalog poisoned");
+        let sequence = current.sequence + 1;
+        epoch.sequence = sequence;
+        *current = Arc::new(epoch);
+        sequence
+    }
+}
+
+/// Distinguishes linkers, so a [`ProbeScratch`] can detect that it was
+/// last used with a different linker (whose probe schema its reusable
+/// probe store was built on) and rebuild instead of corrupting ids.
+static NEXT_LINKER_TAG: AtomicU64 = AtomicU64::new(1);
+
+/// A pre-warmed linking service handle: one blocker + comparator over an
+/// atomically-swappable catalog, answering single-record
+/// [`probe`](Linker::probe)s with exactly the links the batch pipeline
+/// would report for that record.
+///
+/// The handle itself is `Sync`: any number of threads may probe (each
+/// with its own [`ProbeScratch`], or through the thread-local
+/// convenience [`probe`](Linker::probe)) while another thread
+/// [`swap`](Linker::swap)s in rebuilt catalogs.
+pub struct Linker<'a> {
+    blocker: &'a (dyn Blocker + Sync),
+    comparator: &'a RecordComparator,
+    /// The shared schema probe stores intern into. Rule left-properties
+    /// are interned at construction, **before** the first compile, and
+    /// the interner is append-only — so the compiled left-side ids stay
+    /// valid for every probe store and every epoch.
+    probe_schema: SchemaInterner,
+    /// This linker's identity (see [`NEXT_LINKER_TAG`]).
+    tag: u64,
+    catalog: LinkerCatalog<'a>,
+}
+
+impl<'a> Linker<'a> {
+    /// Build a serving handle over `catalog`, eagerly warming every
+    /// artifact a probe will read (blocker indexes via
+    /// [`Blocker::warm`], token indexes when the comparator needs them)
+    /// and publishing the result as epoch 1.
+    pub fn new(
+        blocker: &'a (dyn Blocker + Sync),
+        comparator: &'a RecordComparator,
+        catalog: ShardedStore,
+    ) -> Self {
+        let probe_schema = SchemaInterner::new();
+        for rule in &comparator.rules {
+            probe_schema.intern(&rule.left_property);
+        }
+        let epoch = build_epoch(blocker, comparator, &probe_schema, catalog, 1);
+        Linker {
+            blocker,
+            comparator,
+            probe_schema,
+            tag: NEXT_LINKER_TAG.fetch_add(1, Ordering::Relaxed),
+            catalog: LinkerCatalog {
+                current: RwLock::new(Arc::new(epoch)),
+            },
+        }
+    }
+
+    /// The epoch slot (for callers that want to pin one epoch across
+    /// several probes, or to read the published sequence number).
+    pub fn catalog(&self) -> &LinkerCatalog<'a> {
+        &self.catalog
+    }
+
+    /// Replace the served catalog: build and warm the new epoch (the
+    /// expensive part, outside any lock), then swap it in atomically.
+    /// In-flight probes finish on the epoch they started with; probes
+    /// beginning after `swap` returns see the new catalog. Returns the
+    /// new epoch's sequence number.
+    pub fn swap(&self, catalog: ShardedStore) -> u64 {
+        // The sequence is provisional here; `publish` assigns the real
+        // one under the write lock.
+        let epoch = build_epoch(
+            self.blocker,
+            self.comparator,
+            &self.probe_schema,
+            catalog,
+            0,
+        );
+        self.catalog.publish(epoch)
+    }
+
+    /// Probe with a caller-owned scratch — the allocation-free path: a
+    /// **warm** call (same scratch, same linker, no new probe-side
+    /// property) performs zero heap allocations up to the `Term` clones
+    /// of the links it returns. The returned [`ProbeHits`] borrows the
+    /// scratch and is valid until its next use.
+    pub fn probe_with<'s>(&self, record: &Record, scratch: &'s mut ProbeScratch) -> &'s ProbeHits {
+        if scratch.tag != self.tag {
+            // First use with this linker (or the scratch migrated from
+            // another): the probe store must intern into *this*
+            // linker's schema.
+            scratch.store = RecordStore::builder_with_schema(self.probe_schema.clone()).build();
+            scratch.sorted_properties.clear();
+            scratch.tag = self.tag;
+        }
+        scratch
+            .store
+            .refill_single(&self.probe_schema, record, &mut scratch.sorted_properties);
+        // One consistent epoch end-to-end: blocking, scoring and link
+        // materialisation all read this Arc, regardless of swaps.
+        let epoch = self.catalog.load();
+        let store = epoch.store();
+        self.blocker
+            .stream_candidates(&scratch.store, store.into(), &mut scratch.runs);
+        scratch.matches.clear();
+        scratch.possible.clear();
+        let mut hoist = std::mem::take(&mut scratch.hoist).recycle();
+        for shard in 0..store.shard_count() {
+            // The batch scheduler's queue + range scorer, over the full
+            // range of each shard's streamed blocks — the same
+            // validation, decoding, hoisting and scoring code the batch
+            // pipeline runs, hence bit-identical scores.
+            let queue = TaskQueue::with_prefix(
+                store.shard(shard),
+                store.offset(shard),
+                &scratch.runs,
+                shard,
+                scratch.store.len(),
+                std::mem::take(&mut scratch.prefix),
+            );
+            score_range(
+                &epoch.compiled,
+                &queue,
+                0..queue.total(),
+                &scratch.store,
+                &mut scratch.sim,
+                &mut hoist,
+                &mut scratch.matches,
+                &mut scratch.possible,
+            );
+            scratch.prefix = queue.into_prefix();
+        }
+        scratch.hoist = hoist.recycle();
+        // Shards stream in order but a shard's blocks follow emission
+        // order; global-id sorting makes the output canonical (the
+        // batch pipeline sorts the same way).
+        scratch.matches.sort_unstable_by_key(|pair| pair.1);
+        scratch.possible.sort_unstable_by_key(|pair| pair.1);
+        scratch.hits.epoch = epoch.sequence;
+        scratch.hits.comparisons = scratch.runs.total();
+        materialise_into(
+            &mut scratch.hits.matches,
+            &scratch.matches,
+            &scratch.store,
+            store,
+        );
+        materialise_into(
+            &mut scratch.hits.possible,
+            &scratch.possible,
+            &scratch.store,
+            store,
+        );
+        &scratch.hits
+    }
+
+    /// Probe with a per-thread scratch: the links of `record` against
+    /// the current epoch, sorted by global catalog id. Convenience over
+    /// [`probe_with`](Self::probe_with) (which also exposes possible
+    /// matches, the comparison count and the serving epoch).
+    pub fn probe(&self, record: &Record) -> Vec<Link> {
+        thread_local! {
+            static SCRATCH: RefCell<ProbeScratch> = RefCell::new(ProbeScratch::new());
+        }
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            self.probe_with(record, &mut scratch).matches.clone()
+        })
+    }
+}
+
+/// Compile, warm and assemble one epoch (shared by [`Linker::new`] and
+/// [`Linker::swap`]; always outside the catalog lock).
+fn build_epoch<'a>(
+    blocker: &(dyn Blocker + Sync),
+    comparator: &'a RecordComparator,
+    probe_schema: &SchemaInterner,
+    store: ShardedStore,
+    sequence: u64,
+) -> CatalogEpoch<'a> {
+    let compiled = comparator.compile_schemas(&probe_schema.snapshot(), store.schema());
+    if compiled.uses_token_index() {
+        for shard in store.shards() {
+            shard.token_index();
+        }
+    }
+    blocker.warm((&store).into());
+    CatalogEpoch {
+        sequence,
+        store,
+        compiled,
+    }
+}
+
+/// The result of one probe, owned by the [`ProbeScratch`] it was
+/// produced into (buffers are reused across probes).
+#[derive(Debug, Default)]
+pub struct ProbeHits {
+    /// Links decided as matches, sorted by global catalog id.
+    pub matches: Vec<Link>,
+    /// Links decided as possible matches, sorted by global catalog id.
+    pub possible: Vec<Link>,
+    /// Candidate pairs scored for this probe.
+    pub comparisons: u64,
+    /// Sequence number of the [`CatalogEpoch`] that served the probe.
+    pub epoch: u64,
+}
+
+/// A caller-owned probe workspace: the one-record probe store, the
+/// candidate sink, the similarity scratch, the recycled left hoist and
+/// the result buffers. Every buffer retains its capacity across probes,
+/// which is what makes warm [`Linker::probe_with`] calls
+/// allocation-free. One scratch serves one thread; make one per worker.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// The linker this scratch was last used with (0 = never used).
+    tag: u64,
+    /// The reusable one-record external store.
+    store: RecordStore,
+    /// IRI-sorted probe-schema ids (the refill scratch).
+    sorted_properties: Vec<PropertyId>,
+    /// The streaming blocking sink.
+    runs: CandidateRuns,
+    /// Similarity kernel scratch.
+    sim: SimScratch,
+    /// The recycled left-side hoist (parked with an erased lifetime
+    /// between probes; see [`LeftHoist::recycle`]).
+    hoist: LeftHoist<'static>,
+    /// The task queues' comparison-count prefix buffer (recovered from
+    /// each shard's queue after scoring; see [`TaskQueue::with_prefix`]).
+    prefix: Vec<u64>,
+    /// Scored matches as `(0, global id, score)`, pre-materialisation.
+    matches: Vec<ScoredPair>,
+    /// Scored possible matches, pre-materialisation.
+    possible: Vec<ScoredPair>,
+    /// The materialised result the caller reads.
+    hits: ProbeHits,
+}
+
+impl ProbeScratch {
+    /// A fresh scratch; the first probe sizes every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Clear-and-refill link materialisation: `out` keeps its capacity, so
+/// a warm probe's only allocations are the `Term` clones of each link.
+fn materialise_into(
+    out: &mut Vec<Link>,
+    pairs: &[ScoredPair],
+    probe: &RecordStore,
+    catalog: &ShardedStore,
+) {
+    out.clear();
+    out.extend(pairs.iter().map(|&(e, l, score)| Link {
+        external: probe.id(e).clone(),
+        local: catalog.id(l).clone(),
+        score,
+    }));
+}

@@ -341,6 +341,136 @@ impl RecordStore {
     pub fn to_records(&self) -> Vec<Record> {
         (0..self.len()).map(|i| self.record(i)).collect()
     }
+
+    /// Replace this store's contents **in place** with one record — the
+    /// serving layer's probe store. Every arena (`ids`, columns,
+    /// `full_text`) is cleared and refilled retaining its capacity, and
+    /// every cached [`KeyIndex`] is rebuilt in place, so a warm refill
+    /// performs no allocation. `schema` must be the shared
+    /// [`SchemaInterner`] this store was built on; properties the record
+    /// introduces are interned into it (append-only, so ids compiled
+    /// against it elsewhere stay valid). `sorted_properties` is a
+    /// caller-owned scratch holding the schema's ids in IRI order; it is
+    /// re-derived only when the schema grows.
+    ///
+    /// Two deliberate departures from a frozen store: `index_of` always
+    /// misses (the id→index map is kept empty to avoid a per-refill
+    /// [`Term`] clone), and the token-index caches are discarded rather
+    /// than rebuilt (set-measure kernels re-tokenise the single record
+    /// lazily).
+    pub(crate) fn refill_single(
+        &mut self,
+        schema: &SchemaInterner,
+        record: &Record,
+        sorted_properties: &mut Vec<PropertyId>,
+    ) {
+        fn offset(n: usize) -> u32 {
+            u32::try_from(n).expect("record exceeds u32::MAX bytes/values")
+        }
+        for property in record.attributes.keys() {
+            schema.intern(property);
+        }
+        if self.interner.len() != schema.len() || sorted_properties.len() != self.interner.len() {
+            // Cold path: first refill, or the record introduced a new
+            // property. Re-snapshot and re-derive the IRI-sorted order;
+            // warm refills skip both.
+            if self.interner.len() != schema.len() {
+                self.interner = Arc::new(schema.snapshot());
+            }
+            sorted_properties.clear();
+            sorted_properties.extend(self.interner.iter().map(|(id, _)| id));
+            let interner = &self.interner;
+            sorted_properties.sort_by(|a, b| interner.resolve(*a).cmp(interner.resolve(*b)));
+        }
+
+        if self.ids.len() == 1 {
+            assign_term(&mut self.ids[0], &record.id);
+        } else {
+            self.ids.clear();
+            self.ids.push(record.id.clone());
+        }
+        self.id_index.clear();
+
+        for column in &mut self.columns {
+            column.text.clear();
+            column.bounds.clear();
+            column.bounds.push(0);
+            column.offsets.clear();
+            column.offsets.push(0);
+        }
+        for (property, values) in &record.attributes {
+            let pid = self
+                .interner
+                .get(property)
+                .expect("probe property interned above");
+            while self.columns.len() <= pid.index() {
+                // First sight of this property on the probe side: grow
+                // the column table. Later refills reuse the slot.
+                let mut column = Column::default();
+                column.bounds.push(0);
+                column.offsets.push(0);
+                self.columns.push(column);
+            }
+            let column = &mut self.columns[pid.index()];
+            for value in values {
+                column.text.push_str(value);
+                column.bounds.push(offset(column.text.len()));
+            }
+        }
+        for column in &mut self.columns {
+            column.offsets.push(offset(column.bounds.len() - 1));
+        }
+
+        // Full text joins the record's values in sorted property order,
+        // mirroring `RecordStoreBuilder::finish`.
+        self.full_text.clear();
+        self.full_text_bounds.clear();
+        self.full_text_bounds.push(0);
+        let mut first = true;
+        for &pid in sorted_properties.iter() {
+            let Some(column) = self.columns.get(pid.index()) else {
+                continue;
+            };
+            for value_index in column.range(0) {
+                if !first {
+                    self.full_text.push(' ');
+                }
+                first = false;
+                self.full_text.push_str(column.value(value_index));
+            }
+        }
+        self.full_text_bounds.push(offset(self.full_text.len()));
+
+        let _ = self.token_index.take();
+        let _ = self.full_token_index.take();
+
+        // Rebuild every cached key index in place against the new
+        // contents. `Arc::get_mut` succeeds on the warm path (blockers
+        // drop their external-side handle when streaming returns); a
+        // handle held across refills forces a fresh build instead.
+        let mut key_indexes =
+            std::mem::take(&mut *self.key_indexes.lock().expect("key index cache poisoned"));
+        for (recipe, index) in key_indexes.iter_mut() {
+            let side = KeySide::from_recipe(*recipe);
+            match Arc::get_mut(index) {
+                Some(index) => index.rebuild(self, &side),
+                None => *index = Arc::new(KeyIndex::build(self, &side)),
+            }
+        }
+        *self.key_indexes.lock().expect("key index cache poisoned") = key_indexes;
+    }
+}
+
+/// Overwrite `dest` with `src`, reusing `dest`'s string allocation when
+/// both are the same simple variant (the warm-probe common case).
+fn assign_term(dest: &mut Term, src: &Term) {
+    match (dest, src) {
+        (Term::Iri(d), Term::Iri(s)) | (Term::Blank(d), Term::Blank(s)) => {
+            d.clear();
+            d.push_str(s);
+        }
+        (dest, src) => *dest = src.clone(),
+    }
 }
 
 /// Iterator over one record's values of one property.
@@ -810,6 +940,39 @@ mod tests {
         // Clones share the already-built entries.
         let clone = store.clone();
         assert!(Arc::ptr_eq(&a, &clone.key_index(&four)));
+    }
+
+    #[test]
+    fn refill_single_matches_fresh_build() {
+        use crate::blocking::BlockingKey;
+        let schema = SchemaInterner::new();
+        let mut store = RecordStore::builder_with_schema(schema.clone()).build();
+        let mut sorted = Vec::new();
+        let key = BlockingKey::shared(PN, 4);
+        let mut extra = Record::new(Term::iri("http://e.org/p4"));
+        extra.add("http://e.org/v#zz", "late").add(PN, "X1");
+        let mut probes = sample_records();
+        probes.push(extra);
+        for record in &probes {
+            store.refill_single(&schema, record, &mut sorted);
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.id(0), &record.id);
+            assert_eq!(store.full_text(0), record.full_text());
+            assert_eq!(store.to_records(), vec![record.clone()]);
+            // The probe store deliberately never serves index_of.
+            assert_eq!(store.index_of(&record.id), None);
+            // Cached key indexes are rebuilt against the new contents.
+            let side = key.external_side(&store);
+            assert_eq!(store.key_index(&side).key(0), side.key(&store, 0));
+        }
+        // A handle held across refills forces a fresh index instead of
+        // an in-place rebuild — contents must still agree.
+        let side = key.external_side(&store);
+        let held = store.key_index(&side);
+        store.refill_single(&schema, &probes[0], &mut sorted);
+        let side = key.external_side(&store);
+        assert_eq!(held.key(0), "x1");
+        assert_eq!(store.key_index(&side).key(0), "crcw");
     }
 
     #[test]

@@ -423,6 +423,9 @@ pub struct KeyIndex {
     key_ends: Vec<u32>,
     /// Record ids sorted by (truncated key, id).
     sorted: Vec<u32>,
+    /// Record ids sorted by (full sort value, id) — the sort ladder of
+    /// sorted-neighbourhood blocking, built on first use.
+    value_sorted: OnceLock<Vec<u32>>,
     /// Padded key bigrams, built on first bigram-blocking use.
     bigrams: OnceLock<KeyBigramIndex>,
 }
@@ -431,35 +434,51 @@ impl KeyIndex {
     /// Normalise every record's key once. `side` must have been resolved
     /// against `store`'s schema.
     pub(crate) fn build(store: &RecordStore, side: &KeySide) -> Self {
+        let mut index = KeyIndex::default();
+        index.rebuild(store, side);
+        index
+    }
+
+    /// Re-normalise every record of `store` into this index **in
+    /// place**, retaining every buffer's capacity. Derived artifacts
+    /// that were already built — the bigram index, the value-sorted
+    /// ladder — are rebuilt in place too (never dropped back to cold),
+    /// so a warm index over a store whose contents were replaced (the
+    /// serving layer's one-record probe store) re-keys without heap
+    /// allocation once its buffers fit the new contents.
+    pub(crate) fn rebuild(&mut self, store: &RecordStore, side: &KeySide) {
         fn offset(n: usize) -> u32 {
             u32::try_from(n).expect("key index exceeds u32::MAX bytes")
         }
-        let mut text = String::new();
-        let mut bounds = Vec::with_capacity(store.len() + 1);
-        bounds.push(0);
-        let mut key_ends = Vec::with_capacity(store.len());
+        let bigrams = self.bigrams.take();
+        let ladder = self.value_sorted.take();
+        self.text.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+        self.key_ends.clear();
         for record in 0..store.len() {
-            let start = text.len();
+            let start = self.text.len();
             let key_len = match side.property().and_then(|p| store.first(record, p)) {
-                Some(value) => side.write_normalised(value, &mut text),
+                Some(value) => side.write_normalised(value, &mut self.text),
                 None => 0,
             };
-            key_ends.push(offset(start + key_len));
-            bounds.push(offset(text.len()));
+            self.key_ends.push(offset(start + key_len));
+            self.bounds.push(offset(self.text.len()));
         }
-        let mut index = KeyIndex {
-            text,
-            bounds,
-            key_ends,
-            sorted: (0..store.len() as u32).collect(),
-            bigrams: OnceLock::new(),
-        };
-        let (text, bounds, key_ends) = (&index.text, &index.bounds, &index.key_ends);
+        self.sorted.clear();
+        self.sorted.extend(0..store.len() as u32);
+        let (text, bounds, key_ends) = (&self.text, &self.bounds, &self.key_ends);
         let key = |r: u32| &text[bounds[r as usize] as usize..key_ends[r as usize] as usize];
-        index
-            .sorted
+        self.sorted
             .sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
-        index
+        if let Some(mut index) = bigrams {
+            index.rebuild(self);
+            let _ = self.bigrams.set(index);
+        }
+        if let Some(mut ladder) = ladder {
+            self.fill_value_sorted(&mut ladder);
+            let _ = self.value_sorted.set(ladder);
+        }
     }
 
     /// Number of records indexed.
@@ -507,6 +526,44 @@ impl KeyIndex {
     /// as slices of this table.
     pub fn sorted_records(&self) -> &[u32] {
         &self.sorted
+    }
+
+    /// Every record id ordered by (full sort value, id) — the sort
+    /// ladder sorted-neighbourhood blocking windows over. Built on
+    /// first use and cached for the index's lifetime.
+    pub fn value_sorted(&self) -> &[u32] {
+        self.value_sorted.get_or_init(|| {
+            let mut ladder = Vec::new();
+            self.fill_value_sorted(&mut ladder);
+            ladder
+        })
+    }
+
+    /// Fill `ladder` with every record id ordered by (sort value, id),
+    /// reusing its capacity (shared by the lazy build and the in-place
+    /// [`rebuild`](Self::rebuild)).
+    fn fill_value_sorted(&self, ladder: &mut Vec<u32>) {
+        ladder.clear();
+        ladder.extend(0..self.len() as u32);
+        ladder.sort_unstable_by(|&a, &b| {
+            self.sort_value(a as usize)
+                .cmp(self.sort_value(b as usize))
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// Eagerly build every artifact this index otherwise derives on
+    /// first use — the value-sorted ladder (sorted-neighbourhood
+    /// blocking), the padded key-bigram postings, and one cached
+    /// posting layout per requested bigram-blocking threshold — so a
+    /// long-lived catalog can pay the build cost when it is published
+    /// instead of on its first probe (see `crate::serve`).
+    pub fn warm(&self, thresholds: &[f64]) {
+        self.value_sorted();
+        let bigrams = self.bigram_index();
+        for &threshold in thresholds {
+            bigrams.threshold_layout(threshold);
+        }
     }
 
     /// The padded key-bigram artifacts, built on first use and cached.
@@ -574,6 +631,15 @@ pub(crate) struct KeyBigramIndex {
     min_set_len: u32,
     /// Largest per-record set size.
     max_set_len: u32,
+    /// Build scratch retained across [`rebuild`](Self::rebuild)s: the
+    /// flat (gram, record) inversion pairs.
+    scratch_pairs: Vec<(u64, u32)>,
+    /// Build scratch retained across rebuilds: the flat
+    /// (gram id, set size, record, tail) posting entries.
+    scratch_entries: Vec<(u32, u32, u32, u32)>,
+    /// Build scratch retained across rebuilds: document frequency per
+    /// distinct gram, parallel to `grams` during a build.
+    scratch_dfs: Vec<u32>,
 }
 
 /// One threshold's posting permutation: every gram's postings sorted by
@@ -639,75 +705,91 @@ pub(crate) const PREFIX_ORDER: usize = 3;
 
 impl KeyBigramIndex {
     fn build(keys: &KeyIndex) -> Self {
+        let mut index = KeyBigramIndex::default();
+        index.rebuild(keys);
+        index
+    }
+
+    /// Re-derive every posting structure from `keys` **in place**,
+    /// retaining the capacity of every array (including the two build
+    /// scratch buffers and the threshold-layout cache vector), so a
+    /// warm index whose backing [`KeyIndex`] was
+    /// [rebuilt](KeyIndex::rebuild) re-inverts without heap allocation
+    /// once its buffers fit the new contents. Cached threshold layouts
+    /// are invalidated (they describe the old postings).
+    fn rebuild(&mut self, keys: &KeyIndex) {
         fn offset(n: usize) -> u32 {
             u32::try_from(n).expect("key bigram index exceeds u32::MAX entries")
         }
-        let mut sets: Vec<u64> = Vec::new();
-        let mut set_offsets = Vec::with_capacity(keys.len() + 1);
-        set_offsets.push(0);
+        self.sets.clear();
+        self.set_offsets.clear();
+        self.set_offsets.push(0);
         for record in 0..keys.len() {
-            let start = sets.len();
+            let start = self.sets.len();
             let key = keys.key(record);
             if key.is_empty() {
                 // The padded window of an empty value is the pad pair
                 // itself — not "no grams" — matching the segmenter.
-                sets.push(pack_bigram(PAD, PAD));
+                self.sets.push(pack_bigram(PAD, PAD));
             } else {
                 let mut prev = PAD;
                 for c in key.chars() {
-                    sets.push(pack_bigram(prev, c));
+                    self.sets.push(pack_bigram(prev, c));
                     prev = c;
                 }
-                sets.push(pack_bigram(prev, PAD));
+                self.sets.push(pack_bigram(prev, PAD));
             }
-            sets[start..].sort_unstable();
+            self.sets[start..].sort_unstable();
             let deduped = {
                 let mut write = start;
-                for read in start..sets.len() {
-                    if write == start || sets[read] != sets[write - 1] {
-                        sets[write] = sets[read];
+                for read in start..self.sets.len() {
+                    if write == start || self.sets[read] != self.sets[write - 1] {
+                        self.sets[write] = self.sets[read];
                         write += 1;
                     }
                 }
                 write
             };
-            sets.truncate(deduped);
-            set_offsets.push(offset(sets.len()));
+            self.sets.truncate(deduped);
+            self.set_offsets.push(offset(self.sets.len()));
         }
 
         // Distinct grams and their document frequencies: one flat
         // (gram, record) sort, as a plain inversion would do.
-        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(sets.len());
+        self.scratch_pairs.clear();
         for record in 0..keys.len() {
-            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
-            pairs.extend(sets[range].iter().map(|&g| (g, record as u32)));
+            let range = self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize;
+            let sets = &self.sets;
+            self.scratch_pairs
+                .extend(sets[range].iter().map(|&g| (g, record as u32)));
         }
-        pairs.sort_unstable();
-        let mut grams: Vec<u64> = Vec::new();
-        let mut dfs: Vec<u32> = Vec::new();
-        for &(gram, _) in &pairs {
-            if grams.last() == Some(&gram) {
-                *dfs.last_mut().expect("df parallel to grams") += 1;
+        self.scratch_pairs.sort_unstable();
+        self.grams.clear();
+        self.scratch_dfs.clear();
+        for &(gram, _) in &self.scratch_pairs {
+            if self.grams.last() == Some(&gram) {
+                *self.scratch_dfs.last_mut().expect("df parallel to grams") += 1;
             } else {
-                grams.push(gram);
-                dfs.push(1);
+                self.grams.push(gram);
+                self.scratch_dfs.push(1);
             }
         }
-        drop(pairs);
         // Per-record df-ordered gram ids: rare grams first, equal df
         // broken by gram id (= gram value) — one total order shared by
         // every record, so prefix and positional filtering agree on it.
-        let mut df_sets: Vec<u32> = Vec::with_capacity(sets.len());
+        self.df_sets.clear();
         for record in 0..keys.len() {
-            let start = df_sets.len();
-            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
-            for &gram in &sets[range] {
-                let id = grams
-                    .binary_search(&gram)
+            let start = self.df_sets.len();
+            let range = self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize;
+            for i in range {
+                let id = self
+                    .grams
+                    .binary_search(&self.sets[i])
                     .expect("set gram missing from the gram table");
-                df_sets.push(id as u32);
+                self.df_sets.push(id as u32);
             }
-            df_sets[start..].sort_unstable_by_key(|&id| (dfs[id as usize], id));
+            let dfs = &self.scratch_dfs;
+            self.df_sets[start..].sort_unstable_by_key(|&id| (dfs[id as usize], id));
         }
         // Postings: one (gram id, set size, record, tail length) entry
         // per set element, sorted so each gram's list ascends by
@@ -715,54 +797,49 @@ impl KeyBigramIndex {
         // `partition_point` window — and carries the tail length (grams
         // from this one to the record's df-order end), which the
         // positional filter and the per-threshold layouts consume.
-        let mut entries: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(df_sets.len());
+        self.scratch_entries.clear();
         let mut min_set_len = u32::MAX;
         let mut max_set_len = 0u32;
         for record in 0..keys.len() {
-            let range = set_offsets[record] as usize..set_offsets[record + 1] as usize;
+            let range = self.set_offsets[record] as usize..self.set_offsets[record + 1] as usize;
             let size = offset(range.len());
             min_set_len = min_set_len.min(size);
             max_set_len = max_set_len.max(size);
-            for (position, &id) in df_sets[range].iter().enumerate() {
-                let tail = size - offset(position);
-                entries.push((id, size, record as u32, tail));
-            }
+            let df_sets = &self.df_sets;
+            self.scratch_entries
+                .extend(df_sets[range].iter().enumerate().map(|(position, &id)| {
+                    let tail = size - offset(position);
+                    (id, size, record as u32, tail)
+                }));
         }
         if keys.is_empty() {
             min_set_len = 0;
         }
-        entries.sort_unstable();
-        let mut posting_offsets = Vec::with_capacity(grams.len() + 1);
-        posting_offsets.push(0);
-        let mut postings = Vec::with_capacity(entries.len());
-        let mut posting_sizes = Vec::with_capacity(entries.len());
-        let mut posting_tails = Vec::with_capacity(entries.len());
+        self.scratch_entries.sort_unstable();
+        self.posting_offsets.clear();
+        self.posting_offsets.push(0);
+        self.postings.clear();
+        self.posting_sizes.clear();
+        self.posting_tails.clear();
         let mut boundary = 0u32;
-        for &(id, size, record, tail) in &entries {
+        for &(id, size, record, tail) in &self.scratch_entries {
             while boundary < id {
-                posting_offsets.push(offset(postings.len()));
+                self.posting_offsets.push(offset(self.postings.len()));
                 boundary += 1;
             }
-            postings.push(record);
-            posting_sizes.push(size);
-            posting_tails.push(tail);
+            self.postings.push(record);
+            self.posting_sizes.push(size);
+            self.posting_tails.push(tail);
         }
-        while posting_offsets.len() < grams.len() + 1 {
-            posting_offsets.push(offset(postings.len()));
+        while self.posting_offsets.len() < self.grams.len() + 1 {
+            self.posting_offsets.push(offset(self.postings.len()));
         }
-        KeyBigramIndex {
-            sets,
-            set_offsets,
-            df_sets,
-            grams,
-            posting_offsets,
-            postings,
-            posting_sizes,
-            posting_tails,
-            layouts: Mutex::new(Vec::new()),
-            min_set_len,
-            max_set_len,
-        }
+        self.layouts
+            .lock()
+            .expect("threshold layout cache poisoned")
+            .clear();
+        self.min_set_len = min_set_len;
+        self.max_set_len = max_set_len;
     }
 
     /// Record `r`'s distinct padded key bigrams, sorted by value.

@@ -152,23 +152,22 @@ fn reference_sorted_neighborhood(
 ) -> BTreeSet<(usize, usize)> {
     let external_side = key.external_side(external);
     let local_side = key.local_side(local);
-    // (sort key, is_external, index) — the materialised reference order.
-    let mut entries: Vec<(String, bool, usize)> = Vec::new();
-    for e in 0..external.len() {
-        entries.push((external_side.sort_value(external, e), true, e));
-    }
-    for l in 0..local.len() {
-        entries.push((local_side.sort_value(local, l), false, l));
-    }
-    entries.sort();
+    // The locals-only ladder, ordered by (sort value, id); each external
+    // inserts after every local whose sort value is ≤ its own and pairs
+    // with the `window − 1` nearest locals on each side.
+    let mut ladder: Vec<(String, usize)> = (0..local.len())
+        .map(|l| (local_side.sort_value(local, l), l))
+        .collect();
+    ladder.sort();
     let mut pairs = BTreeSet::new();
-    for (i, a) in entries.iter().enumerate() {
-        for b in &entries[i + 1..(i + window.max(2)).min(entries.len())] {
-            match (a.1, b.1) {
-                (true, false) => pairs.insert((a.2, b.2)),
-                (false, true) => pairs.insert((b.2, a.2)),
-                _ => false,
-            };
+    for e in 0..external.len() {
+        let value = external_side.sort_value(external, e);
+        let position = ladder.partition_point(|(v, _)| *v <= value);
+        for (_, l) in &ladder[position.saturating_sub(window.max(1) - 1)..position] {
+            pairs.insert((e, *l));
+        }
+        for (_, l) in ladder[position..].iter().take(window.max(1) - 1) {
+            pairs.insert((e, *l));
         }
     }
     pairs

@@ -20,8 +20,8 @@ use classilink_linking::blocking::{
 };
 use classilink_linking::record::Record;
 use classilink_linking::{
-    CandidateRuns, LocalShards, RecordComparator, RecordStore, ShardedStore, SimScratch,
-    SimilarityMeasure,
+    CandidateRuns, Linker, LocalShards, ProbeScratch, RecordComparator, RecordStore, ShardedStore,
+    SimScratch, SimilarityMeasure,
 };
 use classilink_rdf::Term;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -249,4 +249,115 @@ fn steady_state_blocking_never_allocates() {
     assert_blocking_steady_state(&bigram, &external, (&sharded).into(), &mut runs);
     assert_blocking_steady_state(&bigram_high, &external, (&sharded).into(), &mut runs);
     assert_blocking_steady_state(&CartesianBlocker, &external, (&sharded).into(), &mut runs);
+}
+
+// ---------------------------------------------------------------------
+// The serving layer: warm `Linker::probe_with` calls.
+// ---------------------------------------------------------------------
+
+/// The catalog side of [`stores`] as a sharded store.
+fn catalog(shard_count: usize) -> ShardedStore {
+    let series = ["CRCW0805", "ERJ6", "T83A225", "LM317", "GRM188", "1N4148"];
+    let locals: Vec<Record> = (0..24)
+        .map(|i| {
+            let mut r = Record::new(Term::iri(format!("http://local.e.org/prod/{i}")));
+            r.add(
+                LOC_PN,
+                format!("{}-{:05}-{}", series[(i + 1) % series.len()], i, i % 5),
+            );
+            r
+        })
+        .collect();
+    ShardedStore::from_records(&locals, shard_count)
+}
+
+/// A string-kernel-only comparator (the set kernels re-tokenise the
+/// refilled probe store per probe, which allocates by design; the
+/// serving zero-allocation contract is stated for string kernels).
+fn probe_comparator(match_threshold: f64, non_match_threshold: f64) -> RecordComparator {
+    RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler)
+        .with_thresholds(match_threshold, non_match_threshold)
+}
+
+/// Warm up a linker + scratch on `probes`, then measure one full sweep.
+/// Returns (allocations, links materialised) across the measured sweep.
+fn measure_probe_sweep(
+    linker: &Linker<'_>,
+    scratch: &mut ProbeScratch,
+    probes: &[Record],
+) -> (u64, usize) {
+    let mut comparisons = 0;
+    for probe in probes {
+        comparisons += linker.probe_with(probe, scratch).comparisons;
+    }
+    assert!(
+        comparisons > 0,
+        "no candidates — the probe assertion would be vacuous"
+    );
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut links = 0;
+    for probe in probes {
+        let hits = linker.probe_with(probe, scratch);
+        links += hits.matches.len() + hits.possible.len();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    (after - before, links)
+}
+
+#[test]
+fn warm_probe_never_allocates() {
+    // Thresholds no score can reach: every candidate is scored but no
+    // link materialises, so a warm probe must be *fully* allocation-free
+    // — refill, blocking, queueing, scoring and the cleared result
+    // buffers included — for both blockers, single-store and sharded.
+    let _serial = SERIAL.lock().unwrap();
+    let (external, _) = stores();
+    let probes: Vec<Record> = (0..6).map(|e| external.record(e)).collect();
+    let cmp = probe_comparator(2.0, 2.0);
+    let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
+    let bigram = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.3);
+    for shard_count in [1, 3] {
+        let catalog = catalog(shard_count);
+        for blocker in [&standard as &(dyn Blocker + Sync), &bigram] {
+            let linker = Linker::new(blocker, &cmp, catalog.clone());
+            let mut scratch = ProbeScratch::new();
+            let (allocations, links) = measure_probe_sweep(&linker, &mut scratch, &probes);
+            assert_eq!(links, 0, "{}: thresholds unreachable", blocker.name());
+            assert_eq!(
+                allocations,
+                0,
+                "{} / {shard_count} shards: warm probes allocated {allocations} times",
+                blocker.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn warm_probe_allocates_exactly_the_link_terms() {
+    // Thresholds every score clears: each link costs exactly two
+    // allocations — the external and local `Term` IRI clones — and
+    // nothing else (the `Vec<Link>` itself reuses its capacity).
+    let _serial = SERIAL.lock().unwrap();
+    let (external, _) = stores();
+    let probes: Vec<Record> = (0..6).map(|e| external.record(e)).collect();
+    let cmp = probe_comparator(0.0, 0.0);
+    let standard = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 4));
+    let bigram = BigramBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 0), 0.3);
+    for shard_count in [1, 3] {
+        let catalog = catalog(shard_count);
+        for blocker in [&standard as &(dyn Blocker + Sync), &bigram] {
+            let linker = Linker::new(blocker, &cmp, catalog.clone());
+            let mut scratch = ProbeScratch::new();
+            let (allocations, links) = measure_probe_sweep(&linker, &mut scratch, &probes);
+            assert!(links > 0, "{}: no links materialised", blocker.name());
+            assert_eq!(
+                allocations,
+                2 * links as u64,
+                "{} / {shard_count} shards: {links} links should cost exactly \
+                 two term clones each, measured {allocations} allocations",
+                blocker.name()
+            );
+        }
+    }
 }
