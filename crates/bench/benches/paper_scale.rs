@@ -119,6 +119,50 @@ fn emit_filter_stats(label: &str, stats: &classilink_linking::BigramFilterStats)
     }
 }
 
+/// Append the fault-overhead guard's metric line: the end-to-end
+/// pipeline throughput of this (failpoint-free) build against the
+/// committed PR 7 baseline snapshot, plus their ratio.
+fn emit_fault_overhead(label: &str, baseline_eps: f64, eps: f64, ratio: f64) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"baseline_elements_per_sec\":{baseline_eps:.1},\
+         \"elements_per_sec\":{eps:.1},\"ratio\":{ratio:.4}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
+
+/// The `pipeline/single_store` comparisons-per-second recorded in the
+/// pre-failpoint baseline snapshot (`CLASSILINK_BENCH_BASELINE`,
+/// defaulting to the committed `BENCH_pr7.json`). Parsed with string
+/// ops because the bench crate deliberately has no JSON dependency.
+fn baseline_single_store_eps() -> Option<f64> {
+    let path = std::env::var("CLASSILINK_BENCH_BASELINE")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").into());
+    let snapshot = std::fs::read_to_string(&path).ok()?;
+    let line = snapshot
+        .lines()
+        .find(|l| l.contains("\"paper_scale/pipeline/single_store\""))?;
+    let (_, value) = line.split_once("\"elements_per_sec\":")?;
+    let number: String = value
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number.parse().ok()
+}
+
 fn bench_paper_scale(c: &mut Criterion) {
     let scenario = generate(&ScenarioConfig::paper());
     let threads = std::thread::available_parallelism()
@@ -265,6 +309,48 @@ fn bench_paper_scale(c: &mut Criterion) {
         let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
         b.iter(|| pipeline.run_stores(&external, &local))
     });
+
+    // Fault-overhead guard: this build compiles failpoints to nothing
+    // (the bench crate never enables the `failpoints` feature), so a
+    // hand-timed end-to-end run must stay within noise of the PR 7
+    // baseline recorded before the fault-containment sites existed. The
+    // ratio is always printed and emitted as a metric line; it only
+    // *fails* the run under CLASSILINK_BENCH_ENFORCE_FAULT_OVERHEAD,
+    // because CI machines are not comparable to the machine that
+    // recorded the snapshot — there the line is schema-validated and
+    // eyeballed instead.
+    {
+        let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
+        let start = Instant::now();
+        let result = pipeline.run_stores(&external, &local);
+        let eps = result.comparisons as f64 / start.elapsed().as_secs_f64();
+        match baseline_single_store_eps() {
+            Some(baseline_eps) => {
+                let ratio = eps / baseline_eps;
+                println!(
+                    "pipeline/fault_overhead: {eps:.0} cmp/s vs baseline {baseline_eps:.0} \
+                     cmp/s (ratio {ratio:.3})"
+                );
+                emit_fault_overhead(
+                    "paper_scale/pipeline/fault_overhead",
+                    baseline_eps,
+                    eps,
+                    ratio,
+                );
+                if std::env::var("CLASSILINK_BENCH_ENFORCE_FAULT_OVERHEAD").is_ok() {
+                    assert!(
+                        ratio >= 0.85,
+                        "failpoint instrumentation cost throughput: {eps:.0} cmp/s is \
+                         {ratio:.3} of the {baseline_eps:.0} cmp/s baseline"
+                    );
+                }
+            }
+            None => {
+                println!("pipeline/fault_overhead: no baseline snapshot, emitting ratio 1.0");
+                emit_fault_overhead("paper_scale/pipeline/fault_overhead", eps, eps, 1.0);
+            }
+        }
+    }
     for shards in [1, 2, 4, 8, 16] {
         let (sharded_external, sharded_local) = scenario.sharded_stores(shards);
         group.bench_with_input(

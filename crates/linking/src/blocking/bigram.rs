@@ -306,6 +306,9 @@ impl Blocker for BigramBlocker {
             // clone afterwards.
             let layout = local_bigrams.threshold_layout(self.threshold);
             for e in 0..external.len() {
+                // Per-probe site: a counted trigger faults *mid-stream*,
+                // with the sink already partially filled.
+                fail::fail_point!("blocking::bigram");
                 let a = external_bigrams.set(e).len();
                 if a == 0 {
                     continue;

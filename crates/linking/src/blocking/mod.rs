@@ -861,6 +861,7 @@ impl Blocker for CartesianBlocker {
         out: &mut CandidateRuns,
     ) {
         out.reset(local.shard_count());
+        fail::fail_point!("blocking::cartesian");
         for (s, shard) in local.shards().iter().enumerate() {
             for e in 0..external.len() {
                 out.push_span(s, e, 0, shard.len());

@@ -88,6 +88,7 @@ impl Blocker for RuleBasedBlocker<'_> {
         out: &mut CandidateRuns,
     ) {
         out.reset(local.shard_count());
+        fail::fail_point!("blocking::rule_based");
         for e in 0..external.len() {
             // The store's facts iterator feeds the classifier borrowed
             // `(&str, &str)` pairs — no per-record fact cloning.

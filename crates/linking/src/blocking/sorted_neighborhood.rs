@@ -106,6 +106,7 @@ impl Blocker for SortedNeighborhoodBlocker {
     ) {
         let shard_count = local.shard_count();
         out.reset(shard_count);
+        fail::fail_point!("blocking::sorted_neighborhood");
         if self.window < 2 || external.is_empty() || local.is_empty() {
             // `new()` clamps, but the field is public: a window of 0 or
             // 1 holds no cross-source pair (and would invert the walk).

@@ -87,6 +87,9 @@ impl Blocker for StandardBlocker {
             let local_index = shard.key_index(&local_side);
             out.set_key_table(s, local_index.clone());
             for e in 0..external.len() {
+                // Per-probe site: a counted trigger faults *mid-stream*,
+                // with the sink already partially filled.
+                fail::fail_point!("blocking::standard");
                 let key = external_index.key(e);
                 if key.is_empty() && self.skip_empty_keys {
                     continue;

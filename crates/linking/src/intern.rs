@@ -122,39 +122,43 @@ impl SchemaInterner {
         Self::default()
     }
 
-    /// The id of `name`, interning it on first sight (in any handle).
-    pub fn intern(&self, name: &str) -> PropertyId {
+    /// Lock the shared table, recovering from poisoning: the critical
+    /// sections below never unwind mid-mutation (`PropertyInterner`
+    /// pushes the name before publishing the id, and the remaining ops
+    /// are reads), so a poisoned mutex only means *some other* code
+    /// panicked while holding it — the table itself is still a valid
+    /// append-only interner and must keep serving rather than cascade
+    /// the failure into every schema user.
+    fn table(&self) -> std::sync::MutexGuard<'_, PropertyInterner> {
         self.inner
             .lock()
-            .expect("schema interner poisoned")
-            .intern(name)
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The id of `name`, interning it on first sight (in any handle).
+    pub fn intern(&self, name: &str) -> PropertyId {
+        self.table().intern(name)
     }
 
     /// The id of `name`, if any handle has interned it.
     pub fn get(&self, name: &str) -> Option<PropertyId> {
-        self.inner
-            .lock()
-            .expect("schema interner poisoned")
-            .get(name)
+        self.table().get(name)
     }
 
     /// Number of interned properties.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("schema interner poisoned").len()
+        self.table().len()
     }
 
     /// `true` when nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.inner
-            .lock()
-            .expect("schema interner poisoned")
-            .is_empty()
+        self.table().is_empty()
     }
 
     /// An immutable copy of the current table (what a freezing store
     /// builder embeds into its [`RecordStore`](crate::store::RecordStore)).
     pub fn snapshot(&self) -> PropertyInterner {
-        self.inner.lock().expect("schema interner poisoned").clone()
+        self.table().clone()
     }
 }
 

@@ -74,6 +74,7 @@
 
 pub mod blocking;
 pub mod comparator;
+pub mod error;
 pub mod index;
 pub mod intern;
 pub mod pipeline;
@@ -92,6 +93,7 @@ pub use blocking::{
 pub use comparator::{
     AttributeRule, Comparison, CompiledComparator, LeftHoist, MatchDecision, RecordComparator,
 };
+pub use error::{LinkError, LinkResult};
 pub use index::InvertedIndex;
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};

@@ -34,12 +34,14 @@
 
 use crate::blocking::{Blocker, CandidateBlock, CandidateRuns, LocalRun};
 use crate::comparator::{CompiledComparator, LeftHoist, MatchDecision, RecordComparator};
+use crate::error::{panic_payload, LinkError, LinkResult};
 use crate::record::Record;
 use crate::shard::{LocalShards, ShardedStore};
 use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use classilink_rdf::Term;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One discovered link (or possible link) between an external and a local
@@ -128,10 +130,26 @@ impl<'a> LinkagePipeline<'a> {
     /// Blocking streams (see [`Blocker::stream_candidates`]): the
     /// monolithic store is a single-shard view whose candidate run *is*
     /// the comparison task queue.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_run_stores`](Self::try_run_stores).
     pub fn run_stores(&self, external: &RecordStore, local: &RecordStore) -> LinkageResult {
+        self.try_run_stores(external, local)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_stores`](Self::run_stores): a panic inside the
+    /// blocking or comparison phase is caught at the phase boundary and
+    /// returned as a [`LinkError`] instead of unwinding into the caller.
+    /// The stores and their lazily built indexes stay valid — a clean
+    /// retry is bit-identical to a never-faulted run.
+    pub fn try_run_stores(
+        &self,
+        external: &RecordStore,
+        local: &RecordStore,
+    ) -> LinkResult<LinkageResult> {
         let mut runs = CandidateRuns::new();
-        self.blocker
-            .stream_candidates(external, LocalShards::single(local), &mut runs);
+        self.stream_blocking(external, LocalShards::single(local), &mut runs)?;
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self.comparator.compile(external, local);
         if compiled.uses_token_index() {
@@ -146,10 +164,12 @@ impl<'a> LinkagePipeline<'a> {
         // join.
         let comparisons = runs.total() as usize;
         let queues = [TaskQueue::new(local, 0, &runs, 0, external.len())];
-        let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
-        self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
-            local.id(l)
-        })
+        let (matches, possible) = self.score(&compiled, external, &queues, comparisons)?;
+        Ok(
+            self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
+                local.id(l)
+            }),
+        )
     }
 
     /// Run blocking and comparison against a sharded catalog.
@@ -163,10 +183,24 @@ impl<'a> LinkagePipeline<'a> {
     /// compiled **once** against the shared schema and reused by every
     /// worker on every shard. Output is byte-identical to
     /// [`run_stores`](Self::run_stores) on the equivalent single store.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_run_sharded`](Self::try_run_sharded).
     pub fn run_sharded(&self, external: &RecordStore, local: &ShardedStore) -> LinkageResult {
+        self.try_run_sharded(external, local)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_sharded`](Self::run_sharded): see
+    /// [`try_run_stores`](Self::try_run_stores) for the containment
+    /// contract.
+    pub fn try_run_sharded(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+    ) -> LinkResult<LinkageResult> {
         let mut runs = CandidateRuns::new();
-        self.blocker
-            .stream_candidates(external, local.into(), &mut runs);
+        self.stream_blocking(external, local.into(), &mut runs)?;
         let naive_pairs = external.len() as u64 * local.len() as u64;
         let compiled = self
             .comparator
@@ -181,40 +215,73 @@ impl<'a> LinkagePipeline<'a> {
         let queues: Vec<TaskQueue<'_>> = (0..local.shard_count())
             .map(|s| TaskQueue::new(local.shard(s), local.offset(s), &runs, s, external.len()))
             .collect();
-        let (matches, possible) = self.score(&compiled, external, &queues, comparisons);
-        self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
-            local.id(l)
+        let (matches, possible) = self.score(&compiled, external, &queues, comparisons)?;
+        Ok(
+            self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
+                local.id(l)
+            }),
+        )
+    }
+
+    /// The blocking failure domain: stream candidates into `runs`,
+    /// converting a blocker panic into [`LinkError::BlockingPanicked`].
+    /// The sink resets itself at the start of every stream, so a
+    /// partially filled `CandidateRuns` from a faulted call never leaks
+    /// into the next one.
+    fn stream_blocking(
+        &self,
+        external: &RecordStore,
+        local: LocalShards<'_>,
+        runs: &mut CandidateRuns,
+    ) -> LinkResult<()> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.blocker.stream_candidates(external, local, runs)
+        }))
+        .map_err(|payload| LinkError::BlockingPanicked {
+            blocker: self.blocker.name().to_string(),
+            payload: panic_payload(payload),
         })
     }
 
     /// Score every queued candidate block, serially or with work
     /// stealing, returning unsorted scored pairs (local side in global
-    /// ids).
+    /// ids). A panic inside the scoring loop is contained to this phase
+    /// and reported as [`LinkError::WorkerPanicked`].
     fn score(
         &self,
         compiled: &CompiledComparator<'_>,
         external: &RecordStore,
         queues: &[TaskQueue<'_>],
         candidate_count: usize,
-    ) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
+    ) -> LinkResult<(Vec<ScoredPair>, Vec<ScoredPair>)> {
         if self.threads <= 1 || candidate_count < STEAL_BLOCK as usize {
             let mut matches = Vec::new();
             let mut possible = Vec::new();
-            let mut scratch = SimScratch::new();
-            let mut hoist = LeftHoist::new();
-            for queue in queues {
-                score_range(
-                    compiled,
-                    queue,
-                    0..queue.total,
-                    external,
-                    &mut scratch,
-                    &mut hoist,
-                    &mut matches,
-                    &mut possible,
-                );
+            let scored = catch_unwind(AssertUnwindSafe(|| {
+                let mut scratch = SimScratch::new();
+                let mut hoist = LeftHoist::new();
+                for queue in queues {
+                    score_range(
+                        compiled,
+                        queue,
+                        0..queue.total,
+                        external,
+                        &mut scratch,
+                        &mut hoist,
+                        &mut matches,
+                        &mut possible,
+                    );
+                }
+            }));
+            match scored {
+                Ok(()) => Ok((matches, possible)),
+                Err(payload) => Err(LinkError::WorkerPanicked {
+                    worker: 0,
+                    payload: panic_payload(payload),
+                    survivors: 0,
+                    partial_links: matches.len() + possible.len(),
+                }),
             }
-            (matches, possible)
         } else {
             score_stealing(compiled, external, queues, self.threads)
         }
@@ -392,51 +459,87 @@ impl<'a> TaskQueue<'a> {
 /// visits all work; the atomic comparison-count cursor makes claims
 /// race-free without locks, and because claims split *inside* blocks, a
 /// single giant cartesian span load-balances like any other work.
+///
+/// **Panic isolation:** each worker's claim loop runs under
+/// [`catch_unwind`], so one panicking worker cannot abort the process or
+/// strand the run. Claims are lock-free atomic increments on a cursor
+/// that only ever advances, so a dead worker holds no queue state —
+/// the surviving workers keep claiming and drain every remaining block
+/// (only the dead worker's in-flight claim is lost, and the whole run
+/// is reported failed anyway). The join collects per-worker results and
+/// turns the first panic into [`LinkError::WorkerPanicked`], carrying
+/// how many workers finished cleanly and how many links they drained.
 fn score_stealing(
     compiled: &CompiledComparator<'_>,
     external: &RecordStore,
     queues: &[TaskQueue<'_>],
     threads: usize,
-) -> (Vec<ScoredPair>, Vec<ScoredPair>) {
+) -> LinkResult<(Vec<ScoredPair>, Vec<ScoredPair>)> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|worker| {
                 scope.spawn(move || {
-                    let mut matches = Vec::new();
-                    let mut possible = Vec::new();
-                    // Each worker owns one scratch and one left-side
-                    // hoist for its whole run: every pair it scores
-                    // reuses the same buffers.
-                    let mut scratch = SimScratch::new();
-                    let mut hoist = LeftHoist::new();
-                    for hop in 0..queues.len() {
-                        let queue = &queues[(worker + hop) % queues.len()];
-                        while let Some(range) = queue.claim() {
-                            score_range(
-                                compiled,
-                                queue,
-                                range,
-                                external,
-                                &mut scratch,
-                                &mut hoist,
-                                &mut matches,
-                                &mut possible,
-                            );
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut matches = Vec::new();
+                        let mut possible = Vec::new();
+                        // Each worker owns one scratch and one left-side
+                        // hoist for its whole run: every pair it scores
+                        // reuses the same buffers.
+                        let mut scratch = SimScratch::new();
+                        let mut hoist = LeftHoist::new();
+                        for hop in 0..queues.len() {
+                            let queue = &queues[(worker + hop) % queues.len()];
+                            while let Some(range) = queue.claim() {
+                                score_range(
+                                    compiled,
+                                    queue,
+                                    range,
+                                    external,
+                                    &mut scratch,
+                                    &mut hoist,
+                                    &mut matches,
+                                    &mut possible,
+                                );
+                            }
                         }
-                    }
-                    (matches, possible)
+                        (matches, possible)
+                    }))
                 })
             })
             .collect();
         let mut matches = Vec::new();
         let mut possible = Vec::new();
-        for handle in handles {
-            let (worker_matches, worker_possible) =
-                handle.join().expect("comparison worker panicked");
-            matches.extend(worker_matches);
-            possible.extend(worker_possible);
+        let mut first_panic: Option<(usize, String)> = None;
+        let mut survivors = 0;
+        for (worker, handle) in handles.into_iter().enumerate() {
+            // The worker closure is a catch_unwind, so the thread itself
+            // cannot terminate by panic; join only fails on the (aborting)
+            // double-panic path, which never returns here.
+            match handle
+                .join()
+                .expect("worker thread cannot outlive its catch_unwind")
+            {
+                Ok((worker_matches, worker_possible)) => {
+                    survivors += 1;
+                    matches.extend(worker_matches);
+                    possible.extend(worker_possible);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((worker, panic_payload(payload)));
+                    }
+                }
+            }
         }
-        (matches, possible)
+        match first_panic {
+            None => Ok((matches, possible)),
+            Some((worker, payload)) => Err(LinkError::WorkerPanicked {
+                worker,
+                payload,
+                survivors,
+                partial_links: matches.len() + possible.len(),
+            }),
+        }
     })
 }
 
@@ -466,6 +569,7 @@ pub(crate) fn score_range<'e>(
     matches: &mut Vec<ScoredPair>,
     possible: &mut Vec<ScoredPair>,
 ) {
+    fail::fail_point!("pipeline::score_range");
     if range.is_empty() {
         return;
     }

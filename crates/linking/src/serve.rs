@@ -19,6 +19,12 @@
 //!   the new epoch *outside* the lock, then flips the pointer. In-flight
 //!   probes keep the `Arc` of the epoch they started on, so a probe is
 //!   never torn across a swap and a swap never waits for probes.
+//! * **Fault-contained republish.** [`Linker::try_swap`] catches a panic
+//!   anywhere in the epoch build/warm *before* the lock is touched: a
+//!   failed republish returns [`LinkError::EpochBuildPanicked`], the old
+//!   epoch keeps serving, and the sequence stays strictly monotonic. The
+//!   lock itself recovers from poisoning (see [`LinkerCatalog`]), and
+//!   [`Linker::try_probe_with`] contains probe-path panics the same way.
 //! * **The batch code path, verbatim.** A probe wraps the record in a
 //!   one-record external store (refilled **in place**, see
 //!   [`RecordStore`] internals), streams the epoch's blockers into the
@@ -36,6 +42,7 @@
 
 use crate::blocking::{Blocker, CandidateRuns};
 use crate::comparator::{CompiledComparator, LeftHoist, RecordComparator};
+use crate::error::{panic_payload, LinkError, LinkResult};
 use crate::intern::{PropertyId, SchemaInterner};
 use crate::pipeline::{score_range, Link, ScoredPair, TaskQueue};
 use crate::record::Record;
@@ -43,6 +50,7 @@ use crate::shard::ShardedStore;
 use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -80,6 +88,17 @@ impl CatalogEpoch<'_> {
 /// writers swap the pointer under the write lock after the (expensive)
 /// epoch build has already happened outside it. Neither side ever holds
 /// the lock across blocking or scoring work.
+///
+/// **Poison-free by construction.** The critical sections are a pointer
+/// clone (`load`) and a sequence increment plus pointer assignment
+/// (`publish`) — neither calls user code, so a panic *inside* the lock
+/// is effectively impossible; everything fallible (the epoch build and
+/// warm) runs before the lock is taken. Both sides still recover an
+/// `RwLock` poisoned by some unforeseen unwind
+/// (`unwrap_or_else(|e| e.into_inner())`): the slot always holds the
+/// last fully published `Arc`, which is exactly what a reader wants and
+/// exactly the predecessor a writer should increment from — so a failed
+/// swap can never block or poison the probe path.
 #[derive(Debug)]
 pub struct LinkerCatalog<'a> {
     current: RwLock<Arc<CatalogEpoch<'a>>>,
@@ -92,15 +111,19 @@ impl<'a> LinkerCatalog<'a> {
     pub fn load(&self) -> Arc<CatalogEpoch<'a>> {
         self.current
             .read()
-            .expect("linker catalog poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone()
     }
 
     /// Publish `epoch` as the next generation, assigning its sequence
     /// number under the write lock (so sequences are strictly
-    /// monotonic even under concurrent swappers).
+    /// monotonic even under concurrent swappers, and a *failed* swap —
+    /// which never reaches `publish` — leaves no gap).
     fn publish(&self, mut epoch: CatalogEpoch<'a>) -> u64 {
-        let mut current = self.current.write().expect("linker catalog poisoned");
+        let mut current = self
+            .current
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let sequence = current.sequence + 1;
         epoch.sequence = sequence;
         *current = Arc::new(epoch);
@@ -172,17 +195,38 @@ impl<'a> Linker<'a> {
     /// In-flight probes finish on the epoch they started with; probes
     /// beginning after `swap` returns see the new catalog. Returns the
     /// new epoch's sequence number.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_swap`](Self::try_swap).
     pub fn swap(&self, catalog: ShardedStore) -> u64 {
+        self.try_swap(catalog).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`swap`](Self::swap): a panic while building or warming
+    /// the new epoch is caught *before* the catalog lock is ever taken
+    /// and returned as [`LinkError::EpochBuildPanicked`]. On `Err` the
+    /// previous epoch keeps serving, nothing is partially published, and
+    /// the sequence number does not advance — the next successful swap
+    /// continues the strictly monotonic sequence.
+    pub fn try_swap(&self, catalog: ShardedStore) -> LinkResult<u64> {
         // The sequence is provisional here; `publish` assigns the real
         // one under the write lock.
-        let epoch = build_epoch(
-            self.blocker,
-            self.comparator,
-            &self.probe_schema,
-            catalog,
-            0,
-        );
-        self.catalog.publish(epoch)
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            try_build_epoch(
+                self.blocker,
+                self.comparator,
+                &self.probe_schema,
+                catalog,
+                0,
+            )
+        }));
+        match built {
+            Ok(Ok(epoch)) => Ok(self.catalog.publish(epoch)),
+            Ok(Err(error)) => Err(error),
+            Err(payload) => Err(LinkError::EpochBuildPanicked {
+                payload: panic_payload(payload),
+            }),
+        }
     }
 
     /// Probe with a caller-owned scratch — the allocation-free path: a
@@ -190,7 +234,36 @@ impl<'a> Linker<'a> {
     /// property) performs zero heap allocations up to the `Term` clones
     /// of the links it returns. The returned [`ProbeHits`] borrows the
     /// scratch and is valid until its next use.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_probe_with`](Self::try_probe_with).
     pub fn probe_with<'s>(&self, record: &Record, scratch: &'s mut ProbeScratch) -> &'s ProbeHits {
+        self.try_probe_with(record, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`probe_with`](Self::probe_with): a panic anywhere in
+    /// the probe path (refill, blocking, scoring, materialisation) is
+    /// caught and returned as [`LinkError::ProbePanicked`]. The scratch
+    /// stays usable — every stage re-initialises its buffers at the
+    /// start of the next call — so a clean retry over the same scratch
+    /// is bit-identical to a never-faulted probe.
+    pub fn try_probe_with<'s>(
+        &self,
+        record: &Record,
+        scratch: &'s mut ProbeScratch,
+    ) -> LinkResult<&'s ProbeHits> {
+        match catch_unwind(AssertUnwindSafe(|| self.probe_into(record, scratch))) {
+            Ok(()) => Ok(&scratch.hits),
+            Err(payload) => Err(LinkError::ProbePanicked {
+                payload: panic_payload(payload),
+            }),
+        }
+    }
+
+    /// The probe body (the probe failure domain), writing the result
+    /// into `scratch.hits`.
+    fn probe_into(&self, record: &Record, scratch: &mut ProbeScratch) {
         if scratch.tag != self.tag {
             // First use with this linker (or the scratch migrated from
             // another): the probe store must intern into *this*
@@ -256,7 +329,6 @@ impl<'a> Linker<'a> {
             &scratch.store,
             store,
         );
-        &scratch.hits
     }
 
     /// Probe with a per-thread scratch: the links of `record` against
@@ -275,7 +347,9 @@ impl<'a> Linker<'a> {
 }
 
 /// Compile, warm and assemble one epoch (shared by [`Linker::new`] and
-/// [`Linker::swap`]; always outside the catalog lock).
+/// [`Linker::swap`]; always outside the catalog lock). Panics on a
+/// contained fault; [`Linker::try_swap`] goes through
+/// [`try_build_epoch`] directly.
 fn build_epoch<'a>(
     blocker: &(dyn Blocker + Sync),
     comparator: &'a RecordComparator,
@@ -283,18 +357,38 @@ fn build_epoch<'a>(
     store: ShardedStore,
     sequence: u64,
 ) -> CatalogEpoch<'a> {
+    try_build_epoch(blocker, comparator, probe_schema, store, sequence)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The epoch-build failure domain body: compile the comparator, build
+/// every token index the kernels read, warm the blocker's artifacts.
+/// The `serve::build_epoch` failpoint can inject a structured error
+/// (`return` action) or a panic at the domain entry; `serve::warm`
+/// covers a fault inside the blocker's own warm-up.
+fn try_build_epoch<'a>(
+    blocker: &(dyn Blocker + Sync),
+    comparator: &'a RecordComparator,
+    probe_schema: &SchemaInterner,
+    store: ShardedStore,
+    sequence: u64,
+) -> LinkResult<CatalogEpoch<'a>> {
+    fail::fail_point!("serve::build_epoch", |arg: Option<String>| Err(
+        LinkError::injected("serve::build_epoch", arg)
+    ));
     let compiled = comparator.compile_schemas(&probe_schema.snapshot(), store.schema());
     if compiled.uses_token_index() {
         for shard in store.shards() {
             shard.token_index();
         }
     }
+    fail::fail_point!("serve::warm");
     blocker.warm((&store).into());
-    CatalogEpoch {
+    Ok(CatalogEpoch {
         sequence,
         store,
         compiled,
-    }
+    })
 }
 
 /// The result of one probe, owned by the [`ProbeScratch`] it was

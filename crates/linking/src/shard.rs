@@ -51,10 +51,12 @@
 //! ```
 
 use crate::blocking::CandidatePair;
+use crate::error::{panic_payload, LinkError, LinkResult};
 use crate::intern::{PropertyId, PropertyInterner, SchemaInterner};
 use crate::record::Record;
 use crate::store::{RecordStore, RecordStoreBuilder};
 use classilink_rdf::{Graph, Term};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// An immutable catalog split into contiguous per-shard [`RecordStore`]s
@@ -431,15 +433,34 @@ impl ShardedStoreBuilder {
     /// byte-identical to a sequential build (asserted by
     /// `parallel_build_is_byte_identical_to_sequential`).
     pub fn build(self) -> ShardedStore {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build`](Self::build): a panic while columnarising one
+    /// shard is contained to that shard's worker and reported as
+    /// [`LinkError::ShardBuildPanicked`]; the remaining workers drain
+    /// the other shards before the build is abandoned.
+    pub fn try_build(self) -> LinkResult<ShardedStore> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        self.build_with_workers(workers)
+        self.try_build_with_workers(workers)
     }
 
     /// [`build`](Self::build) with an explicit worker-thread cap
     /// (`1` = sequential; the cap is also clamped to the shard count).
-    pub fn build_with_workers(mut self, workers: usize) -> ShardedStore {
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_build_with_workers`](Self::try_build_with_workers).
+    pub fn build_with_workers(self, workers: usize) -> ShardedStore {
+        self.try_build_with_workers(workers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`build_with_workers`](Self::build_with_workers); see
+    /// [`try_build`](Self::try_build) for the containment contract. On
+    /// `Err` the error names the **lowest** faulted shard index,
+    /// regardless of worker scheduling.
+    pub fn try_build_with_workers(mut self, workers: usize) -> LinkResult<ShardedStore> {
         if self.shards.is_empty() {
             self.begin_shard();
         }
@@ -449,11 +470,22 @@ impl ShardedStoreBuilder {
         let schema = Arc::new(self.schema.snapshot());
         let shard_count = self.shards.len();
         let workers = workers.clamp(1, shard_count);
+        let columnarise = |shard: usize, builder: RecordStoreBuilder| {
+            catch_unwind(AssertUnwindSafe(|| {
+                fail::fail_point!("shard::columnarise");
+                builder.finish(schema.clone())
+            }))
+            .map_err(|payload| LinkError::ShardBuildPanicked {
+                shard,
+                payload: panic_payload(payload),
+            })
+        };
         let shards: Vec<RecordStore> = if workers <= 1 {
-            self.shards
-                .into_iter()
-                .map(|builder| builder.finish(schema.clone()))
-                .collect()
+            let mut built = Vec::with_capacity(shard_count);
+            for (shard, builder) in self.shards.into_iter().enumerate() {
+                built.push(columnarise(shard, builder)?);
+            }
+            built
         } else {
             // Claim shards off one atomic counter: big and small shards
             // interleave across workers without any up-front partition.
@@ -465,6 +497,9 @@ impl ShardedStoreBuilder {
             let results: Vec<std::sync::OnceLock<RecordStore>> = (0..shard_count)
                 .map(|_| std::sync::OnceLock::new())
                 .collect();
+            // The lowest faulted shard (deterministic regardless of
+            // which worker hit it, or when).
+            let fault: std::sync::Mutex<Option<LinkError>> = std::sync::Mutex::new(None);
             let next = std::sync::atomic::AtomicUsize::new(0);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -475,14 +510,41 @@ impl ShardedStoreBuilder {
                         }
                         let builder = slots[shard]
                             .lock()
-                            .expect("shard slot poisoned")
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
                             .take()
                             .expect("every shard slot is claimed exactly once");
-                        let built = results[shard].set(builder.finish(schema.clone()));
-                        assert!(built.is_ok(), "shard {shard} built twice");
+                        // A faulted shard doesn't stop this worker: keep
+                        // claiming so every other shard still finishes,
+                        // then report the fault after the scope joins.
+                        match columnarise(shard, builder) {
+                            Ok(store) => {
+                                let built = results[shard].set(store);
+                                assert!(built.is_ok(), "shard {shard} built twice");
+                            }
+                            Err(error) => {
+                                let mut fault = fault
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                                let replace = match &*fault {
+                                    Some(LinkError::ShardBuildPanicked {
+                                        shard: recorded, ..
+                                    }) => shard < *recorded,
+                                    _ => true,
+                                };
+                                if replace {
+                                    *fault = Some(error);
+                                }
+                            }
+                        }
                     });
                 }
             });
+            if let Some(error) = fault
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+            {
+                return Err(error);
+            }
             results
                 .into_iter()
                 .map(|slot| slot.into_inner().expect("every claimed shard was built"))
@@ -493,11 +555,11 @@ impl ShardedStoreBuilder {
         for store in &shards {
             offsets.push(offsets.last().expect("non-empty") + store.len());
         }
-        ShardedStore {
+        Ok(ShardedStore {
             shards,
             offsets,
             schema,
-        }
+        })
     }
 }
 

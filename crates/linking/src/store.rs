@@ -126,7 +126,7 @@ impl Clone for RecordStore {
             key_indexes: Mutex::new(
                 self.key_indexes
                     .lock()
-                    .expect("key index cache poisoned")
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
                     .clone(),
             ),
         }
@@ -287,9 +287,13 @@ impl RecordStore {
     /// have been resolved against this store's schema. First call per
     /// recipe costs `O(store)`; later calls are a map lookup.
     pub fn key_index(&self, side: &KeySide) -> Arc<KeyIndex> {
+        // Poison recovery: the cache is a reconstructible memo. If a
+        // build panicked under the lock (`or_insert_with` inserts only
+        // on success), the map still holds only completed indexes —
+        // keep serving and rebuild on demand instead of cascading.
         self.key_indexes
             .lock()
-            .expect("key index cache poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .entry(side.recipe())
             .or_insert_with(|| Arc::new(KeyIndex::build(self, side)))
             .clone()
@@ -367,6 +371,10 @@ impl RecordStore {
         fn offset(n: usize) -> u32 {
             u32::try_from(n).expect("record exceeds u32::MAX bytes/values")
         }
+        // Models a malformed record failing mid-refill; every stage below
+        // clears its buffers at the start of the *next* call, so a probe
+        // store abandoned here heals on retry.
+        fail::fail_point!("store::refill_single");
         for property in record.attributes.keys() {
             schema.intern(property);
         }
@@ -448,8 +456,12 @@ impl RecordStore {
         // contents. `Arc::get_mut` succeeds on the warm path (blockers
         // drop their external-side handle when streaming returns); a
         // handle held across refills forces a fresh build instead.
-        let mut key_indexes =
-            std::mem::take(&mut *self.key_indexes.lock().expect("key index cache poisoned"));
+        let mut key_indexes = std::mem::take(
+            &mut *self
+                .key_indexes
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        );
         for (recipe, index) in key_indexes.iter_mut() {
             let side = KeySide::from_recipe(*recipe);
             match Arc::get_mut(index) {
@@ -457,7 +469,10 @@ impl RecordStore {
                 None => *index = Arc::new(KeyIndex::build(self, &side)),
             }
         }
-        *self.key_indexes.lock().expect("key index cache poisoned") = key_indexes;
+        *self
+            .key_indexes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = key_indexes;
     }
 }
 

@@ -1,0 +1,548 @@
+//! The deterministic fault-injection (chaos) suite, compiled only with
+//! `--features failpoints` (see `shims/fail`).
+//!
+//! Every test follows the same contract: arm a failpoint inside one of
+//! the pipeline's failure domains, drive the public `try_*` entry
+//! points, and assert three things —
+//!
+//! 1. **Containment**: the injected panic surfaces as the structured
+//!    [`LinkError`] variant of its domain, within a watchdog timeout
+//!    (never an abort, never a deadlock);
+//! 2. **Service continuity**: a serving [`Linker`] keeps answering from
+//!    the last good epoch through a failed republish;
+//! 3. **Self-healing**: a clean run over the *same* stores/scratch after
+//!    the fault is bit-identical (`f64::to_bits`) to a never-faulted
+//!    baseline.
+#![cfg(feature = "failpoints")]
+
+use classilink_linking::blocking::{BigramBlocker, Blocker, BlockingKey, StandardBlocker};
+use classilink_linking::pipeline::{Link, LinkagePipeline, LinkageResult};
+use classilink_linking::record::Record;
+use classilink_linking::{
+    LinkError, Linker, ProbeHits, ProbeScratch, RecordComparator, RecordStore, ShardedStore,
+    ShardedStoreBuilder, SimilarityMeasure,
+};
+use classilink_rdf::Term;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+const EXT_PN: &str = "http://provider.example.org/vocab#partNumber";
+const LOC_PN: &str = "http://catalog.example.org/vocab#partNumber";
+const SHARDS: usize = 3;
+/// Externals × locals share a common 3-char key prefix ("pn-"), so a
+/// prefix-3 standard key yields 40 × 48 = 1920 candidates — above the
+/// pipeline's `STEAL_BLOCK` (1024), which is what routes `threads: 4`
+/// runs through the work-stealing scheduler.
+const EXTERNALS: usize = 40;
+const LOCALS: usize = 48;
+/// Generous bound: a contained fault returns in milliseconds; only an
+/// abort or deadlock (what the suite exists to rule out) would hit it.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// The failpoint registry is process-global: every test serialises on
+/// this lock so one test's armed sites never leak into another.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Silence the default panic hook for *injected* panics (payloads from
+/// `shims/fail` contain "failpoint"), so a green chaos run doesn't spray
+/// dozens of backtraces; real, unexpected panics still print.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|message| message.contains("failpoint"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Arm `site` with `actions` for the guard's lifetime; disarm on drop
+/// (even when the test itself panics on an assertion).
+struct Armed(&'static str);
+
+impl Armed {
+    fn new(site: &'static str, actions: &str) -> Self {
+        fail::cfg(site, actions).unwrap_or_else(|e| panic!("arming {site}: {e}"));
+        Armed(site)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fail::remove(self.0);
+    }
+}
+
+fn external_record(i: usize) -> Record {
+    let mut record = Record::new(Term::iri(format!("http://provider.example.org/item/{i}")));
+    record.add(EXT_PN, format!("PN-{:02}X", i % 8));
+    record
+}
+
+fn local_record(i: usize) -> Record {
+    let mut record = Record::new(Term::iri(format!("http://catalog.example.org/prod/{i}")));
+    record.add(LOC_PN, format!("PN-{:02}X", i % 8));
+    record
+}
+
+/// The shared chaos dataset, in `Arc`s so watchdogged runs can move
+/// clones onto detached threads.
+fn dataset() -> (Arc<RecordStore>, Arc<ShardedStore>) {
+    static DATA: OnceLock<(Arc<RecordStore>, Arc<ShardedStore>)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let externals: Vec<Record> = (0..EXTERNALS).map(external_record).collect();
+        let locals: Vec<Record> = (0..LOCALS).map(local_record).collect();
+        (
+            Arc::new(RecordStore::from_records(&externals)),
+            Arc::new(ShardedStore::from_records(&locals, SHARDS)),
+        )
+    })
+    .clone()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum BlockerKind {
+    Standard,
+    Bigram,
+}
+
+impl BlockerKind {
+    fn build(self) -> Box<dyn Blocker + Sync> {
+        let key = BlockingKey::per_side(EXT_PN, LOC_PN, 3);
+        match self {
+            BlockerKind::Standard => Box::new(StandardBlocker::new(key)),
+            BlockerKind::Bigram => Box::new(BigramBlocker::new(
+                BlockingKey::per_side(EXT_PN, LOC_PN, 0),
+                0.5,
+            )),
+        }
+    }
+
+    fn site(self) -> &'static str {
+        match self {
+            BlockerKind::Standard => "blocking::standard",
+            BlockerKind::Bigram => "blocking::bigram",
+        }
+    }
+}
+
+fn comparator() -> RecordComparator {
+    RecordComparator::single(EXT_PN, LOC_PN, SimilarityMeasure::JaroWinkler)
+        .with_thresholds(0.95, 0.5)
+}
+
+/// Run `try_run_sharded` on a detached thread under the watchdog: a
+/// contained fault must *return*, not hang or abort.
+fn watchdog_run(kind: BlockerKind, threads: usize) -> Result<LinkageResult, LinkError> {
+    let (external, local) = dataset();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let blocker = kind.build();
+        let cmp = comparator();
+        let result = LinkagePipeline::new(blocker.as_ref(), &cmp)
+            .with_threads(threads)
+            .try_run_sharded(&external, &local);
+        let _ = tx.send(result);
+    });
+    rx.recv_timeout(WATCHDOG)
+        .unwrap_or_else(|_| panic!("watchdog: {kind:?} x{threads} neither returned nor errored"))
+}
+
+fn assert_bit_identical(a: &LinkageResult, b: &LinkageResult, context: &str) {
+    assert_eq!(a.comparisons, b.comparisons, "{context}: comparisons");
+    for (kind, left, right) in [
+        ("matches", &a.matches, &b.matches),
+        ("possible", &a.possible, &b.possible),
+    ] {
+        assert_eq!(left.len(), right.len(), "{context}: {kind} count");
+        for (l, r) in left.iter().zip(right.iter()) {
+            assert_eq!(l.external, r.external, "{context}: {kind} external");
+            assert_eq!(l.local, r.local, "{context}: {kind} local");
+            assert_eq!(
+                l.score.to_bits(),
+                r.score.to_bits(),
+                "{context}: {kind} score bits"
+            );
+        }
+    }
+}
+
+fn assert_hits_bit_identical(a: &ProbeHits, b: &ProbeHits, context: &str) {
+    let links = |side: &[Link]| -> Vec<(Term, Term, u64)> {
+        side.iter()
+            .map(|l| (l.external.clone(), l.local.clone(), l.score.to_bits()))
+            .collect()
+    };
+    assert_eq!(links(&a.matches), links(&b.matches), "{context}: matches");
+    assert_eq!(
+        links(&a.possible),
+        links(&b.possible),
+        "{context}: possible"
+    );
+    assert_eq!(a.comparisons, b.comparisons, "{context}: comparisons");
+}
+
+/// The tentpole sweep: every batch-path site × both blockers × serial
+/// and work-stealing scoring. Each combination must (a) return the
+/// domain's structured error under the watchdog and (b) leave the shared
+/// stores in a state where a clean re-run is bit-identical to the
+/// never-faulted baseline.
+#[test]
+fn batch_sites_contain_panics_and_heal() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    for kind in [BlockerKind::Standard, BlockerKind::Bigram] {
+        for threads in [1usize, 4] {
+            let baseline = watchdog_run(kind, threads).expect("unfaulted baseline");
+            assert!(
+                baseline.comparisons as usize >= 1024,
+                "dataset must exercise the stealing path ({} candidates)",
+                baseline.comparisons
+            );
+            // (site, hit pattern): blocking sites fault mid-stream on
+            // the 11th probe; the scoring site faults on its first claim.
+            let cases = [
+                (kind.site(), "10*off->panic(chaos in blocking)"),
+                ("pipeline::score_range", "panic(chaos in scoring)"),
+            ];
+            for (site, actions) in cases {
+                let armed = Armed::new(site, actions);
+                let error =
+                    watchdog_run(kind, threads).expect_err("injected fault must surface as Err");
+                match (site, &error) {
+                    (s, LinkError::BlockingPanicked { blocker, payload }) if s == kind.site() => {
+                        assert_eq!(blocker, kind.build().name());
+                        assert!(payload.contains("chaos in blocking"), "{payload}");
+                    }
+                    ("pipeline::score_range", LinkError::WorkerPanicked { payload, .. }) => {
+                        assert!(payload.contains("chaos in scoring"), "{payload}");
+                    }
+                    other => panic!("{kind:?} x{threads} at {site}: wrong error {other:?}"),
+                }
+                drop(armed);
+                let healed = watchdog_run(kind, threads).expect("clean re-run after fault");
+                assert_bit_identical(
+                    &healed,
+                    &baseline,
+                    &format!("{kind:?} x{threads} after {site}"),
+                );
+            }
+        }
+    }
+}
+
+/// Single-store entry point: same containment contract as the sharded
+/// path (the two share the scoring machinery but not the entry code).
+#[test]
+fn single_store_runs_contain_panics_and_heal() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let locals: Vec<Record> = (0..LOCALS).map(local_record).collect();
+    let local = RecordStore::from_records(&locals);
+    let (external, _) = dataset();
+    let blocker = BlockerKind::Standard.build();
+    let cmp = comparator();
+    let pipeline = LinkagePipeline::new(blocker.as_ref(), &cmp).with_threads(4);
+    let baseline = pipeline
+        .try_run_stores(&external, &local)
+        .expect("unfaulted baseline");
+    let armed = Armed::new("pipeline::score_range", "1*off->panic(chaos single)->off");
+    let error = pipeline.try_run_stores(&external, &local).unwrap_err();
+    assert!(
+        matches!(error, LinkError::WorkerPanicked { .. }),
+        "{error:?}"
+    );
+    drop(armed);
+    let healed = pipeline
+        .try_run_stores(&external, &local)
+        .expect("clean re-run");
+    assert_bit_identical(&healed, &baseline, "single store after score fault");
+}
+
+/// Work-stealing diagnostics: with one counted panic, exactly one worker
+/// dies; the error reports the surviving workers and the links they
+/// drained from the remaining blocks.
+#[test]
+fn surviving_workers_drain_and_report() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let threads = 4;
+    let baseline = watchdog_run(BlockerKind::Standard, threads).expect("baseline");
+    let armed = Armed::new("pipeline::score_range", "1*panic(chaos first claim)->off");
+    let error = watchdog_run(BlockerKind::Standard, threads).unwrap_err();
+    let LinkError::WorkerPanicked {
+        worker,
+        payload,
+        survivors,
+        partial_links,
+    } = &error
+    else {
+        panic!("wrong error: {error:?}");
+    };
+    assert!(*worker < threads);
+    assert!(payload.contains("chaos first claim"), "{payload}");
+    assert_eq!(
+        *survivors,
+        threads - 1,
+        "exactly one counted panic, so every other worker must finish"
+    );
+    // The dataset links every record to its key group: the survivors
+    // must have drained real work, not bailed out.
+    assert!(
+        *partial_links > 0,
+        "survivors drained no links at all: {error}"
+    );
+    assert!(*partial_links <= baseline.matches.len() + baseline.possible.len());
+    drop(armed);
+    let healed = watchdog_run(BlockerKind::Standard, threads).expect("clean re-run");
+    assert_bit_identical(&healed, &baseline, "after worker panic");
+}
+
+/// Deterministic Nth-hit triggers: serial scoring calls `score_range`
+/// exactly once per shard queue, so `2*off->1*panic->off` faults
+/// precisely the third (last) shard — and the very next run finds the
+/// sequence consumed and completes cleanly *without disarming the site*.
+#[test]
+fn nth_hit_trigger_is_deterministic_and_consumed() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let baseline = watchdog_run(BlockerKind::Standard, 1).expect("baseline");
+    let _armed = Armed::new("pipeline::score_range", "2*off->1*panic(chaos 3rd)->off");
+    let error = watchdog_run(BlockerKind::Standard, 1).unwrap_err();
+    let LinkError::WorkerPanicked {
+        partial_links,
+        payload,
+        ..
+    } = &error
+    else {
+        panic!("wrong error: {error:?}");
+    };
+    assert!(payload.contains("chaos 3rd"), "{payload}");
+    // Serial scoring claims whole queues in shard order: two full
+    // shard ranges scored before the third call died.
+    assert!(*partial_links > 0, "two shards scored before the fault");
+    // Still armed, but the 1-hit panic step is consumed: clean and
+    // bit-identical without touching the registry.
+    let healed = watchdog_run(BlockerKind::Standard, 1).expect("consumed trigger");
+    assert_bit_identical(&healed, &baseline, "after consumed Nth-hit trigger");
+}
+
+/// Shard columnarisation: the worker that hits the fault reports it,
+/// the others finish their shards, and rebuilding from the same records
+/// matches a sequential, never-faulted build.
+#[test]
+fn shard_build_contains_panics() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let locals: Vec<Record> = (0..LOCALS).map(local_record).collect();
+    let build = |records: &[Record]| {
+        let mut builder = ShardedStoreBuilder::default();
+        let chunk = records.len().div_ceil(SHARDS).max(1);
+        for shard in records.chunks(chunk) {
+            builder.begin_shard();
+            for record in shard {
+                builder.push(record);
+            }
+        }
+        builder
+    };
+    let baseline = build(&locals).build_with_workers(1);
+    let armed = Armed::new("shard::columnarise", "1*off->1*panic(chaos shard)->off");
+    let error = build(&locals).try_build_with_workers(2).unwrap_err();
+    let LinkError::ShardBuildPanicked { shard, payload } = &error else {
+        panic!("wrong error: {error:?}");
+    };
+    assert!(*shard < SHARDS);
+    assert!(payload.contains("chaos shard"), "{payload}");
+    drop(armed);
+    let rebuilt = build(&locals)
+        .try_build_with_workers(2)
+        .expect("clean rebuild");
+    assert_eq!(rebuilt.shard_count(), baseline.shard_count());
+    assert_eq!(rebuilt.len(), baseline.len());
+    for s in 0..SHARDS {
+        assert_eq!(rebuilt.shard(s), baseline.shard(s), "shard {s}");
+        assert_eq!(rebuilt.offset(s), baseline.offset(s), "offset {s}");
+    }
+}
+
+/// Serving: a republish that panics mid-build returns
+/// [`LinkError::EpochBuildPanicked`], the pre-swap epoch keeps
+/// answering bit-identically, the sequence does not advance, and the
+/// next successful swap continues the monotonic sequence.
+#[test]
+fn failed_republish_keeps_serving_last_good_epoch() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (_, catalog_a) = dataset();
+    let grown: Vec<Record> = (0..LOCALS + 8).map(local_record).collect();
+    let catalog_b = ShardedStore::from_records(&grown, SHARDS);
+    let blocker = BlockerKind::Standard.build();
+    let cmp = comparator();
+    let linker = Linker::new(blocker.as_ref(), &cmp, (*catalog_a).clone());
+    let mut scratch = ProbeScratch::new();
+    let probe = external_record(7);
+
+    let baseline = clone_hits(linker.probe_with(&probe, &mut scratch));
+    assert_eq!(baseline.epoch, 1);
+
+    for (site, actions, expect_injected) in [
+        ("serve::build_epoch", "panic(chaos epoch build)", false),
+        ("serve::build_epoch", "return(chaos injected error)", true),
+        ("serve::warm", "panic(chaos warm)", false),
+    ] {
+        let armed = Armed::new(site, actions);
+        let error = linker.try_swap(catalog_b.clone()).unwrap_err();
+        match (&error, expect_injected) {
+            (LinkError::Injected { site: at, message }, true) => {
+                assert_eq!(at, site);
+                assert!(message.contains("chaos injected error"), "{message}");
+            }
+            (LinkError::EpochBuildPanicked { payload }, false) => {
+                assert!(payload.contains("chaos"), "{payload}");
+            }
+            other => panic!("{site}: wrong error {other:?}"),
+        }
+        drop(armed);
+        // The failed republish left the old epoch serving, answers
+        // bit-identical, sequence unmoved.
+        assert_eq!(linker.catalog().load().sequence(), 1, "{site}");
+        let after = linker.probe_with(&probe, &mut scratch);
+        assert_hits_bit_identical(after, &baseline, &format!("serving across failed {site}"));
+    }
+
+    // Failed swaps left no gap: the next success is simply epoch 2.
+    let sequence = linker.try_swap(catalog_b.clone()).expect("clean swap");
+    assert_eq!(sequence, 2);
+    let hits = linker.probe_with(&probe, &mut scratch);
+    assert_eq!(hits.epoch, 2);
+}
+
+/// Probe-path faults: refill and mid-stream blocking panics surface as
+/// [`LinkError::ProbePanicked`], and the *same scratch* heals — the next
+/// probe is bit-identical to the pre-fault baseline.
+#[test]
+fn probe_scratch_heals_after_probe_faults() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (_, catalog) = dataset();
+    let blocker = BlockerKind::Standard.build();
+    let cmp = comparator();
+    let linker = Linker::new(blocker.as_ref(), &cmp, (*catalog).clone());
+    let mut scratch = ProbeScratch::new();
+    let probe = external_record(3);
+    let baseline = clone_hits(linker.probe_with(&probe, &mut scratch));
+
+    for (site, actions) in [
+        ("store::refill_single", "1*panic(chaos refill)->off"),
+        // 1*off: the warm-up probe below already consumed... no — armed
+        // fresh each loop; fault the very first blocking hit, leaving
+        // the sink's previous contents from the baseline probe.
+        ("blocking::standard", "1*panic(chaos probe stream)->off"),
+    ] {
+        let _armed = Armed::new(site, actions);
+        let error = linker.try_probe_with(&probe, &mut scratch).unwrap_err();
+        let LinkError::ProbePanicked { payload } = &error else {
+            panic!("{site}: wrong error {error:?}");
+        };
+        assert!(payload.contains("chaos"), "{payload}");
+        // Counted trigger consumed; same scratch, clean probe.
+        let healed = linker
+            .try_probe_with(&probe, &mut scratch)
+            .expect("healed probe");
+        assert_hits_bit_identical(healed, &baseline, &format!("scratch reuse after {site}"));
+    }
+}
+
+/// The infallible wrappers keep their historical contract: they panic,
+/// with the structured error's message, instead of returning.
+#[test]
+fn infallible_wrappers_panic_with_structured_messages() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (external, local) = dataset();
+    let blocker = BlockerKind::Standard.build();
+    let cmp = comparator();
+    let _armed = Armed::new("blocking::standard", "panic(chaos wrapper)");
+    let wrapped = catch_unwind(AssertUnwindSafe(|| {
+        LinkagePipeline::new(blocker.as_ref(), &cmp).run_sharded(&external, &local)
+    }))
+    .unwrap_err();
+    let message = wrapped
+        .downcast_ref::<String>()
+        .expect("wrapper panics with the Display of LinkError");
+    assert!(message.contains("blocking phase"), "{message}");
+    assert!(message.contains("standard-blocking"), "{message}");
+    assert!(message.contains("chaos wrapper"), "{message}");
+}
+
+/// Every other instrumented site, swept through the entry point that
+/// reaches it, so the whole ~10-site map stays honest: arming any site
+/// yields a structured `Err` (not an abort), and disarming restores
+/// bit-identical behaviour.
+#[test]
+fn remaining_sites_all_contain() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (external, local) = dataset();
+    let cmp = comparator();
+
+    // Cartesian + sorted-neighborhood + rule-based blockers, batch path.
+    let cartesian = classilink_linking::CartesianBlocker;
+    let sn = classilink_linking::SortedNeighborhoodBlocker::new(
+        BlockingKey::per_side(EXT_PN, LOC_PN, 0),
+        3,
+    );
+    let blockers: [(&str, &(dyn Blocker + Sync)); 2] = [
+        ("blocking::cartesian", &cartesian),
+        ("blocking::sorted_neighborhood", &sn),
+    ];
+    for (site, blocker) in blockers {
+        let pipeline = LinkagePipeline::new(blocker, &cmp);
+        let baseline = pipeline
+            .try_run_sharded(&external, &local)
+            .expect("baseline");
+        let armed = Armed::new(site, "panic(chaos sweep)");
+        let error = pipeline.try_run_sharded(&external, &local).unwrap_err();
+        assert!(
+            matches!(error, LinkError::BlockingPanicked { .. }),
+            "{site}: {error:?}"
+        );
+        drop(armed);
+        let healed = pipeline.try_run_sharded(&external, &local).expect("healed");
+        assert_bit_identical(&healed, &baseline, site);
+    }
+}
+
+fn clone_hits(hits: &ProbeHits) -> ProbeHits {
+    ProbeHits {
+        matches: hits.matches.clone(),
+        possible: hits.possible.clone(),
+        comparisons: hits.comparisons,
+        epoch: hits.epoch,
+    }
+}

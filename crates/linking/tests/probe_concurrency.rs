@@ -170,14 +170,143 @@ fn stress(blocker: &(dyn Blocker + Sync)) {
     assert_eq!(linker.catalog().load().sequence(), final_epoch);
 }
 
+/// With `--features failpoints` the failpoint registry is process-global
+/// and the stress tests cross instrumented sites (`serve::build_epoch`,
+/// the blocker streams), so every test in this binary serialises on one
+/// lock; without the feature the guard is uncontended noise.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[test]
 fn concurrent_probes_see_consistent_epochs_standard() {
+    let _serial = serial();
     let blocker = StandardBlocker::new(BlockingKey::per_side(PROBE_PN, LOCAL_PN, 4));
     stress(&blocker);
 }
 
 #[test]
 fn concurrent_probes_see_consistent_epochs_bigram() {
+    let _serial = serial();
     let blocker = BigramBlocker::new(BlockingKey::per_side(PROBE_PN, LOCAL_PN, 0), 0.6);
     stress(&blocker);
+}
+
+/// Chaos variant (failpoint builds only): the writer's first republish
+/// panics mid-`build_epoch` while 4 readers hammer `probe_with`. The
+/// readers must never observe a poisoned lock (`probe_with` would
+/// panic), a partial epoch (their links are checked against the exact
+/// epoch they report), or a sequence regression; the writer's retry then
+/// publishes epoch 2 with no gap.
+#[cfg(feature = "failpoints")]
+#[test]
+fn readers_survive_a_panicked_swap() {
+    use classilink_linking::LinkError;
+
+    let _serial = serial();
+    fail::teardown();
+    let cmp = RecordComparator::single(PROBE_PN, LOCAL_PN, SimilarityMeasure::JaroWinkler)
+        .with_thresholds(0.95, 0.5);
+    let blocker = StandardBlocker::new(BlockingKey::per_side(PROBE_PN, LOCAL_PN, 4));
+    let catalogs: Vec<ShardedStore> = (0..2)
+        .map(|t| ShardedStore::from_records(&catalog_records(t), SHARDS))
+        .collect();
+    // Probe 0 matches in both epochs; the growth probe flips from
+    // unmatched to matched at epoch 2 — a torn or stale answer cannot
+    // satisfy its reported epoch's expectation.
+    let probes: Vec<Record> = vec![probe_record(0), probe_record(BASE_LOCALS + GROWTH_STEP - 1)];
+    let probe_store = RecordStore::from_records(&probes);
+    let expected: Vec<Vec<Vec<Link>>> = catalogs
+        .iter()
+        .map(|catalog| {
+            let batch = LinkagePipeline::new(&blocker, &cmp).run_sharded(&probe_store, catalog);
+            probes
+                .iter()
+                .map(|probe| {
+                    batch
+                        .matches
+                        .iter()
+                        .filter(|link| link.external == probe.id)
+                        .cloned()
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let linker = Linker::new(&blocker, &cmp, catalogs[0].clone());
+    let warmed = AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        for reader in 0..READERS {
+            let (linker, probes, expected) = (&linker, &probes, &expected);
+            let (warmed, done) = (&warmed, &done);
+            scope.spawn(move || {
+                let mut scratch = ProbeScratch::new();
+                let mut last_epoch = 0u64;
+                for iteration in 0usize.. {
+                    let j = (reader + iteration) % probes.len();
+                    // A poisoned catalog lock or partial epoch would
+                    // panic (or mis-answer) right here.
+                    let hits = linker.probe_with(&probes[j], &mut scratch);
+                    assert!(
+                        hits.epoch >= last_epoch,
+                        "reader {reader}: sequence regressed {last_epoch} -> {}",
+                        hits.epoch
+                    );
+                    assert!(hits.epoch <= 2, "reader {reader}: epoch out of range");
+                    last_epoch = hits.epoch;
+                    let t = usize::try_from(hits.epoch).unwrap() - 1;
+                    assert_links_bit_identical(
+                        &hits.matches,
+                        &expected[t][j],
+                        &format!("reader {reader}, probe {j}, epoch {}", hits.epoch),
+                    );
+                    if iteration == 0 {
+                        warmed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            });
+        }
+
+        while warmed.load(Ordering::SeqCst) < READERS {
+            thread::yield_now();
+        }
+        // First republish dies mid-build; old epoch keeps serving.
+        fail::cfg("serve::build_epoch", "1*panic(chaos mid-swap)->off").unwrap();
+        let error = linker.try_swap(catalogs[1].clone()).unwrap_err();
+        assert!(
+            matches!(error, LinkError::EpochBuildPanicked { .. }),
+            "{error:?}"
+        );
+        assert_eq!(
+            linker.catalog().load().sequence(),
+            1,
+            "failed swap must not publish"
+        );
+        // Let the readers hammer the surviving epoch for a while before
+        // the (now disarmed) retry succeeds with no sequence gap.
+        thread::sleep(Duration::from_millis(5));
+        fail::remove("serve::build_epoch");
+        let sequence = linker.try_swap(catalogs[1].clone()).expect("retry swap");
+        assert_eq!(sequence, 2);
+        thread::sleep(Duration::from_millis(5));
+        done.store(true, Ordering::SeqCst);
+    });
+
+    let mut scratch = ProbeScratch::new();
+    let hits = linker.probe_with(&probes[1], &mut scratch);
+    assert_eq!(hits.epoch, 2);
+    assert_links_bit_identical(&hits.matches, &expected[1][1], "post-retry probe");
+    assert!(
+        !hits.matches.is_empty(),
+        "growth probe must match in epoch 2"
+    );
 }

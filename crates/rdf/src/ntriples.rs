@@ -193,8 +193,14 @@ impl<'a> Cursor<'a> {
         self.expect('_')?;
         self.expect(':')?;
         let mut label = String::new();
-        while matches!(self.peek(), Some(c) if !c.is_whitespace()) {
-            label.push(self.bump().unwrap());
+        // Unwrap-free scan: `peek` both guards and yields the char, so
+        // EOF mid-token simply ends the loop.
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                break;
+            }
+            self.bump();
+            label.push(c);
         }
         if label.is_empty() {
             return Err(RdfError::parse(
@@ -237,8 +243,12 @@ impl<'a> Cursor<'a> {
             Some('@') => {
                 self.bump();
                 let mut lang = String::new();
-                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '-') {
-                    lang.push(self.bump().unwrap());
+                while let Some(c) = self.peek() {
+                    if !(c.is_alphanumeric() || c == '-') {
+                        break;
+                    }
+                    self.bump();
+                    lang.push(c);
                 }
                 if lang.is_empty() {
                     return Err(RdfError::InvalidLiteral(format!(

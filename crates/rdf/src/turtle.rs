@@ -194,8 +194,15 @@ impl<'a> Parser<'a> {
         }
         self.skip_ws_and_comments();
         let mut prefix = String::new();
-        while matches!(self.peek(), Some(c) if c != ':' && !c.is_whitespace()) {
-            prefix.push(self.bump().unwrap());
+        // Unwrap-free scan: `peek` both guards and yields the char, so
+        // EOF mid-token simply ends the loop (and `expect` below reports
+        // the truncation as a parse error).
+        while let Some(c) = self.peek() {
+            if c == ':' || c.is_whitespace() {
+                break;
+            }
+            self.bump();
+            prefix.push(c);
         }
         self.expect(':')?;
         self.skip_ws_and_comments();
@@ -288,8 +295,12 @@ impl<'a> Parser<'a> {
         self.expect('_')?;
         self.expect(':')?;
         let mut label = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
-            label.push(self.bump().unwrap());
+        while let Some(c) = self.peek() {
+            if !(c.is_alphanumeric() || c == '_' || c == '-') {
+                break;
+            }
+            self.bump();
+            label.push(c);
         }
         if label.is_empty() {
             return Err(self.err("empty blank node label"));
@@ -299,9 +310,12 @@ impl<'a> Parser<'a> {
 
     fn parse_prefixed_name(&mut self) -> Result<Term> {
         let mut name = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.'))
-        {
-            name.push(self.bump().unwrap());
+        while let Some(c) = self.peek() {
+            if !(c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '.')) {
+                break;
+            }
+            self.bump();
+            name.push(c);
         }
         // A trailing '.' belongs to the statement terminator, not the name.
         while name.ends_with('.') {
@@ -339,8 +353,12 @@ impl<'a> Parser<'a> {
             Some('@') => {
                 self.bump();
                 let mut lang = String::new();
-                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '-') {
-                    lang.push(self.bump().unwrap());
+                while let Some(c) = self.peek() {
+                    if !(c.is_alphanumeric() || c == '-') {
+                        break;
+                    }
+                    self.bump();
+                    lang.push(c);
                 }
                 if lang.is_empty() {
                     return Err(self.err("empty language tag"));

@@ -1,0 +1,124 @@
+//! Parser robustness: arbitrary truncation and character mangling of
+//! valid Turtle and N-Triples documents must always come back as
+//! `Ok(..)` or `Err(..)` — never a panic. Each property wraps the parse
+//! in `catch_unwind`, so a latent `unwrap` on a half-consumed token
+//! (the historical failure mode of the cursor scanners) fails the test
+//! with the offending document rather than aborting the harness.
+
+use classilink_rdf::{ntriples, turtle};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A Turtle document exercising every token class the parser knows:
+/// prefix declarations, prefixed names, full IRIs, blank nodes, plain /
+/// language-tagged / datatyped literals, and comments.
+const TURTLE_DOC: &str = r#"
+@prefix ex: <http://e.org/v#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+# catalog fragment
+<http://e.org/p1> ex:partNumber "CRCW0805-10K" .
+ex:p2 ex:label "10 kΩ resistor"@en .
+ex:p2 ex:value "10000"^^xsd:integer .
+_:b0 ex:note "blank subject with \"escapes\" and \\slashes\\" .
+"#;
+
+/// An N-Triples document covering IRIs, blank nodes, and all three
+/// literal shapes.
+const NTRIPLES_DOC: &str = r#"
+<http://e.org/p1> <http://e.org/v#partNumber> "CRCW0805-10K" .
+<http://e.org/p2> <http://e.org/v#label> "10 k resistor"@en .
+<http://e.org/p2> <http://e.org/v#value> "10000"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://e.org/v#note> "blank subject" .
+"#;
+
+/// Characters chosen to land on parser decision points: token openers
+/// and closers, escape introducers, tag/datatype markers, and a
+/// multi-byte char so byte/char confusions surface.
+const MANGLE_CHARS: [char; 12] = [
+    '"', '\\', '<', '>', '@', '^', '.', ':', '_', '#', '\u{0}', 'Ω',
+];
+
+/// Assert that parsing `doc` completes without panicking; the parse
+/// `Result` itself may be either variant.
+fn assert_no_panic(parse: &dyn Fn(&str), doc: &str) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| parse(doc)));
+    assert!(outcome.is_ok(), "parser panicked on: {doc:?}");
+}
+
+fn parse_turtle(doc: &str) {
+    let _ = turtle::parse(doc);
+}
+
+fn parse_ntriples(doc: &str) {
+    let _ = ntriples::parse(doc);
+}
+
+/// Truncate after `cut % (len + 1)` chars — always a char boundary, and
+/// the modulus keeps the strategy independent of the document length.
+fn truncated(doc: &str, cut: usize) -> String {
+    let chars: Vec<char> = doc.chars().collect();
+    chars[..cut % (chars.len() + 1)].iter().collect()
+}
+
+/// Replace the char at `pos % len` with a mangle char.
+fn mangled(doc: &str, pos: usize, which: usize) -> String {
+    let mut chars: Vec<char> = doc.chars().collect();
+    let i = pos % chars.len();
+    chars[i] = MANGLE_CHARS[which % MANGLE_CHARS.len()];
+    chars.into_iter().collect()
+}
+
+/// Insert a mangle char before `pos % (len + 1)`.
+fn injected(doc: &str, pos: usize, which: usize) -> String {
+    let mut chars: Vec<char> = doc.chars().collect();
+    let i = pos % (chars.len() + 1);
+    chars.insert(i, MANGLE_CHARS[which % MANGLE_CHARS.len()]);
+    chars.into_iter().collect()
+}
+
+proptest! {
+    /// Truncating a valid document at any char boundary must not panic
+    /// either parser — EOF can land mid-IRI, mid-literal, mid-escape,
+    /// mid-language-tag, or mid-prefixed-name.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..4096) {
+        assert_no_panic(&parse_turtle, &truncated(TURTLE_DOC, cut));
+        assert_no_panic(&parse_ntriples, &truncated(NTRIPLES_DOC, cut));
+    }
+
+    /// Overwriting any single char with a syntax-significant char must
+    /// not panic: quotes open unterminated literals, backslashes dangle
+    /// escapes, '<'/'>' tear IRIs, '@'/'^' fake literal suffixes.
+    #[test]
+    fn char_mangling_never_panics(pos in 0usize..4096, which in 0usize..64) {
+        assert_no_panic(&parse_turtle, &mangled(TURTLE_DOC, pos, which));
+        assert_no_panic(&parse_ntriples, &mangled(NTRIPLES_DOC, pos, which));
+    }
+
+    /// Inserting a syntax-significant char at any position must not
+    /// panic — this shifts every downstream token without removing any
+    /// input, a different failure surface than replacement.
+    #[test]
+    fn char_injection_never_panics(pos in 0usize..4096, which in 0usize..64) {
+        assert_no_panic(&parse_turtle, &injected(TURTLE_DOC, pos, which));
+        assert_no_panic(&parse_ntriples, &injected(NTRIPLES_DOC, pos, which));
+    }
+
+    /// Compound damage: truncate, then mangle inside the survivor, then
+    /// truncate again — documents no single-edit case can produce.
+    #[test]
+    fn compound_damage_never_panics(
+        cut_a in 0usize..4096,
+        pos in 0usize..4096,
+        which in 0usize..64,
+        cut_b in 0usize..4096,
+    ) {
+        for doc in [TURTLE_DOC, NTRIPLES_DOC] {
+            let hurt = truncated(doc, cut_a);
+            let hurt = if hurt.is_empty() { hurt } else { mangled(&hurt, pos, which) };
+            let hurt = truncated(&hurt, cut_b);
+            assert_no_panic(&parse_turtle, &hurt);
+            assert_no_panic(&parse_ntriples, &hurt);
+        }
+    }
+}

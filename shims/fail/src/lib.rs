@@ -1,0 +1,373 @@
+//! Minimal offline stand-in for the `fail` crate (failpoints), API-compatible
+//! with the subset this workspace uses (see `shims/README.md`).
+//!
+//! A *failpoint* is a named no-op marker compiled into cold spots of the
+//! code under test. With the `failpoints` cargo feature enabled, tests can
+//! arm a site at runtime with a deterministic *action sequence* and make it
+//! panic or return an injected error on an exact hit number; without the
+//! feature, `fail_point!` expands to nothing and the instrumented code is
+//! byte-for-byte the uninstrumented code.
+//!
+//! # Action grammar
+//!
+//! An action string is a `->`-separated sequence of steps, each
+//! `[N*]task[(arg)]`:
+//!
+//! | task        | effect on a hit                                        |
+//! |-------------|--------------------------------------------------------|
+//! | `off`       | do nothing                                             |
+//! | `panic`     | `panic!` with the optional argument as the message     |
+//! | `return`    | hand the optional argument to the macro's closure form |
+//!
+//! A `N*` prefix consumes the step for exactly `N` hits; a step without a
+//! count is terminal and handles every remaining hit. Hits past the end of
+//! a fully consumed sequence do nothing. Examples:
+//!
+//! * `"panic"` — panic on every hit;
+//! * `"2*off->panic"` — hits 1–2 pass, hit 3 onward panics;
+//! * `"3*off->1*return(disk full)->off"` — inject an error on exactly the
+//!   4th hit, pass otherwise.
+//!
+//! Evaluation is serialised through one global registry lock, so hit
+//! counting is exact even when many worker threads cross the same site.
+//! The decision (panic / return / pass) is computed under the lock but
+//! *executed after releasing it* — an injected panic can never poison the
+//! registry itself.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One step of an action sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Task {
+    Off,
+    Panic(Option<String>),
+    Return(Option<String>),
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    /// `Some(n)`: the step consumes `n` hits; `None`: terminal.
+    remaining: Option<u64>,
+    task: Task,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FailPoint {
+    steps: Vec<Step>,
+    /// Total hits since the site was configured (diagnostics only).
+    hits: u64,
+}
+
+/// What a site evaluation asks the macro expansion to do.
+#[doc(hidden)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Run the closure form with the optional argument and return its value.
+    Return(Option<String>),
+}
+
+static REGISTRY: OnceLock<Mutex<HashMap<String, FailPoint>>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, HashMap<String, FailPoint>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        // A panic while holding the lock is impossible by construction
+        // (injected panics fire after the guard is dropped); recover anyway
+        // so a chaos harness bug cannot cascade into every later test.
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn parse_step(spec: &str) -> Result<Step, String> {
+    let spec = spec.trim();
+    let (remaining, task_spec) = match spec.split_once('*') {
+        Some((count, rest)) => {
+            let count: u64 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid hit count in failpoint step '{spec}'"))?;
+            (Some(count), rest.trim())
+        }
+        None => (None, spec),
+    };
+    let (name, arg) = match task_spec.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("unclosed argument in failpoint step '{spec}'"))?;
+            (name.trim(), Some(arg.to_string()))
+        }
+        None => (task_spec, None),
+    };
+    let task = match name {
+        "off" => Task::Off,
+        "panic" => Task::Panic(arg),
+        "return" => Task::Return(arg),
+        other => return Err(format!("unknown failpoint task '{other}' in '{spec}'")),
+    };
+    Ok(Step { remaining, task })
+}
+
+fn parse_actions(actions: &str) -> Result<Vec<Step>, String> {
+    actions.split("->").map(parse_step).collect()
+}
+
+/// Arm (or re-arm) the failpoint `name` with an action sequence.
+///
+/// Re-arming replaces the previous sequence and resets the hit counter.
+pub fn cfg<N: Into<String>>(name: N, actions: &str) -> Result<(), String> {
+    let steps = parse_actions(actions)?;
+    registry().insert(name.into(), FailPoint { steps, hits: 0 });
+    Ok(())
+}
+
+/// Disarm the failpoint `name`; unknown names are a no-op.
+pub fn remove(name: &str) {
+    registry().remove(name);
+}
+
+/// Disarm every failpoint.
+pub fn teardown() {
+    registry().clear();
+}
+
+/// Disarm everything, then arm sites from the `FAILPOINTS` environment
+/// variable (`site=actions;site=actions;…`), matching the upstream crate.
+/// Malformed entries panic: an env-driven chaos run must never silently
+/// drop an injection.
+pub fn setup() {
+    teardown();
+    let Ok(spec) = std::env::var("FAILPOINTS") else {
+        return;
+    };
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, actions) = entry
+            .split_once('=')
+            .unwrap_or_else(|| panic!("FAILPOINTS entry '{entry}' is not 'site=actions'"));
+        cfg(name.trim(), actions).unwrap_or_else(|e| panic!("FAILPOINTS entry '{entry}': {e}"));
+    }
+}
+
+/// The armed failpoints as `(name, "<hits> hits")` diagnostics pairs.
+pub fn list() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = registry()
+        .iter()
+        .map(|(name, point)| (name.clone(), format!("{} hits", point.hits)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Evaluate one hit of `name`. Called by the `fail_point!` expansion; not
+/// public API. Returns `Some(Action::Return(..))` when the closure form
+/// must fire; panics when a `panic` step is due; `None` otherwise.
+#[doc(hidden)]
+pub fn eval(name: &str) -> Option<Action> {
+    // Decide under the lock, act after dropping it: a panic must not
+    // poison (or hold!) the registry while unwinding through caller code.
+    let decision = {
+        let mut points = registry();
+        let point = points.get_mut(name)?;
+        point.hits += 1;
+        let mut decided = None;
+        for step in &mut point.steps {
+            match step.remaining {
+                Some(0) => continue,
+                Some(ref mut n) => {
+                    *n -= 1;
+                    decided = Some(step.task.clone());
+                    break;
+                }
+                None => {
+                    decided = Some(step.task.clone());
+                    break;
+                }
+            }
+        }
+        decided
+    };
+    match decision {
+        None | Some(Task::Off) => None,
+        Some(Task::Panic(message)) => {
+            let message = message.unwrap_or_default();
+            panic!("failpoint '{name}' panic: {message}")
+        }
+        Some(Task::Return(arg)) => Some(Action::Return(arg)),
+    }
+}
+
+/// The instrumentation macro.
+///
+/// * `fail_point!("site")` — a site that can pass or panic; `return`
+///   actions are ignored here (there is nothing to return into).
+/// * `fail_point!("site", |arg: Option<String>| expr)` — additionally
+///   supports `return` actions: the closure's value becomes the enclosing
+///   function's return value (the expansion contains a `return`).
+///
+/// Without the `failpoints` feature both forms expand to nothing: the
+/// feature check is on the macro *definition*, so it resolves against this
+/// crate's features, not the caller's.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{
+        let _ = $crate::eval($name);
+    }};
+    ($name:expr, $body:expr) => {{
+        if let Some($crate::Action::Return(arg)) = $crate::eval($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($body)(arg);
+        }
+    }};
+}
+
+/// Feature-off definition: both forms expand to nothing.
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {{}};
+    ($name:expr, $body:expr) => {{}};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex as StdMutex;
+
+    /// The registry is process-global; serialise the tests that touch it.
+    static SERIAL: StdMutex<()> = StdMutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        SERIAL
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_actions("explode").is_err());
+        assert!(parse_actions("x*panic").is_err());
+        assert!(parse_actions("return(unclosed").is_err());
+        assert!(parse_actions("2*off->panic(boom)").is_ok());
+    }
+
+    #[test]
+    fn unregistered_site_is_a_pass() {
+        let _guard = serial();
+        teardown();
+        assert_eq!(eval("tests::nowhere"), None);
+    }
+
+    #[test]
+    fn counted_steps_fire_on_exact_hits() {
+        let _guard = serial();
+        teardown();
+        cfg("tests::nth", "2*off->1*return(now)->off").unwrap();
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(
+            eval("tests::nth"),
+            Some(Action::Return(Some("now".to_string())))
+        );
+        assert_eq!(eval("tests::nth"), None);
+        assert_eq!(eval("tests::nth"), None);
+        remove("tests::nth");
+    }
+
+    #[test]
+    fn terminal_step_handles_every_remaining_hit() {
+        let _guard = serial();
+        teardown();
+        cfg("tests::term", "1*off->return").unwrap();
+        assert_eq!(eval("tests::term"), None);
+        for _ in 0..3 {
+            assert_eq!(eval("tests::term"), Some(Action::Return(None)));
+        }
+        remove("tests::term");
+    }
+
+    #[test]
+    fn panic_step_panics_with_the_message_and_does_not_poison() {
+        let _guard = serial();
+        teardown();
+        cfg("tests::boom", "1*panic(chaos test)->off").unwrap();
+        let err = catch_unwind(AssertUnwindSafe(|| eval("tests::boom"))).unwrap_err();
+        let message = err.downcast_ref::<String>().unwrap();
+        assert!(message.contains("tests::boom"));
+        assert!(message.contains("chaos test"));
+        // The registry survived and the sequence advanced past the panic.
+        assert_eq!(eval("tests::boom"), None);
+        assert_eq!(
+            list(),
+            vec![("tests::boom".to_string(), "2 hits".to_string())]
+        );
+        remove("tests::boom");
+    }
+
+    #[test]
+    fn setup_arms_sites_from_the_env_spec() {
+        let _guard = serial();
+        teardown();
+        std::env::set_var(
+            "FAILPOINTS",
+            "tests::env_a=1*return(from env)->off; tests::env_b=off",
+        );
+        setup();
+        assert_eq!(
+            eval("tests::env_a"),
+            Some(Action::Return(Some("from env".to_string())))
+        );
+        assert_eq!(eval("tests::env_a"), None);
+        assert_eq!(eval("tests::env_b"), None);
+        std::env::remove_var("FAILPOINTS");
+        // Without the variable, setup() is a plain teardown.
+        setup();
+        assert_eq!(eval("tests::env_a"), None);
+    }
+
+    #[test]
+    fn rearming_resets_the_sequence() {
+        let _guard = serial();
+        teardown();
+        cfg("tests::rearm", "1*return->off").unwrap();
+        assert_eq!(eval("tests::rearm"), Some(Action::Return(None)));
+        assert_eq!(eval("tests::rearm"), None);
+        cfg("tests::rearm", "1*return->off").unwrap();
+        assert_eq!(eval("tests::rearm"), Some(Action::Return(None)));
+        teardown();
+        assert_eq!(eval("tests::rearm"), None);
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod macro_forms {
+        use super::*;
+
+        fn guarded() -> Result<u32, String> {
+            fail_point!("tests::macro_return", |arg: Option<String>| Err(
+                arg.unwrap_or_default()
+            ));
+            fail_point!("tests::macro_plain");
+            Ok(7)
+        }
+
+        #[test]
+        fn closure_form_returns_and_plain_form_panics() {
+            let _guard = serial();
+            teardown();
+            assert_eq!(guarded(), Ok(7));
+            cfg("tests::macro_return", "return(injected)").unwrap();
+            assert_eq!(guarded(), Err("injected".to_string()));
+            remove("tests::macro_return");
+            cfg("tests::macro_plain", "panic(chaos macro)").unwrap();
+            assert!(catch_unwind(AssertUnwindSafe(guarded)).is_err());
+            teardown();
+            assert_eq!(guarded(), Ok(7));
+        }
+    }
+}
