@@ -23,6 +23,17 @@
 //!   standard key blocking; `single_store` is the monolithic baseline,
 //!   `sharded/N` streams per-shard candidate runs into N task queues
 //!   with count-based work stealing.
+//! * `ingest/<format>` — the catalog serialised as N-Triples and Turtle
+//!   and fed through [`FeedIngest`] in 64 KiB chunks, reported in
+//!   **MB/s** (`Throughput::Bytes`), with a `peak_bytes` metric line
+//!   pinning the bounded-memory claim: peak resident parse state vs the
+//!   whole document a batch parse holds.
+//! * `delta/append_Npct` — incremental delta linking: a base catalog
+//!   grown by a {1, 10}% appended shard, `run_sharded_delta` over the
+//!   new shard only vs a full re-run, emitted as a speedup metric line.
+//! * `serve/*` — probe throughput plus two republish latencies per
+//!   blocker: `swap_latency` (full rebuild + warm) and
+//!   `append_latency` (`Linker::append`, the O(delta) epoch successor).
 //!
 //! Before the pipeline series, one instrumented run prints the
 //! **blocking vs comparison wall-time split** so the bench output shows
@@ -35,11 +46,17 @@ use classilink_linking::blocking::{
     Blocker, CartesianBlocker, SortedNeighborhoodBlocker, StandardBlocker,
 };
 use classilink_linking::{
-    BigramBlocker, CandidateRuns, LinkagePipeline, Linker, ProbeScratch, RecordComparator,
-    SimilarityMeasure,
+    BigramBlocker, CandidateRuns, FeedFormat, FeedIngest, LinkagePipeline, Linker, ProbeScratch,
+    Record, RecordComparator, SchemaInterner, ShardedStore, SimilarityMeasure,
 };
+use classilink_rdf::term::escape_literal;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
+
+/// Bytes fed to the streaming ingest per `feed` call: large enough to
+/// amortise per-chunk overhead, small enough that the bounded-memory
+/// claim is non-trivial against a multi-megabyte document.
+const INGEST_CHUNK: usize = 64 * 1024;
 
 /// Append one metric JSON line to the `CLASSILINK_BENCH_JSON` file (the
 /// same file the criterion shim appends its timing lines to), recording
@@ -88,6 +105,96 @@ fn emit_latency(label: &str, mean_ns: u64, iterations: u64) {
     if let Err(error) = written {
         eprintln!("paper_scale: cannot append to {path}: {error}");
     }
+}
+
+/// Append the streaming ingest's bounded-memory metric line: the peak
+/// resident parse state (one chunk plus the parser's carried-over
+/// partial statement) against the whole document a batch parse holds.
+fn emit_peak_bytes(label: &str, peak_bytes: usize, batch_bytes: usize) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"peak_bytes\":{peak_bytes},\"batch_bytes\":{batch_bytes}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
+
+/// Append one delta-vs-full metric line: wall time of the incremental
+/// `run_sharded_delta` over the appended shards against a full re-run of
+/// the grown catalog, plus their ratio (the delta speedup).
+fn emit_delta_speedup(label: &str, full_ns: u128, delta_ns: u128, speedup: f64) {
+    let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"label\":{label:?},\"full_ns\":{full_ns},\"delta_ns\":{delta_ns},\
+         \"speedup\":{speedup:.2}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("paper_scale: cannot append to {path}: {error}");
+    }
+}
+
+/// The catalog as an N-Triples document, the wire format the streaming
+/// ingest series parses.
+fn ntriples_document(records: &[Record]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let id = record.id.as_iri().expect("catalog ids are IRIs");
+        for (property, values) in &record.attributes {
+            for value in values {
+                out.push_str(&format!(
+                    "<{id}> <{property}> \"{}\" .\n",
+                    escape_literal(value)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The catalog as a Turtle document: one `@prefix` for the local vocab,
+/// one subject line per record with a `;`-joined predicate list — the
+/// denser wire format, exercising the incremental Turtle parser.
+fn turtle_document(records: &[Record]) -> String {
+    let mut out = format!("@prefix v: <{}> .\n", vocab::LOCAL_VOCAB_NS);
+    for record in records {
+        let id = record.id.as_iri().expect("catalog ids are IRIs");
+        let facts: Vec<String> = record
+            .attributes
+            .iter()
+            .flat_map(|(property, values)| {
+                let predicate = match property.strip_prefix(vocab::LOCAL_VOCAB_NS) {
+                    Some(name) => format!("v:{name}"),
+                    None => format!("<{property}>"),
+                };
+                values
+                    .iter()
+                    .map(move |value| format!("{predicate} \"{}\"", escape_literal(value)))
+            })
+            .collect();
+        out.push_str(&format!("<{id}> {} .\n", facts.join(" ; ")));
+    }
+    out
 }
 
 /// Append the bigram filter pipeline's per-run accounting as one metric
@@ -185,6 +292,64 @@ fn bench_paper_scale(c: &mut Criterion) {
             &shards,
             |b, &s| b.iter(|| scenario.local_store_sharded(s)),
         );
+    }
+
+    // Streaming ingestion: the whole catalog serialised to each wire
+    // format and fed through `FeedIngest` in 64 KiB chunks (chunks split
+    // statements anywhere). `Throughput::Bytes` makes the series read as
+    // **MB/s of feed text**; each format also emits a `peak_bytes`
+    // metric line — the largest chunk-plus-carry-over the parser ever
+    // held resident — against the full document a batch parse keeps in
+    // memory, which is the bounded-memory claim the validator enforces.
+    {
+        let catalog = scenario.local_store().to_records();
+        let per_shard = catalog.len().div_ceil(4);
+        let documents = [
+            (
+                "ntriples",
+                FeedFormat::NTriples,
+                ntriples_document(&catalog),
+            ),
+            ("turtle", FeedFormat::Turtle, turtle_document(&catalog)),
+        ];
+        for (name, format, document) in &documents {
+            let bytes = document.as_bytes();
+            let mut peak = 0usize;
+            let mut probe = FeedIngest::new(*format, SchemaInterner::new(), per_shard);
+            for chunk in bytes.chunks(INGEST_CHUNK) {
+                probe.feed(chunk).expect("catalog document parses");
+                peak = peak.max(chunk.len() + probe.buffered_bytes());
+            }
+            let streamed = probe.try_finish().expect("catalog document finishes");
+            assert_eq!(streamed.len(), catalog.len(), "ingest/{name} lost records");
+            println!(
+                "ingest/{name}: {} bytes in, peak {} bytes resident ({:.1}% of batch), \
+                 {} records into {} shards",
+                bytes.len(),
+                peak,
+                100.0 * peak as f64 / bytes.len() as f64,
+                streamed.len(),
+                streamed.shard_count(),
+            );
+            emit_peak_bytes(
+                &format!("paper_scale/ingest/{name}/peak_bytes"),
+                peak,
+                bytes.len(),
+            );
+            group.throughput(Throughput::Bytes(bytes.len() as u64));
+            group.bench_with_input(BenchmarkId::new("ingest", *name), &(), |b, ()| {
+                b.iter(|| {
+                    let mut ingest = FeedIngest::new(*format, SchemaInterner::new(), per_shard);
+                    for chunk in bytes.chunks(INGEST_CHUNK) {
+                        ingest.feed(chunk).expect("catalog document parses");
+                    }
+                    ingest
+                        .into_builder()
+                        .expect("catalog document finishes")
+                        .len()
+                })
+            });
+        }
     }
 
     // Blocking phase alone: streamed per-shard candidate runs on a
@@ -363,16 +528,75 @@ fn bench_paper_scale(c: &mut Criterion) {
         );
     }
 
+    // Incremental delta linking: grow a 4-shard base catalog by an
+    // appended batch of {1, 10}% of the records (sampled across the
+    // catalog) and link **only the appended shard** with
+    // `run_sharded_delta`, against a full re-run of the grown catalog.
+    // Hand-timed on warm indexes (one untimed full run first) and
+    // emitted as a `delta/append_Npct` metric line carrying both wall
+    // times and their ratio — the speedup the append-only epoch path
+    // buys over relinking the world.
+    {
+        let catalog = scenario.local_store().to_records();
+        for pct in [1usize, 10] {
+            let (base_records, delta_records): (Vec<Record>, Vec<Record>) =
+                catalog.iter().enumerate().fold(
+                    (Vec::new(), Vec::new()),
+                    |(mut base, mut delta), (i, record)| {
+                        if i % 100 < pct {
+                            delta.push(record.clone());
+                        } else {
+                            base.push(record.clone());
+                        }
+                        (base, delta)
+                    },
+                );
+            let base = ShardedStore::from_records(&base_records, 4);
+            let first_new = base.shard_count();
+            let mut delta = base.delta_builder();
+            delta.begin_shard();
+            for record in &delta_records {
+                delta.push(record);
+            }
+            let appended = base.append_shards(delta);
+            let pipeline = LinkagePipeline::new(&blocker, &comparator).with_threads(threads);
+            pipeline.run_sharded(&external, &appended); // warm every index once
+
+            let start = Instant::now();
+            let full = pipeline.run_sharded(&external, &appended);
+            let full_ns = start.elapsed().as_nanos().max(1);
+            let start = Instant::now();
+            let delta_run = pipeline.run_sharded_delta(&external, &appended, first_new);
+            let delta_ns = start.elapsed().as_nanos().max(1);
+            let speedup = full_ns as f64 / delta_ns as f64;
+            println!(
+                "delta/append_{pct}pct: delta {delta_ns} ns ({} comparisons) vs full \
+                 {full_ns} ns ({} comparisons) — {speedup:.1}x",
+                delta_run.comparisons, full.comparisons,
+            );
+            emit_delta_speedup(
+                &format!("paper_scale/delta/append_{pct}pct"),
+                full_ns,
+                delta_ns,
+                speedup,
+            );
+        }
+    }
+
     // Serving layer: single-record probes against a pre-warmed 4-shard
     // epoch, single-threaded with one reused `ProbeScratch`, one series
     // per blocker; throughput is the probe count, so the report reads
-    // **probes per second**. Each blocker also emits a
-    // `serve/swap_latency/<blocker>` timing line — the wall time of
-    // `Linker::swap`, i.e. a full epoch rebuild + warm (outside the
-    // lock) plus the pointer flip, hand-timed because iterating
-    // catalog rebuilds through criterion would dwarf the smoke run.
+    // **probes per second**. Each blocker also emits two republish
+    // timing lines — `serve/swap_latency/<blocker>`, the wall time of a
+    // cold catalog rebuild plus `Linker::swap` (epoch build + warm +
+    // pointer flip), and `serve/append_latency/<blocker>`, the O(delta)
+    // `Linker::append` — hand-timed because iterating catalog rebuilds
+    // through criterion would dwarf the smoke run.
     {
         let probe_records: Vec<_> = (0..64).map(|e| external.record(e)).collect();
+        let catalog_records = local.to_records();
+        // A 1% slice of the catalog, re-fed as each timed `append` batch.
+        let append_batch: Vec<Record> = catalog_records.iter().step_by(100).cloned().collect();
         let serve_blockers: [(&str, &(dyn Blocker + Sync)); 2] =
             [("standard", &standard), ("bigram", &bigram)];
         for (name, blocker) in serve_blockers {
@@ -396,19 +620,52 @@ fn bench_paper_scale(c: &mut Criterion) {
                     links
                 })
             });
+            // Full republish: columnarise the whole catalog from records
+            // and swap it in (epoch build + warm). Shards are Arc-shared
+            // since the append-only epoch work, so swapping a *clone* of
+            // the serving catalog would reuse its warm indexes and time
+            // only the pointer flip — the honest O(catalog) cost needs a
+            // cold replacement each time.
             const SWAPS: u64 = 2;
-            let replacements: Vec<_> = (0..SWAPS).map(|_| blocking_local.clone()).collect();
             let start = Instant::now();
-            for replacement in replacements {
-                linker.swap(replacement);
+            for _ in 0..SWAPS {
+                linker.swap(ShardedStore::from_records(&catalog_records, 4));
             }
             let mean_ns =
                 u64::try_from(start.elapsed().as_nanos() / u128::from(SWAPS)).unwrap_or(u64::MAX);
-            println!("serve/swap_latency/{name}: {mean_ns} ns mean over {SWAPS} swaps");
+            println!("serve/swap_latency/{name}: {mean_ns} ns mean over {SWAPS} cold swaps");
             emit_latency(
                 &format!("paper_scale/serve/swap_latency/{name}"),
                 mean_ns.max(1),
                 SWAPS,
+            );
+
+            // The incremental republish beside the full one: each
+            // `Linker::append` columnarises a 1% batch as one new shard
+            // and warms only that shard — the O(delta) counterpart of
+            // the full-rebuild swap above.
+            const APPENDS: u64 = 2;
+            let start = Instant::now();
+            for _ in 0..APPENDS {
+                let mut delta = linker.delta_builder();
+                delta.begin_shard();
+                for record in &append_batch {
+                    delta.push(record);
+                }
+                linker.append(delta);
+            }
+            let append_ns =
+                u64::try_from(start.elapsed().as_nanos() / u128::from(APPENDS)).unwrap_or(u64::MAX);
+            println!(
+                "serve/append_latency/{name}: {append_ns} ns mean over {APPENDS} appends of \
+                 {} records — {:.1}x below the full swap",
+                append_batch.len(),
+                mean_ns as f64 / append_ns.max(1) as f64,
+            );
+            emit_latency(
+                &format!("paper_scale/serve/append_latency/{name}"),
+                append_ns.max(1),
+                APPENDS,
             );
         }
     }

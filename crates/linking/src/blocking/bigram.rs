@@ -281,8 +281,11 @@ impl Blocker for BigramBlocker {
         let external_index = external.key_index(&self.key.external_side(external));
         let external_bigrams = external_index.bigram_index();
         let local_side = self.key.local_side_of(local.schema());
-        for (s, shard) in local.shards().iter().enumerate() {
-            if shard.is_empty() {
+        for (s, shard) in local.iter().enumerate() {
+            // An inactive (delta-restricted) shard skips its whole probe
+            // loop — including the gram-map rebuild and threshold-layout
+            // touch, which is what makes a delta run O(new shards).
+            if shard.is_empty() || !out.shard_active(s) {
                 continue;
             }
             let local_index = shard.key_index(&local_side);
@@ -445,7 +448,7 @@ impl Blocker for BigramBlocker {
     /// the filtered probe walk reads).
     fn warm(&self, local: LocalShards<'_>) {
         let local_side = self.key.local_side_of(local.schema());
-        for shard in local.shards() {
+        for shard in local.iter() {
             shard
                 .key_index(&local_side)
                 .bigram_index()

@@ -369,6 +369,10 @@ pub struct CandidateRuns {
     per_shard: Vec<ShardRun>,
     /// Sum of all block lengths — the comparison count, by construction.
     total: u64,
+    /// First shard the sink accepts candidates for (see
+    /// [`restrict_to_shards_from`](Self::restrict_to_shards_from));
+    /// pushes to earlier shards are silently dropped. 0 = accept all.
+    first_active: usize,
     /// Reusable probe scratch shared by the built-in blockers.
     pub(crate) scratch: RunScratch,
 }
@@ -524,6 +528,31 @@ impl CandidateRuns {
             self.per_shard.push(ShardRun::default());
         }
         self.total = 0;
+        // Deliberately NOT cleared: the restriction is a property of the
+        // sink's consumer (the delta pipeline), not of one producer call,
+        // and `reset` is what every `stream_candidates` impl runs first.
+    }
+
+    /// Restrict the sink to shards `first..`: candidates a blocker emits
+    /// for earlier shards are **silently dropped** (not an error — a
+    /// blocker with global state, like sorted neighbourhood, must still
+    /// walk the whole catalog to emit the right new-shard candidates).
+    /// This is the delta-linking contract of
+    /// [`LinkagePipeline::run_sharded_delta`](crate::pipeline::LinkagePipeline::run_sharded_delta):
+    /// the surviving blocks are exactly the `first..` slice of an
+    /// unrestricted run. The restriction is sticky across
+    /// [`reset`](Self::reset); construct a fresh sink to lift it.
+    pub fn restrict_to_shards_from(&mut self, first: usize) {
+        self.first_active = first;
+    }
+
+    /// `true` when the sink accepts candidates for `shard` — blockers
+    /// whose per-shard work is independent check this to skip the
+    /// entire shard's probe loop (and its index builds) under a delta
+    /// restriction.
+    #[inline]
+    pub fn shard_active(&self, shard: usize) -> bool {
+        shard >= self.first_active
     }
 
     /// Emit one candidate: external record `external` against
@@ -532,6 +561,9 @@ impl CandidateRuns {
     /// explicit block.
     #[inline]
     pub fn push(&mut self, shard: usize, external: usize, local: usize) {
+        if shard < self.first_active {
+            return;
+        }
         self.per_shard[shard].push_explicit(run_u32(external), run_u32(local));
         self.total += 1;
     }
@@ -542,7 +574,7 @@ impl CandidateRuns {
     /// many pairs it covers). Empty spans are skipped.
     #[inline]
     pub fn push_span(&mut self, shard: usize, external: usize, start: usize, len: usize) {
-        if len == 0 {
+        if len == 0 || shard < self.first_active {
             return;
         }
         let run = &mut self.per_shard[shard];
@@ -564,7 +596,7 @@ impl CandidateRuns {
     /// are skipped.
     #[inline]
     pub fn push_keyed(&mut self, shard: usize, external: usize, table_start: usize, len: usize) {
-        if len == 0 {
+        if len == 0 || shard < self.first_active {
             return;
         }
         let run = &mut self.per_shard[shard];
@@ -764,10 +796,10 @@ pub trait Blocker {
         local: &ShardedStore,
     ) -> Vec<CandidatePair> {
         let mut pairs = Vec::new();
-        for (s, shard) in local.shards().iter().enumerate() {
+        for s in 0..local.shard_count() {
             let base = local.offset(s);
             pairs.extend(
-                self.candidate_pairs(external, shard)
+                self.candidate_pairs(external, local.shard(s))
                     .into_iter()
                     .map(|(e, l)| (e, base + l)),
             );
@@ -862,7 +894,10 @@ impl Blocker for CartesianBlocker {
     ) {
         out.reset(local.shard_count());
         fail::fail_point!("blocking::cartesian");
-        for (s, shard) in local.shards().iter().enumerate() {
+        for (s, shard) in local.iter().enumerate() {
+            if !out.shard_active(s) {
+                continue;
+            }
             for e in 0..external.len() {
                 out.push_span(s, e, 0, shard.len());
             }

@@ -95,7 +95,10 @@ impl Blocker for RuleBasedBlocker<'_> {
             let predictions = self.classifier.classify_fact_refs(external.facts(e));
             if predictions.is_empty() {
                 if self.fallback_to_all {
-                    for (s, shard) in local.shards().iter().enumerate() {
+                    for (s, shard) in local.iter().enumerate() {
+                        if !out.shard_active(s) {
+                            continue;
+                        }
                         out.push_span(s, e, 0, shard.len());
                     }
                 }
@@ -104,7 +107,10 @@ impl Blocker for RuleBasedBlocker<'_> {
             let epoch = out.scratch.next_epoch(local.len());
             for prediction in predictions {
                 for item in self.instances.extent(prediction.class, self.ontology) {
-                    for (s, shard) in local.shards().iter().enumerate() {
+                    for (s, shard) in local.iter().enumerate() {
+                        if !out.shard_active(s) {
+                            continue;
+                        }
                         if let Some(l) = shard.index_of(&item) {
                             let global = local.offset(s) + l;
                             if out.scratch.marks[global] != epoch {

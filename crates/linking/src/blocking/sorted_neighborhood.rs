@@ -115,8 +115,11 @@ impl Blocker for SortedNeighborhoodBlocker {
         let reach = self.window - 1;
         let external_keys = external.key_index(&self.key.external_side(external));
         let local_side = self.key.local_side_of(local.schema());
+        // No shard_active skip here: the sliding window is global, so
+        // the walk must see every shard's ladder to decide which
+        // new-shard records fall inside an external's window; pushes
+        // into restricted shards are dropped by the sink itself.
         let local_keys: Vec<Arc<KeyIndex>> = local
-            .shards()
             .iter()
             .map(|shard| shard.key_index(&local_side))
             .collect();
@@ -179,7 +182,7 @@ impl Blocker for SortedNeighborhoodBlocker {
     /// local-side artifacts the window walk reads).
     fn warm(&self, local: LocalShards<'_>) {
         let local_side = self.key.local_side_of(local.schema());
-        for shard in local.shards() {
+        for shard in local.iter() {
             shard.key_index(&local_side).value_sorted();
         }
     }

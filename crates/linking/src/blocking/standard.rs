@@ -83,7 +83,10 @@ impl Blocker for StandardBlocker {
         out.reset(local.shard_count());
         let external_index = external.key_index(&self.key.external_side(external));
         let local_side = self.key.local_side_of(local.schema());
-        for (s, shard) in local.shards().iter().enumerate() {
+        for (s, shard) in local.iter().enumerate() {
+            if !out.shard_active(s) {
+                continue;
+            }
             let local_index = shard.key_index(&local_side);
             out.set_key_table(s, local_index.clone());
             for e in 0..external.len() {
@@ -104,7 +107,7 @@ impl Blocker for StandardBlocker {
     /// standard blocking reads).
     fn warm(&self, local: LocalShards<'_>) {
         let local_side = self.key.local_side_of(local.schema());
-        for shard in local.shards() {
+        for shard in local.iter() {
             shard.key_index(&local_side);
         }
     }

@@ -63,6 +63,15 @@ pub enum LinkError {
         /// Stringified panic payload.
         payload: String,
     },
+    /// A streaming ingest ([`FeedIngest`](crate::ingest::FeedIngest))
+    /// failed — a malformed statement in the feed, or a panic while a
+    /// chunk was being parsed and columnarised. The ingest is poisoned:
+    /// it refuses further chunks and never publishes a store built from
+    /// the partial feed.
+    IngestFailed {
+        /// The parse error, or the stringified panic payload.
+        payload: String,
+    },
     /// An error injected through a `fail_point!` `return` action
     /// (fault-injection builds only).
     Injected {
@@ -110,6 +119,9 @@ impl fmt::Display for LinkError {
                 )
             }
             LinkError::ProbePanicked { payload } => write!(f, "probe panicked: {payload}"),
+            LinkError::IngestFailed { payload } => {
+                write!(f, "streaming ingest failed (nothing published): {payload}")
+            }
             LinkError::Injected { site, message } => {
                 write!(f, "injected failure at failpoint '{site}': {message}")
             }

@@ -122,6 +122,19 @@ impl SchemaInterner {
         Self::default()
     }
 
+    /// A shared schema **continuing** an existing snapshot: every
+    /// already-interned IRI keeps exactly the id the snapshot gave it,
+    /// and new IRIs extend the dense sequence from there. This is how a
+    /// delta batch (see
+    /// [`ShardedStore::delta_builder`](crate::shard::ShardedStore::delta_builder))
+    /// columnarises against a frozen catalog without re-resolving a
+    /// single compiled id.
+    pub fn seeded(snapshot: &PropertyInterner) -> Self {
+        SchemaInterner {
+            inner: Arc::new(Mutex::new(snapshot.clone())),
+        }
+    }
+
     /// Lock the shared table, recovering from poisoning: the critical
     /// sections below never unwind mid-mutation (`PropertyInterner`
     /// pushes the name before publishing the id, and the remaining ops
@@ -204,6 +217,21 @@ mod tests {
         schema.intern("http://e.org/v#c");
         assert_eq!(snapshot.len(), 2);
         assert_eq!(schema.len(), 3);
+    }
+
+    #[test]
+    fn seeded_schema_continues_the_snapshot() {
+        let schema = SchemaInterner::new();
+        let a = schema.intern("http://e.org/v#a");
+        let b = schema.intern("http://e.org/v#b");
+        let snapshot = schema.snapshot();
+        let delta = SchemaInterner::seeded(&snapshot);
+        assert_eq!(delta.get("http://e.org/v#a"), Some(a));
+        assert_eq!(delta.intern("http://e.org/v#b"), b);
+        assert_eq!(delta.intern("http://e.org/v#c").index(), 2);
+        // The base snapshot and its source schema are untouched.
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(schema.len(), 2);
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //! * [`index`] — a small generic inverted index (kept for external
 //!   consumers; bigram blocking now probes the packed posting lists of
 //!   the [`token_index::KeyIndex`]).
+//! * [`ingest`] — streaming ingestion: the incremental RDF parsers feed
+//!   a subject-grouping adapter that columnarises straight into shard
+//!   builders with bounded transient memory; every `from_graph`
+//!   constructor is a thin wrapper over the same adapter.
 //! * [`shard`] — the sharded catalog: per-shard stores on a shared
 //!   [`intern::SchemaInterner`] with a router mapping
 //!   shard-local ids to global record ids and back.
@@ -76,6 +80,7 @@ pub mod blocking;
 pub mod comparator;
 pub mod error;
 pub mod index;
+pub mod ingest;
 pub mod intern;
 pub mod pipeline;
 pub mod record;
@@ -95,6 +100,7 @@ pub use comparator::{
 };
 pub use error::{LinkError, LinkResult};
 pub use index::InvertedIndex;
+pub use ingest::{FeedFormat, FeedIngest, RecordSink, SubjectGrouper};
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;

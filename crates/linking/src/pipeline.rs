@@ -223,6 +223,77 @@ impl<'a> LinkagePipeline<'a> {
         )
     }
 
+    /// Incremental linking against an appended catalog: link `external`
+    /// only against the records of shards `first_new_shard..` (the
+    /// shards a [`ShardedStore::append_shards`] just added), reusing the
+    /// cached key/bigram/token artifacts of the untouched shards.
+    ///
+    /// The result is **bit-identical to the new-shard slice of a full
+    /// re-run**: the same `(external, local, score)` links
+    /// [`run_sharded`](Self::run_sharded) would report with a local side
+    /// at global id ≥ `offset(first_new_shard)`, with `comparisons` and
+    /// `naive_pairs` counting only the delta work (so `reduction_ratio`
+    /// is the delta's own reduction). Per-shard-independent blockers
+    /// skip old shards outright (their probe loops never run); the
+    /// sorted-neighbourhood window still walks the whole catalog — its
+    /// windows span the shard boundary — but old-shard candidates are
+    /// dropped at the sink, so only new-shard pairs are ever scored.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_run_sharded_delta`](Self::try_run_sharded_delta).
+    pub fn run_sharded_delta(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+        first_new_shard: usize,
+    ) -> LinkageResult {
+        self.try_run_sharded_delta(external, local, first_new_shard)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_sharded_delta`](Self::run_sharded_delta): see
+    /// [`try_run_stores`](Self::try_run_stores) for the containment
+    /// contract. A `first_new_shard` at or past the shard count is an
+    /// empty delta (zero comparisons), not an error.
+    pub fn try_run_sharded_delta(
+        &self,
+        external: &RecordStore,
+        local: &ShardedStore,
+        first_new_shard: usize,
+    ) -> LinkResult<LinkageResult> {
+        let first = first_new_shard.min(local.shard_count());
+        let mut runs = CandidateRuns::new();
+        runs.restrict_to_shards_from(first);
+        self.stream_blocking(external, local.into(), &mut runs)?;
+        let delta_len = if first == local.shard_count() {
+            0
+        } else {
+            local.len() - local.offset(first)
+        };
+        let naive_pairs = external.len() as u64 * delta_len as u64;
+        let compiled = self
+            .comparator
+            .compile_schemas(external.interner(), local.schema());
+        if compiled.uses_token_index() {
+            external.token_index();
+            // Only the new shards can be cold; an old shard's index was
+            // built by the full run (or a previous delta) and is cached.
+            for shard in &local.shards()[first..] {
+                shard.token_index();
+            }
+        }
+        let comparisons = runs.total() as usize;
+        let queues: Vec<TaskQueue<'_>> = (first..local.shard_count())
+            .map(|s| TaskQueue::new(local.shard(s), local.offset(s), &runs, s, external.len()))
+            .collect();
+        let (matches, possible) = self.score(&compiled, external, &queues, comparisons)?;
+        Ok(
+            self.finish(matches, possible, comparisons, naive_pairs, external, |l| {
+                local.id(l)
+            }),
+        )
+    }
+
     /// The blocking failure domain: stream candidates into `runs`,
     /// converting a blocker panic into [`LinkError::BlockingPanicked`].
     /// The sink resets itself at the start of every stream, so a

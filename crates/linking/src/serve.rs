@@ -19,6 +19,11 @@
 //!   the new epoch *outside* the lock, then flips the pointer. In-flight
 //!   probes keep the `Arc` of the epoch they started on, so a probe is
 //!   never torn across a swap and a swap never waits for probes.
+//! * **Incremental appends.** [`Linker::append`] publishes a successor
+//!   epoch that `Arc`-shares the surviving shards of the current one —
+//!   their warmed artifacts carry over — and builds/warms only the
+//!   delta's appended shards, so growing the catalog costs O(delta)
+//!   where [`Linker::swap`] costs O(catalog).
 //! * **Fault-contained republish.** [`Linker::try_swap`] catches a panic
 //!   anywhere in the epoch build/warm *before* the lock is touched: a
 //!   failed republish returns [`LinkError::EpochBuildPanicked`], the old
@@ -46,7 +51,7 @@ use crate::error::{panic_payload, LinkError, LinkResult};
 use crate::intern::{PropertyId, SchemaInterner};
 use crate::pipeline::{score_range, Link, ScoredPair, TaskQueue};
 use crate::record::Record;
-use crate::shard::ShardedStore;
+use crate::shard::{LocalShards, ShardedStore, ShardedStoreBuilder};
 use crate::similarity::SimScratch;
 use crate::store::RecordStore;
 use std::cell::RefCell;
@@ -219,6 +224,86 @@ impl<'a> Linker<'a> {
                 catalog,
                 0,
             )
+        }));
+        match built {
+            Ok(Ok(epoch)) => Ok(self.catalog.publish(epoch)),
+            Ok(Err(error)) => Err(error),
+            Err(payload) => Err(LinkError::EpochBuildPanicked {
+                payload: panic_payload(payload),
+            }),
+        }
+    }
+
+    /// An empty shard builder whose schema continues the currently
+    /// served catalog's (see [`ShardedStore::delta_builder`]) — fill it
+    /// with the delta batch and publish with [`append`](Self::append).
+    pub fn delta_builder(&self) -> ShardedStoreBuilder {
+        self.catalog.load().store().delta_builder()
+    }
+
+    /// Grow the served catalog **incrementally**: columnarise `delta`
+    /// (from [`delta_builder`](Self::delta_builder)) as new shards
+    /// appended to the current epoch's store, and publish the successor
+    /// epoch. Returns the new epoch's sequence number.
+    ///
+    /// Unlike [`swap`](Self::swap), which warms every shard of the
+    /// replacement catalog, the successor epoch `Arc`-shares the
+    /// surviving shards — their key indexes, sort ladders, bigram
+    /// layouts and token indexes carry over already warm — and only the
+    /// **appended** shards are built and warmed. Republishing therefore
+    /// costs O(delta), not O(catalog). In-flight probes finish on the
+    /// epoch they started with, exactly as for a swap.
+    ///
+    /// Concurrent appends are last-publish-wins over the same loaded
+    /// base (like any load-build-publish update); serialise appends on
+    /// one updater thread to make every delta durable.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_append`](Self::try_append).
+    pub fn append(&self, delta: ShardedStoreBuilder) -> u64 {
+        self.try_append(delta).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`append`](Self::append): a panic (or injected fault)
+    /// while columnarising the delta shards or warming their artifacts
+    /// is caught *before* the catalog lock is ever taken and returned as
+    /// a [`LinkError`]. On `Err` the previous epoch keeps serving —
+    /// nothing is partially appended, and the sequence does not advance.
+    pub fn try_append(&self, delta: ShardedStoreBuilder) -> LinkResult<u64> {
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            // Models a fault at the append boundary, before the delta
+            // columnarises or the base epoch is even loaded.
+            fail::fail_point!("serve::append", |arg: Option<String>| Err(
+                LinkError::injected("serve::append", arg)
+            ));
+            let current = self.catalog.load();
+            let base = current.store();
+            let first_new = base.shard_count();
+            let appended = base.try_append_shards(delta)?;
+            let compiled = self
+                .comparator
+                .compile_schemas(&self.probe_schema.snapshot(), appended.schema());
+            if compiled.uses_token_index() {
+                // Old shards' token indexes are cached in the shared
+                // `Arc`s; only the appended shards build here.
+                for shard in &appended.shards()[first_new..] {
+                    shard.token_index();
+                }
+            }
+            fail::fail_point!("serve::warm_append");
+            // Warm each appended shard as a single-shard view: every
+            // built-in warm only reads the schema (each shard's own
+            // interner) and builds per-shard indexes, so this is
+            // equivalent to warming the whole catalog — minus the
+            // old-shard probes, which are already warm.
+            for s in first_new..appended.shard_count() {
+                self.blocker.warm(LocalShards::single(appended.shard(s)));
+            }
+            Ok(CatalogEpoch {
+                sequence: 0, // provisional; `publish` assigns the real one
+                store: appended,
+                compiled,
+            })
         }));
         match built {
             Ok(Ok(epoch)) => Ok(self.catalog.publish(epoch)),

@@ -61,10 +61,16 @@ use std::sync::Arc;
 
 /// An immutable catalog split into contiguous per-shard [`RecordStore`]s
 /// sharing one property schema. See the [module docs](self).
+///
+/// Shards are held as `Arc`s: cloning the catalog — and, crucially,
+/// **appending** to it ([`append_shards`](Self::append_shards)) —
+/// shares the surviving shards instead of copying them, so their
+/// lazily-built artifacts (token indexes, key indexes, bigram layouts)
+/// ride along warm. An append therefore costs O(delta), not O(catalog).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedStore {
     /// The per-shard stores, in catalog order.
-    shards: Vec<RecordStore>,
+    shards: Vec<Arc<RecordStore>>,
     /// Global id of each shard's first record; `len = shards + 1`, the
     /// last entry is the total record count.
     offsets: Vec<usize>,
@@ -157,8 +163,9 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// The per-shard stores, in catalog order.
-    pub fn shards(&self) -> &[RecordStore] {
+    /// The per-shard stores, in catalog order (`Arc`s, so an epoch or a
+    /// delta append can share them without re-columnarising).
+    pub fn shards(&self) -> &[Arc<RecordStore>] {
         &self.shards
     }
 
@@ -254,6 +261,73 @@ impl ShardedStore {
         }
         builder.build()
     }
+
+    /// An empty shard builder whose schema **continues** this catalog's:
+    /// every property keeps its id, new properties extend the sequence.
+    /// Columnarise a delta batch into it (directly, or through a
+    /// [`FeedIngest`](crate::ingest::FeedIngest) built on the seeded
+    /// schema) and publish with [`append_shards`](Self::append_shards).
+    pub fn delta_builder(&self) -> ShardedStoreBuilder {
+        Self::builder_with_schema(SchemaInterner::seeded(&self.schema))
+    }
+
+    /// Append a delta batch as new shards — the incremental growth path.
+    ///
+    /// The surviving shards are **`Arc`-shared**, not rebuilt: their
+    /// warmed token/key/bigram artifacts carry over, so the append costs
+    /// O(delta records), however large the catalog. Records of the delta
+    /// get the global ids `self.len()..`; the result is equal to a full
+    /// rebuild over the concatenated record sequence with the same shard
+    /// boundaries. `delta` must come from [`delta_builder`](Self::delta_builder)
+    /// (or a schema seeded from this catalog) so ids agree.
+    ///
+    /// Panics on a contained fault — the fault-tolerant entry point is
+    /// [`try_append_shards`](Self::try_append_shards).
+    pub fn append_shards(&self, delta: ShardedStoreBuilder) -> ShardedStore {
+        self.try_append_shards(delta)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`append_shards`](Self::append_shards): a panic while
+    /// columnarising a delta shard surfaces as
+    /// [`LinkError::ShardBuildPanicked`] and `self` is untouched —
+    /// nothing is half-appended.
+    pub fn try_append_shards(&self, delta: ShardedStoreBuilder) -> LinkResult<ShardedStore> {
+        // Models a fault at the append boundary, before any delta shard
+        // columnarises.
+        fail::fail_point!("shard::append", |arg: Option<String>| {
+            Err(LinkError::injected("shard::append", arg))
+        });
+        let delta = delta.try_build()?;
+        // Schema continuation: the catalog's table must be a prefix of
+        // the delta's, id for id — guaranteed by `delta_builder`, and
+        // cheap to verify (property counts are tiny).
+        assert!(
+            self.schema.len() <= delta.schema.len()
+                && self
+                    .schema
+                    .iter()
+                    .zip(delta.schema.iter())
+                    .all(|((ia, na), (ib, nb))| ia == ib && na == nb),
+            "delta schema does not continue the catalog schema; \
+             build the delta on ShardedStore::delta_builder()"
+        );
+        let mut shards = self.shards.clone();
+        shards.extend(delta.shards.iter().cloned());
+        let mut offsets = self.offsets.clone();
+        offsets.pop();
+        offsets.extend(delta.offsets.iter().map(|o| o + self.len()));
+        Ok(ShardedStore {
+            shards,
+            offsets,
+            // The delta snapshot extends the catalog's table, so it is
+            // the appended catalog's schema. Old shards keep their own
+            // (prefix) Arc: ids agree wherever both define them, and a
+            // post-append property simply resolves to empty columns on
+            // an old shard.
+            schema: delta.schema,
+        })
+    }
 }
 
 /// A borrowed view of the local side of a blocking run as one or more
@@ -265,7 +339,7 @@ impl ShardedStore {
 /// [`RecordStore`] is *one* shard at offset 0
 /// ([`LocalShards::single`]), and a [`ShardedStore`] contributes its
 /// shard list, offset table and shared schema (`From<&ShardedStore>`).
-/// Blockers iterate [`shards`](Self::shards) and emit **shard-local**
+/// Blockers iterate [`iter`](Self::iter) and emit **shard-local**
 /// ids; [`offset`](Self::offset) recovers global ids when a blocker
 /// (sorted neighbourhood) needs the global ordering during blocking.
 #[derive(Debug, Clone, Copy)]
@@ -292,16 +366,19 @@ impl<'a> LocalShards<'a> {
     }
 
     /// The per-shard stores, in catalog order.
-    pub fn shards(&self) -> &'a [RecordStore] {
-        match self.0 {
-            ShardsInner::Single(store) => std::slice::from_ref(store),
-            ShardsInner::Sharded(s) => s.shards(),
-        }
+    pub fn iter(self) -> impl Iterator<Item = &'a RecordStore> {
+        (0..self.shard_count()).map(move |s| self.shard(s))
     }
 
     /// One shard's store.
     pub fn shard(&self, shard: usize) -> &'a RecordStore {
-        &self.shards()[shard]
+        match self.0 {
+            ShardsInner::Single(store) => {
+                assert_eq!(shard, 0, "single-store view has exactly one shard");
+                store
+            }
+            ShardsInner::Sharded(s) => s.shard(shard),
+        }
     }
 
     /// Global id of `shard`'s first record.
@@ -480,10 +557,10 @@ impl ShardedStoreBuilder {
                 payload: panic_payload(payload),
             })
         };
-        let shards: Vec<RecordStore> = if workers <= 1 {
+        let shards: Vec<Arc<RecordStore>> = if workers <= 1 {
             let mut built = Vec::with_capacity(shard_count);
             for (shard, builder) in self.shards.into_iter().enumerate() {
-                built.push(columnarise(shard, builder)?);
+                built.push(Arc::new(columnarise(shard, builder)?));
             }
             built
         } else {
@@ -547,7 +624,7 @@ impl ShardedStoreBuilder {
             }
             results
                 .into_iter()
-                .map(|slot| slot.into_inner().expect("every claimed shard was built"))
+                .map(|slot| Arc::new(slot.into_inner().expect("every claimed shard was built")))
                 .collect()
         };
         let mut offsets = Vec::with_capacity(shard_count + 1);
@@ -622,7 +699,7 @@ mod tests {
         // padded empty shard.
         let sharded = ShardedStore::from_records(&records(5), 4);
         assert_eq!(sharded.shard_count(), 4);
-        let sizes: Vec<usize> = sharded.shards().iter().map(RecordStore::len).collect();
+        let sizes: Vec<usize> = sharded.shards().iter().map(|s| s.len()).collect();
         assert_eq!(sizes, vec![2, 2, 1, 0]);
         assert_eq!(sharded.len(), 5);
         // Empty input: one (or shard_count) empty shards, len 0.
@@ -713,7 +790,7 @@ mod tests {
         let sharded = LocalShards::from(&sharded_store);
         assert_eq!(sharded.shard_count(), 3);
         assert_eq!(sharded.len(), 7);
-        assert_eq!(sharded.shards().len(), 3);
+        assert_eq!(sharded.iter().count(), 3);
         for s in 0..3 {
             assert_eq!(sharded.offset(s), sharded_store.offset(s));
             assert!(std::ptr::eq(sharded.shard(s), sharded_store.shard(s)));
@@ -754,6 +831,90 @@ mod tests {
         for (i, record) in records.iter().enumerate() {
             assert_eq!(default_build.id(i), &record.id);
         }
+    }
+
+    #[test]
+    fn append_shards_matches_a_full_rebuild_and_shares_surviving_shards() {
+        let all = records(10);
+        let (base_records, delta_records) = all.split_at(6);
+        let base = ShardedStore::from_records(base_records, 2);
+        // Warm a cache on a surviving shard so we can observe it ride
+        // along (token_index is a OnceLock: warm iff already built).
+        base.shard(0).token_index();
+
+        let mut delta = base.delta_builder();
+        for (i, record) in delta_records.iter().enumerate() {
+            if i % 2 == 0 {
+                delta.begin_shard();
+            }
+            delta.push(record);
+        }
+        let appended = base.append_shards(delta);
+
+        // Equal to a full rebuild over the concatenated records with the
+        // same shard boundaries (2 base shards of 3, 2 delta shards of 2).
+        let mut full = ShardedStore::builder();
+        for (i, record) in all.iter().enumerate() {
+            if i == 0 || i == 3 || i == 6 || i == 8 {
+                full.begin_shard();
+            }
+            full.push(record);
+        }
+        let full = full.build();
+        assert_eq!(appended.shard_count(), 4);
+        assert_eq!(appended.len(), 10);
+        assert_eq!(appended, full);
+        for (i, record) in all.iter().enumerate() {
+            assert_eq!(appended.id(i), &record.id);
+            assert_eq!(appended.index_of(&record.id), Some(i));
+        }
+
+        // Surviving shards are the same allocations, not copies — the
+        // warmed artifacts carried over.
+        for s in 0..base.shard_count() {
+            assert!(Arc::ptr_eq(&base.shards()[s], &appended.shards()[s]));
+        }
+        // The base catalog itself is untouched.
+        assert_eq!(base.len(), 6);
+        assert_eq!(base.shard_count(), 2);
+    }
+
+    #[test]
+    fn appended_schema_extends_the_base_prefix() {
+        let base = ShardedStore::from_records(&records(4), 2);
+        let mut delta = base.delta_builder();
+        delta.push_record(Term::iri("http://e.org/item/new"), || {
+            [(PN, "PN-NEW"), ("http://e.org/v#colour", "red")].into_iter()
+        });
+        let appended = base.append_shards(delta);
+        // Old ids survive verbatim; the new property extends the table.
+        assert_eq!(appended.property(PN), base.property(PN));
+        assert_eq!(appended.property(MFR), base.property(MFR));
+        let colour = appended
+            .property("http://e.org/v#colour")
+            .expect("delta property interned");
+        assert_eq!(colour.index(), base.schema().len());
+        // A post-append property resolves to empty columns on old shards.
+        for record in 0..base.shard(0).len() {
+            assert_eq!(appended.shard(0).values(record, colour).count(), 0);
+        }
+        // ...and to its values on the delta shard.
+        let (shard, local) = appended.locate(4);
+        let values: Vec<&str> = appended.shard(shard).values(local, colour).collect();
+        assert_eq!(values, vec!["red"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not continue the catalog schema")]
+    fn append_rejects_a_foreign_schema() {
+        let base = ShardedStore::from_records(&records(4), 2);
+        // A fresh schema interning an unrelated property at id 0: the
+        // ids disagree with the base table, so this is no continuation.
+        let mut delta = ShardedStore::builder();
+        delta.push_record(Term::iri("http://e.org/item/f"), || {
+            [("http://e.org/v#colour", "red"), (PN, "PN-F")].into_iter()
+        });
+        base.append_shards(delta);
     }
 
     #[test]

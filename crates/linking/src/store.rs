@@ -628,26 +628,19 @@ impl RecordStoreBuilder {
     }
 
     /// Append the record of one graph subject: its literal-valued triples
-    /// become the record's facts.
+    /// become the record's facts (via the shared subject-grouping
+    /// adapter, [`SubjectGrouper`](crate::ingest::SubjectGrouper)).
     pub fn push_subject(&mut self, graph: &Graph, subject: &Term) -> usize {
-        let facts: Vec<(String, String)> = graph
-            .triples_matching(Some(subject), None, None)
-            .filter_map(|t| {
-                let p = t.predicate.as_iri()?.to_string();
-                let v = t.object.as_literal()?.value.clone();
-                Some((p, v))
-            })
-            .collect();
-        self.push_record(subject.clone(), || {
-            facts.iter().map(|(p, v)| (p.as_str(), v.as_str()))
-        })
+        let mut grouper = crate::ingest::SubjectGrouper::new();
+        grouper.push_subject(self, graph, subject);
+        grouper
+            .flush(self)
+            .expect("push_subject began exactly one record")
     }
 
     /// Append one record per subject of `graph`, in subject order.
     pub fn push_graph(&mut self, graph: &Graph) {
-        for subject in graph.subjects() {
-            self.push_subject(graph, &subject);
-        }
+        crate::ingest::columnarise_graph(graph, self);
     }
 
     /// Number of records pushed so far.

@@ -19,8 +19,8 @@ use classilink_linking::blocking::{BigramBlocker, Blocker, BlockingKey, Standard
 use classilink_linking::pipeline::{Link, LinkagePipeline, LinkageResult};
 use classilink_linking::record::Record;
 use classilink_linking::{
-    LinkError, Linker, ProbeHits, ProbeScratch, RecordComparator, RecordStore, ShardedStore,
-    ShardedStoreBuilder, SimilarityMeasure,
+    FeedFormat, FeedIngest, LinkError, Linker, ProbeHits, ProbeScratch, RecordComparator,
+    RecordStore, SchemaInterner, ShardedStore, ShardedStoreBuilder, SimilarityMeasure,
 };
 use classilink_rdf::Term;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -536,6 +536,188 @@ fn remaining_sites_all_contain() {
         let healed = pipeline.try_run_sharded(&external, &local).expect("healed");
         assert_bit_identical(&healed, &baseline, site);
     }
+}
+
+/// Streaming ingest: a fault at a chunk boundary poisons the feed —
+/// the error surfaces, every later `feed` is rejected, and nothing can
+/// be published from the half-ingested stream. A fresh ingest over the
+/// same bytes (same chunking) equals the batch build.
+#[test]
+fn mid_feed_fault_poisons_ingest_and_publishes_nothing() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let locals: Vec<Record> = (0..LOCALS).map(local_record).collect();
+    let bytes: Vec<u8> = locals
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            format!(
+                "<http://catalog.example.org/prod/{i}> <{LOC_PN}> \"PN-{:02}X\" .\n",
+                i % 8
+            )
+        })
+        .collect::<String>()
+        .into_bytes();
+    let per_shard = LOCALS.div_ceil(SHARDS);
+    // Chunks split lines mid-statement on purpose.
+    let chunks: Vec<&[u8]> = bytes.chunks(37).collect();
+
+    for (actions, expect_injected) in [
+        ("return(chaos feed)", true),
+        ("panic(chaos feed panic)", false),
+    ] {
+        let mut ingest = FeedIngest::new(FeedFormat::NTriples, SchemaInterner::new(), per_shard);
+        ingest.feed(chunks[0]).expect("clean first chunk");
+        let before_fault = ingest.records();
+        let armed = Armed::new("ingest::chunk", actions);
+        let error = ingest.feed(chunks[1]).unwrap_err();
+        match (&error, expect_injected) {
+            (LinkError::Injected { site, message }, true) => {
+                assert_eq!(site, "ingest::chunk");
+                assert!(message.contains("chaos feed"), "{message}");
+            }
+            (LinkError::IngestFailed { payload }, false) => {
+                assert!(payload.contains("chaos feed panic"), "{payload}");
+            }
+            other => panic!("{actions}: wrong error {other:?}"),
+        }
+        drop(armed);
+        // Poisoned: the faulted chunk's work was abandoned whole, later
+        // chunks are refused even with the site disarmed, and the
+        // half-ingested stream can never publish a catalog.
+        assert_eq!(ingest.records(), before_fault, "fault half-applied a chunk");
+        let rejected = ingest.feed(chunks[2]).unwrap_err();
+        assert!(
+            matches!(&rejected, LinkError::IngestFailed { payload } if payload.contains("feed rejected")),
+            "{rejected:?}"
+        );
+        let unpublished = ingest.try_finish().unwrap_err();
+        assert!(
+            matches!(&unpublished, LinkError::IngestFailed { payload } if payload.contains("nothing to publish")),
+            "{unpublished:?}"
+        );
+    }
+
+    // Self-healing: a fresh ingest of the same chunked bytes equals the
+    // batch build record for record.
+    let mut clean = FeedIngest::new(FeedFormat::NTriples, SchemaInterner::new(), per_shard);
+    for chunk in &chunks {
+        clean.feed(chunk).expect("clean chunk");
+    }
+    let streamed = clean.try_finish().expect("clean finish");
+    assert_eq!(streamed, ShardedStore::from_records(&locals, SHARDS));
+}
+
+/// Catalog append: a fault inside `try_append_shards` surfaces as the
+/// injected error and leaves the base catalog untouched; the retry over
+/// a rebuilt delta succeeds.
+#[test]
+fn append_fault_leaves_base_catalog_untouched() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (_, base) = dataset();
+    let delta_records: Vec<Record> = (LOCALS..LOCALS + 6).map(local_record).collect();
+    let delta = |base: &ShardedStore| {
+        let mut builder = base.delta_builder();
+        builder.begin_shard();
+        for record in &delta_records {
+            builder.push(record);
+        }
+        builder
+    };
+
+    let armed = Armed::new("shard::append", "return(chaos append)");
+    let error = base.try_append_shards(delta(&base)).unwrap_err();
+    let LinkError::Injected { site, message } = &error else {
+        panic!("wrong error: {error:?}");
+    };
+    assert_eq!(site, "shard::append");
+    assert!(message.contains("chaos append"), "{message}");
+    assert_eq!(base.shard_count(), SHARDS, "failed append changed the base");
+    assert_eq!(base.len(), LOCALS, "failed append changed the base");
+    drop(armed);
+
+    let appended = base
+        .try_append_shards(delta(&base))
+        .expect("clean append after fault");
+    assert_eq!(appended.shard_count(), SHARDS + 1);
+    assert_eq!(appended.len(), LOCALS + 6);
+    assert_eq!(base.shard_count(), SHARDS);
+    assert_eq!(base.len(), LOCALS);
+}
+
+/// Serving: a failed incremental [`Linker::try_append`] — injected
+/// error, append fault, or a panic while warming the new shards — keeps
+/// the old epoch serving bit-identically with the sequence unmoved, and
+/// the next clean append publishes the grown catalog.
+#[test]
+fn failed_append_keeps_serving_last_good_epoch() {
+    let _serial = serial();
+    quiet_injected_panics();
+    fail::teardown();
+    let (_, catalog) = dataset();
+    let blocker = BlockerKind::Standard.build();
+    let cmp = comparator();
+    let linker = Linker::new(blocker.as_ref(), &cmp, (*catalog).clone());
+    let mut scratch = ProbeScratch::new();
+    let probe = external_record(7);
+    let delta = |linker: &Linker| {
+        let mut builder = linker.delta_builder();
+        builder.begin_shard();
+        for i in LOCALS..LOCALS + 8 {
+            builder.push(&local_record(i));
+        }
+        builder
+    };
+
+    let baseline = clone_hits(linker.probe_with(&probe, &mut scratch));
+    assert_eq!(baseline.epoch, 1);
+
+    for (site, actions, expect_injected) in [
+        ("serve::append", "return(chaos injected error)", true),
+        ("shard::append", "return(chaos injected error)", true),
+        ("serve::warm_append", "panic(chaos warm append)", false),
+    ] {
+        let armed = Armed::new(site, actions);
+        let error = linker.try_append(delta(&linker)).unwrap_err();
+        match (&error, expect_injected) {
+            (LinkError::Injected { site: at, message }, true) => {
+                assert_eq!(at, site);
+                assert!(message.contains("chaos injected error"), "{message}");
+            }
+            (LinkError::EpochBuildPanicked { payload }, false) => {
+                assert!(payload.contains("chaos warm append"), "{payload}");
+            }
+            other => panic!("{site}: wrong error {other:?}"),
+        }
+        drop(armed);
+        // Old epoch still serving: sequence unmoved, probes answer
+        // bit-identically, none of the would-be-appended records exist.
+        assert_eq!(linker.catalog().load().sequence(), 1, "{site}");
+        assert_eq!(linker.catalog().load().store().len(), LOCALS, "{site}");
+        let after = linker.probe_with(&probe, &mut scratch);
+        assert_hits_bit_identical(after, &baseline, &format!("serving across failed {site}"));
+    }
+
+    // The clean append continues the sequence and the probe now reaches
+    // the appended shard: local 55 (55 % 8 == 7) is an exact PN match.
+    let sequence = linker.try_append(delta(&linker)).expect("clean append");
+    assert_eq!(sequence, 2);
+    let hits = linker.probe_with(&probe, &mut scratch);
+    assert_eq!(hits.epoch, 2);
+    assert_eq!(
+        hits.matches.len(),
+        baseline.matches.len() + 1,
+        "appended exact match must join the hit set"
+    );
+    assert!(
+        hits.matches
+            .iter()
+            .any(|l| l.local == Term::iri("http://catalog.example.org/prod/55")),
+        "probe must see the appended record"
+    );
 }
 
 fn clone_hits(hits: &ProbeHits) -> ProbeHits {

@@ -53,6 +53,8 @@ pub use dictionary::{Dictionary, TermId};
 pub use error::{RdfError, Result};
 pub use graph::Graph;
 pub use namespace::{Namespaces, OWL, RDF, RDFS, XSD};
+pub use ntriples::NTriplesStreamer;
 pub use query::{Binding, Pattern, PatternTerm, Query, Variable};
 pub use term::{Literal, Term};
 pub use triple::Triple;
+pub use turtle::TurtleStreamer;

@@ -3,6 +3,11 @@
 //! N-Triples is the line-oriented RDF exchange syntax: one triple per line,
 //! terms written in full. It is the format the synthetic catalog generator
 //! emits and the format examples read back, so round-tripping must be exact.
+//!
+//! Two reading modes share one code path: [`NTriplesStreamer`] consumes the
+//! input as byte chunks (a multi-GB feed is parsed with memory bounded by
+//! one line plus one chunk), and the batch [`parse`] is a thin wrapper that
+//! feeds the whole document through the same streamer.
 
 use crate::error::{RdfError, Result};
 use crate::graph::Graph;
@@ -10,18 +15,128 @@ use crate::term::{escape_literal, unescape_literal, Literal, Term};
 use crate::triple::Triple;
 
 /// Parse a complete N-Triples document into a [`Graph`].
+///
+/// Thin wrapper over [`NTriplesStreamer`]: the whole input is fed as one
+/// chunk and the emitted triples are collected into a graph.
 pub fn parse(input: &str) -> Result<Graph> {
+    let mut streamer = NTriplesStreamer::new();
+    streamer.feed(input.as_bytes());
+    streamer.finish();
     let mut graph = Graph::new();
-    for (idx, line) in input.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let triple = parse_line(trimmed, line_no)?;
-        graph.insert(triple);
+    while let Some(triple) = streamer.next_triple() {
+        graph.insert(triple?);
     }
     Ok(graph)
+}
+
+/// An incremental N-Triples reader: push byte chunks in, pull [`Triple`]s out.
+///
+/// Chunks may split the input anywhere — mid-line, mid-token, even inside a
+/// multi-byte UTF-8 sequence — because a line is only decoded once its
+/// terminating `\n` (a byte that never occurs inside a UTF-8 continuation)
+/// has arrived. Internal buffering is bounded by the longest input line plus
+/// the last fed chunk; completed lines are drained as soon as they are
+/// emitted, so a feed of any size parses in O(line) memory.
+///
+/// ```
+/// use classilink_rdf::NTriplesStreamer;
+///
+/// let mut streamer = NTriplesStreamer::new();
+/// // Chunk boundaries need not align with lines (or even characters).
+/// streamer.feed(b"<http://e.org/a> <http://e.org/p> \"v1\" .\n<http://e.org");
+/// streamer.feed(b"/b> <http://e.org/p> \"v2\" .");
+/// streamer.finish();
+/// let mut n = 0;
+/// while let Some(triple) = streamer.next_triple() {
+///     triple.unwrap();
+///     n += 1;
+/// }
+/// assert_eq!(n, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct NTriplesStreamer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (avoids rescans when a
+    /// long line arrives across many chunks).
+    scanned: usize,
+    line_no: usize,
+    finished: bool,
+    failed: bool,
+}
+
+impl NTriplesStreamer {
+    /// A streamer with no input yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a chunk of input bytes. Call [`next_triple`](Self::next_triple)
+    /// between feeds to keep the internal buffer bounded.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        debug_assert!(!self.finished, "feed after finish");
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Signal end of input: a final line without a trailing newline becomes
+    /// available to [`next_triple`](Self::next_triple).
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+
+    /// Bytes currently buffered (at most one incomplete line once drained).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pull the next parsed triple.
+    ///
+    /// Returns `None` when every complete line fed so far has been consumed
+    /// (feed more chunks, or [`finish`](Self::finish) to flush the tail).
+    /// After the first `Err` the streamer is poisoned and yields `None`.
+    pub fn next_triple(&mut self) -> Option<Result<Triple>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let newline = self.buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map(|i| self.scanned + i);
+            let line_bytes: Vec<u8> = match newline {
+                Some(end) => {
+                    let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                    line.pop();
+                    self.scanned = 0;
+                    line
+                }
+                None if self.finished && !self.buf.is_empty() => {
+                    self.scanned = 0;
+                    std::mem::take(&mut self.buf)
+                }
+                None => {
+                    self.scanned = self.buf.len();
+                    return None;
+                }
+            };
+            self.line_no += 1;
+            let line = match std::str::from_utf8(&line_bytes) {
+                Ok(line) => line,
+                Err(_) => {
+                    self.failed = true;
+                    return Some(Err(RdfError::parse(self.line_no, "invalid UTF-8 in input")));
+                }
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let parsed = parse_line(trimmed, self.line_no);
+            if parsed.is_err() {
+                self.failed = true;
+            }
+            return Some(parsed);
+        }
+    }
 }
 
 /// Parse a single N-Triples statement (without the trailing newline).
@@ -369,6 +484,63 @@ _:b0 <http://e.org/v#note> "blank subject" .
     fn empty_graph_writes_empty_string() {
         assert_eq!(write(&Graph::new()), "");
         assert_eq!(parse("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn streamer_handles_mid_utf8_chunk_splits() {
+        let doc = "<http://e.org/a> <http://e.org/p> \"10 kΩ – résistance\" .\n\
+                   <http://e.org/b> <http://e.org/p> \"élément\"@fr .\n";
+        let bytes = doc.as_bytes();
+        // Split inside the multi-byte 'Ω' and inside 'é'.
+        for split in 1..bytes.len() {
+            let mut streamer = NTriplesStreamer::new();
+            streamer.feed(&bytes[..split]);
+            streamer.feed(&bytes[split..]);
+            streamer.finish();
+            let mut triples = Vec::new();
+            while let Some(t) = streamer.next_triple() {
+                triples.push(t.unwrap());
+            }
+            assert_eq!(triples.len(), 2, "split at byte {split}");
+            assert_eq!(triples[0].object.value_str(), "10 kΩ – résistance");
+        }
+    }
+
+    #[test]
+    fn streamer_buffer_stays_bounded_when_drained() {
+        let line = "<http://e.org/a> <http://e.org/p> \"v\" .\n";
+        let mut streamer = NTriplesStreamer::new();
+        let mut emitted = 0;
+        for _ in 0..1000 {
+            streamer.feed(line.as_bytes());
+            while let Some(t) = streamer.next_triple() {
+                t.unwrap();
+                emitted += 1;
+            }
+            assert!(
+                streamer.buffered_bytes() < 2 * line.len(),
+                "buffer grew past one line: {}",
+                streamer.buffered_bytes()
+            );
+        }
+        streamer.finish();
+        assert!(streamer.next_triple().is_none());
+        assert_eq!(emitted, 1000);
+    }
+
+    #[test]
+    fn streamer_reports_errors_with_global_line_numbers_and_poisons() {
+        let mut streamer = NTriplesStreamer::new();
+        streamer.feed(b"<http://e.org/a> <http://e.org/p> \"v\" .\n");
+        streamer.feed(b"not a triple\n<http://e.org/b> <http://e.org/p> \"w\" .\n");
+        streamer.finish();
+        assert!(streamer.next_triple().unwrap().is_ok());
+        match streamer.next_triple().unwrap().unwrap_err() {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+        // Poisoned after the first error, like batch parse aborting.
+        assert!(streamer.next_triple().is_none());
     }
 
     proptest! {

@@ -13,6 +13,8 @@
 //! blank node property lists `[...]`, RDF collections `(...)`, numeric or
 //! boolean literal shorthand, `@base`.
 
+use std::collections::VecDeque;
+
 use crate::error::{RdfError, Result};
 use crate::graph::Graph;
 use crate::namespace::Namespaces;
@@ -20,8 +22,211 @@ use crate::term::{escape_literal, unescape_literal, Literal, Term};
 use crate::triple::Triple;
 
 /// Parse a Turtle document (subset, see module docs) into a graph.
+///
+/// Thin wrapper over [`TurtleStreamer`]: the whole input is fed as one chunk
+/// and the emitted triples are collected into a graph.
 pub fn parse(input: &str) -> Result<(Graph, Namespaces)> {
-    Parser::new(input).parse()
+    let mut streamer = TurtleStreamer::new();
+    streamer.feed(input.as_bytes());
+    streamer.finish();
+    let mut graph = Graph::new();
+    while let Some(triple) = streamer.next_triple() {
+        graph.insert(triple?);
+    }
+    Ok((graph, streamer.into_namespaces()))
+}
+
+/// An incremental Turtle reader: push byte chunks in, pull [`Triple`]s out.
+///
+/// Chunks may split the input anywhere, including inside a multi-byte UTF-8
+/// sequence. A byte-level scanner tracks just enough syntax (IRI refs,
+/// string literals with escapes, comments) to recognise the statement
+/// terminator `.`; each complete statement is then parsed by the same
+/// parser the batch path uses, carrying `@prefix` declarations across
+/// statements. Every boundary-relevant byte (`<>"\\#.\n`) is ASCII and so
+/// never occurs inside a UTF-8 continuation, which is what makes byte-wise
+/// boundary scanning safe. Internal buffering is bounded by the longest
+/// single statement plus the last fed chunk.
+///
+/// ```
+/// use classilink_rdf::TurtleStreamer;
+///
+/// let mut streamer = TurtleStreamer::new();
+/// streamer.feed(b"@prefix ex: <http://e.org/v#> .\n");
+/// streamer.feed(b"<http://e.org/p1> ex:partNumber \"CRCW0805\" ; ex:mfr \"Vi");
+/// streamer.feed(b"shay\" .");
+/// streamer.finish();
+/// let mut n = 0;
+/// while let Some(triple) = streamer.next_triple() {
+///     triple.unwrap();
+///     n += 1;
+/// }
+/// assert_eq!(n, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct TurtleStreamer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already examined by the boundary scanner.
+    scanned: usize,
+    scan: Scan,
+    /// 1-based line of the first unconsumed byte (for error reporting).
+    line: usize,
+    namespaces: Namespaces,
+    pending: VecDeque<Triple>,
+    finished: bool,
+    drained_tail: bool,
+    failed: bool,
+}
+
+/// Boundary-scanner state: which syntactic region the scan head is inside.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum Scan {
+    #[default]
+    Default,
+    Iri,
+    Literal,
+    Escape,
+    Comment,
+}
+
+impl TurtleStreamer {
+    /// A streamer with no input yet.
+    pub fn new() -> Self {
+        Self {
+            line: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Append a chunk of input bytes. Call [`next_triple`](Self::next_triple)
+    /// between feeds to keep the internal buffer bounded.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        debug_assert!(!self.finished, "feed after finish");
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Signal end of input: the final statement (terminated or not) becomes
+    /// available to [`next_triple`](Self::next_triple).
+    pub fn finish(&mut self) {
+        self.finished = true;
+    }
+
+    /// Bytes currently buffered (at most one incomplete statement once
+    /// drained).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The prefix table accumulated from `@prefix` directives seen so far.
+    pub fn namespaces(&self) -> &Namespaces {
+        &self.namespaces
+    }
+
+    /// Consume the streamer, yielding the accumulated prefix table.
+    pub fn into_namespaces(self) -> Namespaces {
+        self.namespaces
+    }
+
+    /// Pull the next parsed triple.
+    ///
+    /// Returns `None` when every complete statement fed so far has been
+    /// consumed (feed more chunks, or [`finish`](Self::finish) to flush the
+    /// tail). After the first `Err` the streamer is poisoned and yields
+    /// `None`.
+    pub fn next_triple(&mut self) -> Option<Result<Triple>> {
+        loop {
+            if let Some(triple) = self.pending.pop_front() {
+                return Some(Ok(triple));
+            }
+            if self.failed {
+                return None;
+            }
+            let statement: Vec<u8> = if let Some(end) = self.find_boundary() {
+                let statement = self.buf.drain(..=end).collect();
+                self.scanned = 0;
+                self.scan = Scan::Default;
+                statement
+            } else if self.finished && !self.drained_tail {
+                // Leftover without a terminator: whitespace/comments parse
+                // to nothing; a truncated statement reports the same
+                // "unexpected end of input" the batch path would.
+                self.drained_tail = true;
+                self.scanned = 0;
+                std::mem::take(&mut self.buf)
+            } else {
+                return None;
+            };
+            if let Err(error) = self.parse_statement_bytes(&statement) {
+                self.failed = true;
+                return Some(Err(error));
+            }
+        }
+    }
+
+    /// Scan forward for a statement-terminating `.`: one in default state
+    /// whose following byte is whitespace, a comment, or end of input.
+    /// Returns its index without consuming it; an undecidable trailing `.`
+    /// (no following byte yet) is left unscanned until more input arrives.
+    fn find_boundary(&mut self) -> Option<usize> {
+        while self.scanned < self.buf.len() {
+            let byte = self.buf[self.scanned];
+            self.scan = match self.scan {
+                Scan::Default => match byte {
+                    b'<' => Scan::Iri,
+                    b'"' => Scan::Literal,
+                    b'#' => Scan::Comment,
+                    b'.' => match self.buf.get(self.scanned + 1) {
+                        Some(next) if next.is_ascii_whitespace() || *next == b'#' => {
+                            return Some(self.scanned);
+                        }
+                        None if self.finished => return Some(self.scanned),
+                        None => return None,
+                        // Part of a prefixed name (`ex:a.b`): not a terminator.
+                        Some(_) => Scan::Default,
+                    },
+                    _ => Scan::Default,
+                },
+                Scan::Iri => {
+                    if byte == b'>' {
+                        Scan::Default
+                    } else {
+                        Scan::Iri
+                    }
+                }
+                Scan::Literal => match byte {
+                    b'\\' => Scan::Escape,
+                    b'"' => Scan::Default,
+                    _ => Scan::Literal,
+                },
+                Scan::Escape => Scan::Literal,
+                Scan::Comment => {
+                    if byte == b'\n' {
+                        Scan::Default
+                    } else {
+                        Scan::Comment
+                    }
+                }
+            };
+            self.scanned += 1;
+        }
+        None
+    }
+
+    /// Run the statement parser over one complete statement, carrying the
+    /// prefix table and line counter across statements.
+    fn parse_statement_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| RdfError::parse(self.line, "invalid UTF-8 in input"))?;
+        let namespaces = std::mem::take(&mut self.namespaces);
+        let mut parser = Parser::with_state(text, self.line, namespaces);
+        let outcome = parser.parse_single();
+        self.line = parser.line;
+        self.namespaces = parser.namespaces;
+        if outcome.is_ok() {
+            self.pending.extend(parser.triples.drain(..));
+        }
+        outcome
+    }
 }
 
 /// Serialise a graph as Turtle, grouping triples by subject and shrinking
@@ -98,40 +303,45 @@ fn is_safe_curie(curie: &str) -> bool {
         && !curie.ends_with('.')
 }
 
-struct Parser<'a> {
+/// The statement-level parser shared by [`TurtleStreamer`] and batch
+/// [`parse`]: one instance parses exactly one directive or triple statement,
+/// with the prefix table and line counter threaded in and out by the caller.
+struct Parser {
     chars: Vec<char>,
     pos: usize,
     line: usize,
     namespaces: Namespaces,
-    graph: Graph,
-    _input: &'a str,
+    triples: Vec<Triple>,
 }
 
-impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Self {
+impl Parser {
+    fn with_state(input: &str, line: usize, namespaces: Namespaces) -> Self {
         Parser {
             chars: input.chars().collect(),
             pos: 0,
-            line: 1,
-            namespaces: Namespaces::new(),
-            graph: Graph::new(),
-            _input: input,
+            line,
+            namespaces,
+            triples: Vec::new(),
         }
     }
 
-    fn parse(mut self) -> Result<(Graph, Namespaces)> {
-        loop {
-            self.skip_ws_and_comments();
-            if self.at_end() {
-                break;
-            }
-            if self.peek_str("@prefix") {
-                self.parse_prefix()?;
-            } else {
-                self.parse_statement()?;
-            }
+    /// Parse at most one statement (or `@prefix` directive) and require the
+    /// input to hold nothing else. Whitespace/comment-only input is fine.
+    fn parse_single(&mut self) -> Result<()> {
+        self.skip_ws_and_comments();
+        if self.at_end() {
+            return Ok(());
         }
-        Ok((self.graph, self.namespaces))
+        if self.peek_str("@prefix") {
+            self.parse_prefix()?;
+        } else {
+            self.parse_statement()?;
+        }
+        self.skip_ws_and_comments();
+        if !self.at_end() {
+            return Err(self.err("trailing content after '.'"));
+        }
+        Ok(())
     }
 
     fn at_end(&self) -> bool {
@@ -221,8 +431,8 @@ impl<'a> Parser<'a> {
             loop {
                 self.skip_ws_and_comments();
                 let object = self.parse_term()?;
-                self.graph
-                    .insert(Triple::new(subject.clone(), predicate.clone(), object));
+                self.triples
+                    .push(Triple::new(subject.clone(), predicate.clone(), object));
                 self.skip_ws_and_comments();
                 match self.peek() {
                     Some(',') => {
@@ -516,6 +726,83 @@ mod tests {
     fn write_empty_graph() {
         let out = write(&Graph::new(), &Namespaces::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streamed_parse_matches_batch_at_every_byte_split() {
+        let bytes = DOC.as_bytes();
+        let (batch, batch_ns) = parse(DOC).unwrap();
+        let mut batch_triples: Vec<Triple> = batch.iter().collect();
+        batch_triples.sort();
+        for split in 0..=bytes.len() {
+            let mut streamer = TurtleStreamer::new();
+            streamer.feed(&bytes[..split]);
+            streamer.feed(&bytes[split..]);
+            streamer.finish();
+            let mut g = Graph::new();
+            while let Some(t) = streamer.next_triple() {
+                g.insert(t.unwrap());
+            }
+            let mut triples: Vec<Triple> = g.iter().collect();
+            triples.sort();
+            assert_eq!(triples, batch_triples, "split at byte {split}");
+            assert_eq!(
+                streamer.into_namespaces(),
+                batch_ns,
+                "split at byte {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn streamer_drains_statements_as_they_complete() {
+        let mut streamer = TurtleStreamer::new();
+        streamer.feed(b"@prefix ex: <http://e.org/> .\n");
+        // The directive is consumable before any triple statement arrives.
+        assert!(streamer.next_triple().is_none());
+        assert_eq!(streamer.namespaces().len(), 1);
+        assert!(streamer.buffered_bytes() < 2);
+        streamer.feed(b"ex:a ex:p \"v1\" , \"v2\" . ex:b");
+        assert_eq!(
+            streamer.next_triple().unwrap().unwrap().object.value_str(),
+            "v1"
+        );
+        assert_eq!(
+            streamer.next_triple().unwrap().unwrap().object.value_str(),
+            "v2"
+        );
+        // "ex:b" is an incomplete statement: buffered, not yet emitted.
+        assert!(streamer.next_triple().is_none());
+        streamer.feed(b" ex:p \"v3\" .");
+        streamer.finish();
+        assert_eq!(
+            streamer.next_triple().unwrap().unwrap().object.value_str(),
+            "v3"
+        );
+        assert!(streamer.next_triple().is_none());
+    }
+
+    #[test]
+    fn streamer_dot_inside_literal_iri_and_comment_is_not_a_boundary() {
+        let doc = "@prefix ex: <http://e.org/x.y/> . # dot. in comment.\n\
+                   <http://e.org/a.b> ex:p \"v. 1.5\" .";
+        let mut streamer = TurtleStreamer::new();
+        streamer.feed(doc.as_bytes());
+        streamer.finish();
+        let t = streamer.next_triple().unwrap().unwrap();
+        assert_eq!(t.subject.as_iri(), Some("http://e.org/a.b"));
+        assert_eq!(t.predicate.as_iri(), Some("http://e.org/x.y/p"));
+        assert_eq!(t.object.value_str(), "v. 1.5");
+        assert!(streamer.next_triple().is_none());
+    }
+
+    #[test]
+    fn streamer_unterminated_tail_is_an_error_after_finish() {
+        let mut streamer = TurtleStreamer::new();
+        streamer.feed(b"@prefix ex: <http://e.org/> .\nex:a ex:p \"v\"");
+        streamer.finish();
+        assert!(streamer.next_triple().unwrap().is_err());
+        assert!(streamer.next_triple().is_none());
     }
 
     #[test]
