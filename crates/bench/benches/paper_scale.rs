@@ -228,8 +228,10 @@ fn emit_filter_stats(label: &str, stats: &classilink_linking::BigramFilterStats)
 
 /// Append the fault-overhead guard's metric line: the end-to-end
 /// pipeline throughput of this (failpoint-free) build against the
-/// committed PR 7 baseline snapshot, plus their ratio.
-fn emit_fault_overhead(label: &str, baseline_eps: f64, eps: f64, ratio: f64) {
+/// newest committed baseline snapshot, plus their ratio — and the
+/// baseline file the comparison was made against, so a stale re-point
+/// is visible in the metric itself.
+fn emit_fault_overhead(label: &str, baseline_file: &str, baseline_eps: f64, eps: f64, ratio: f64) {
     let Ok(path) = std::env::var("CLASSILINK_BENCH_JSON") else {
         return;
     };
@@ -237,7 +239,8 @@ fn emit_fault_overhead(label: &str, baseline_eps: f64, eps: f64, ratio: f64) {
         return;
     }
     let line = format!(
-        "{{\"label\":{label:?},\"baseline_elements_per_sec\":{baseline_eps:.1},\
+        "{{\"label\":{label:?},\"baseline_file\":{baseline_file:?},\
+         \"baseline_elements_per_sec\":{baseline_eps:.1},\
          \"elements_per_sec\":{eps:.1},\"ratio\":{ratio:.4}}}\n"
     );
     let written = std::fs::OpenOptions::new()
@@ -251,12 +254,18 @@ fn emit_fault_overhead(label: &str, baseline_eps: f64, eps: f64, ratio: f64) {
 }
 
 /// The `pipeline/single_store` comparisons-per-second recorded in the
-/// pre-failpoint baseline snapshot (`CLASSILINK_BENCH_BASELINE`,
-/// defaulting to the committed `BENCH_pr7.json`). Parsed with string
-/// ops because the bench crate deliberately has no JSON dependency.
-fn baseline_single_store_eps() -> Option<f64> {
+/// committed baseline snapshot (`CLASSILINK_BENCH_BASELINE`, defaulting
+/// to the **newest** committed `BENCH_pr9.json` — re-point this default
+/// whenever a newer snapshot lands), plus the file name it came from so
+/// the comparison names its reference. Parsed with string ops because
+/// the bench crate deliberately has no JSON dependency.
+fn baseline_single_store_eps() -> Option<(String, f64)> {
     let path = std::env::var("CLASSILINK_BENCH_BASELINE")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json").into());
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json").into());
+    let file = std::path::Path::new(&path)
+        .file_name()
+        .map(|name| name.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.clone());
     let snapshot = std::fs::read_to_string(&path).ok()?;
     let line = snapshot
         .lines()
@@ -267,7 +276,7 @@ fn baseline_single_store_eps() -> Option<f64> {
         .chars()
         .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
         .collect();
-    number.parse().ok()
+    Some((file, number.parse().ok()?))
 }
 
 fn bench_paper_scale(c: &mut Criterion) {
@@ -477,8 +486,8 @@ fn bench_paper_scale(c: &mut Criterion) {
 
     // Fault-overhead guard: this build compiles failpoints to nothing
     // (the bench crate never enables the `failpoints` feature), so a
-    // hand-timed end-to-end run must stay within noise of the PR 7
-    // baseline recorded before the fault-containment sites existed. The
+    // hand-timed end-to-end run must stay within noise of the newest
+    // committed baseline snapshot (see `baseline_single_store_eps`). The
     // ratio is always printed and emitted as a metric line; it only
     // *fails* the run under CLASSILINK_BENCH_ENFORCE_FAULT_OVERHEAD,
     // because CI machines are not comparable to the machine that
@@ -490,14 +499,15 @@ fn bench_paper_scale(c: &mut Criterion) {
         let result = pipeline.run_stores(&external, &local);
         let eps = result.comparisons as f64 / start.elapsed().as_secs_f64();
         match baseline_single_store_eps() {
-            Some(baseline_eps) => {
+            Some((baseline_file, baseline_eps)) => {
                 let ratio = eps / baseline_eps;
                 println!(
                     "pipeline/fault_overhead: {eps:.0} cmp/s vs baseline {baseline_eps:.0} \
-                     cmp/s (ratio {ratio:.3})"
+                     cmp/s from {baseline_file} (ratio {ratio:.3})"
                 );
                 emit_fault_overhead(
                     "paper_scale/pipeline/fault_overhead",
+                    &baseline_file,
                     baseline_eps,
                     eps,
                     ratio,
@@ -506,13 +516,13 @@ fn bench_paper_scale(c: &mut Criterion) {
                     assert!(
                         ratio >= 0.85,
                         "failpoint instrumentation cost throughput: {eps:.0} cmp/s is \
-                         {ratio:.3} of the {baseline_eps:.0} cmp/s baseline"
+                         {ratio:.3} of the {baseline_eps:.0} cmp/s baseline ({baseline_file})"
                     );
                 }
             }
             None => {
                 println!("pipeline/fault_overhead: no baseline snapshot, emitting ratio 1.0");
-                emit_fault_overhead("paper_scale/pipeline/fault_overhead", eps, eps, 1.0);
+                emit_fault_overhead("paper_scale/pipeline/fault_overhead", "none", eps, eps, 1.0);
             }
         }
     }
@@ -668,6 +678,74 @@ fn bench_paper_scale(c: &mut Criterion) {
                 APPENDS,
             );
         }
+    }
+
+    // Persistence: spill and load throughput over the 4-shard catalog,
+    // measured in **MB/s of on-disk snapshot footprint**
+    // (`Throughput::Bytes` of schema + shards + manifest). The spill
+    // iteration clears the directory first so every pass pays the full
+    // serialize/write/fsync/commit cost rather than the content-addressed
+    // reuse path — a slightly conservative MB/s. A hand-timed
+    // `persist/recovery_latency` line then measures the crash-recovery
+    // restart: corrupt the newest manifest, re-open, fall back one
+    // generation — the cost of the "corruption-recovering restart" claim.
+    {
+        use classilink_linking::CatalogSnapshot;
+        let dir =
+            std::env::temp_dir().join(format!("classilink_bench_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let receipt = CatalogSnapshot::write(&dir, &blocking_local).expect("snapshot");
+        println!(
+            "persist/snapshot: {} shards, {} bytes on disk",
+            blocking_local.shard_count(),
+            receipt.total_bytes,
+        );
+        group.throughput(Throughput::Bytes(receipt.total_bytes));
+        group.bench_function("persist/spill", |b| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&dir);
+                CatalogSnapshot::write(&dir, &blocking_local)
+                    .expect("snapshot")
+                    .bytes_written
+            })
+        });
+
+        let _ = std::fs::remove_dir_all(&dir);
+        CatalogSnapshot::write(&dir, &blocking_local).expect("snapshot");
+        group.throughput(Throughput::Bytes(receipt.total_bytes));
+        group.bench_function("persist/load", |b| {
+            b.iter(|| {
+                let (restored, _) = CatalogSnapshot::open(&dir).expect("open");
+                restored.len()
+            })
+        });
+
+        const RECOVERIES: u64 = 2;
+        let mut recovery_ns = 0u128;
+        for _ in 0..RECOVERIES {
+            // Commit a newer generation and corrupt its manifest seal.
+            let receipt = CatalogSnapshot::write(&dir, &blocking_local).expect("snapshot");
+            let mut bytes = std::fs::read(&receipt.manifest).expect("manifest bytes");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&receipt.manifest, bytes).expect("corrupt manifest");
+            let start = Instant::now();
+            let (restored, report) = CatalogSnapshot::open(&dir).expect("fallback");
+            recovery_ns += start.elapsed().as_nanos();
+            assert!(report.recovered_from_fallback, "the corruption must be hit");
+            assert_eq!(restored.len(), blocking_local.len());
+        }
+        let mean_ns = u64::try_from(recovery_ns / u128::from(RECOVERIES)).unwrap_or(u64::MAX);
+        println!(
+            "persist/recovery_latency: {mean_ns} ns mean over {RECOVERIES} \
+             corrupt-manifest restarts"
+        );
+        emit_latency(
+            "paper_scale/persist/recovery_latency",
+            mean_ns.max(1),
+            RECOVERIES,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
     group.finish();
 }

@@ -7,6 +7,7 @@
 //! state. See the "Failure domains & containment" section of
 //! ARCHITECTURE.md for the domain map.
 
+use crate::persist::PersistError;
 use std::any::Any;
 use std::fmt;
 
@@ -72,6 +73,23 @@ pub enum LinkError {
         /// The parse error, or the stringified panic payload.
         payload: String,
     },
+    /// Spilling a catalog snapshot
+    /// ([`Linker::snapshot`](crate::serve::Linker::snapshot)) failed.
+    /// The manifest rename is the commit point and it was never reached
+    /// (or never became durable), so the previous manifest generation —
+    /// if any — is still the directory's restart point.
+    SnapshotFailed {
+        /// What failed, naming the file involved.
+        source: PersistError,
+    },
+    /// Restoring a catalog from a snapshot directory
+    /// ([`Linker::open`](crate::serve::Linker::open)) failed: the
+    /// directory holds no manifest at all, or every manifest generation
+    /// failed validation. Nothing half-loaded is ever returned.
+    RestoreFailed {
+        /// What failed, naming the directory or file involved.
+        source: PersistError,
+    },
     /// An error injected through a `fail_point!` `return` action
     /// (fault-injection builds only).
     Injected {
@@ -122,6 +140,16 @@ impl fmt::Display for LinkError {
             LinkError::IngestFailed { payload } => {
                 write!(f, "streaming ingest failed (nothing published): {payload}")
             }
+            LinkError::SnapshotFailed { source } => {
+                write!(
+                    f,
+                    "catalog snapshot spill failed (previous manifest generation, \
+                     if any, is still the restart point): {source}"
+                )
+            }
+            LinkError::RestoreFailed { source } => {
+                write!(f, "catalog snapshot restore failed: {source}")
+            }
             LinkError::Injected { site, message } => {
                 write!(f, "injected failure at failpoint '{site}': {message}")
             }
@@ -129,7 +157,19 @@ impl fmt::Display for LinkError {
     }
 }
 
-impl std::error::Error for LinkError {}
+impl std::error::Error for LinkError {
+    /// The persistence variants wrap a [`PersistError`] (which in turn
+    /// may wrap the underlying [`std::io::Error`]); the panic-containment
+    /// variants carry only a stringified payload and have no source.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LinkError::SnapshotFailed { source } | LinkError::RestoreFailed { source } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
 
 /// Render a [`catch_unwind`](std::panic::catch_unwind) payload as a
 /// string: `panic!("…")` yields `&'static str` or `String`; anything else

@@ -89,6 +89,22 @@ impl PropertyInterner {
         self.names.is_empty()
     }
 
+    /// Rebuild an interner from its serialized name list — the inverse
+    /// of [`iter`](Self::iter): interning the names in order reproduces
+    /// the original ids exactly, so a restored interner compares equal
+    /// to the one that was persisted. Duplicate names mean the snapshot
+    /// is corrupt (an interner never holds two ids for one IRI).
+    pub(crate) fn from_names(names: Vec<String>) -> Result<PropertyInterner, String> {
+        let mut interner = PropertyInterner::new();
+        for name in &names {
+            interner.intern(name);
+        }
+        if interner.len() != names.len() {
+            return Err("schema snapshot repeats a property name".to_string());
+        }
+        Ok(interner)
+    }
+
     /// `(id, IRI)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (PropertyId, &str)> {
         self.names

@@ -51,6 +51,10 @@
 //!   handle answering single-record probes through the batch code path
 //!   (bit-identical links), over a catalog swapped atomically by epoch
 //!   so updates never block in-flight probes.
+//! * [`persist`] — crash-safe catalog persistence: checksummed
+//!   content-addressed shard snapshots committed by an atomic manifest
+//!   rename, with a restart path that verifies every checksum and falls
+//!   back to the previous manifest generation on corruption.
 //!
 //! ## Quick example
 //!
@@ -82,6 +86,7 @@ pub mod error;
 pub mod index;
 pub mod ingest;
 pub mod intern;
+pub mod persist;
 pub mod pipeline;
 pub mod record;
 pub mod serve;
@@ -102,6 +107,7 @@ pub use error::{LinkError, LinkResult};
 pub use index::InvertedIndex;
 pub use ingest::{FeedFormat, FeedIngest, RecordSink, SubjectGrouper};
 pub use intern::{PropertyId, PropertyInterner, SchemaInterner};
+pub use persist::{CatalogSnapshot, PersistError, RecoveryReport, SnapshotReceipt};
 pub use pipeline::{Link, LinkagePipeline, LinkageResult};
 pub use record::Record;
 pub use serve::{CatalogEpoch, Linker, LinkerCatalog, ProbeHits, ProbeScratch};

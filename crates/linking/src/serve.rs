@@ -49,6 +49,7 @@ use crate::blocking::{Blocker, CandidateRuns};
 use crate::comparator::{CompiledComparator, LeftHoist, RecordComparator};
 use crate::error::{panic_payload, LinkError, LinkResult};
 use crate::intern::{PropertyId, SchemaInterner};
+use crate::persist::{CatalogSnapshot, RecoveryReport, SnapshotReceipt};
 use crate::pipeline::{score_range, Link, ScoredPair, TaskQueue};
 use crate::record::Record;
 use crate::shard::{LocalShards, ShardedStore, ShardedStoreBuilder};
@@ -193,6 +194,43 @@ impl<'a> Linker<'a> {
     /// several probes, or to read the published sequence number).
     pub fn catalog(&self) -> &LinkerCatalog<'a> {
         &self.catalog
+    }
+
+    /// Spill the currently-served catalog into `dir` as a new snapshot
+    /// generation (see [`CatalogSnapshot::write`]). The manifest rename
+    /// is the commit point: on `Err` nothing was committed and the
+    /// previous generation — if any — is still the directory's restart
+    /// point. Data files are content-addressed, so snapshotting after an
+    /// [`append`](Self::append) spills only the appended shards
+    /// (`shards_reused` in the receipt counts the carry-over).
+    ///
+    /// Serving is never interrupted: the spill reads one pinned epoch
+    /// `Arc` while probes and swaps proceed normally.
+    pub fn snapshot(&self, dir: impl AsRef<std::path::Path>) -> LinkResult<SnapshotReceipt> {
+        let epoch = self.catalog.load();
+        CatalogSnapshot::write(dir, epoch.store())
+            .map_err(|source| LinkError::SnapshotFailed { source })
+    }
+
+    /// Restore a catalog from a snapshot directory and build a serving
+    /// handle over it (epoch 1, fully warmed — see [`Linker::new`]).
+    /// The loader verifies every checksum and falls back to the previous
+    /// manifest generation when the newest is truncated or corrupt; the
+    /// returned [`RecoveryReport`] says which generation was loaded and
+    /// what was discarded or swept. Probes over the restored catalog are
+    /// bit-identical to probes over the catalog that was snapshotted.
+    ///
+    /// Errs with [`LinkError::RestoreFailed`] when the directory holds
+    /// no manifest or every generation fails validation — a half-loaded
+    /// catalog is never served.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        blocker: &'a (dyn Blocker + Sync),
+        comparator: &'a RecordComparator,
+    ) -> LinkResult<(Self, RecoveryReport)> {
+        let (store, report) =
+            CatalogSnapshot::open(dir).map_err(|source| LinkError::RestoreFailed { source })?;
+        Ok((Linker::new(blocker, comparator, store), report))
     }
 
     /// Replace the served catalog: build and warm the new epoch (the

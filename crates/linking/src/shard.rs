@@ -262,6 +262,33 @@ impl ShardedStore {
         builder.build()
     }
 
+    /// Reassemble a catalog from already-built shards — the snapshot
+    /// loader's constructor. Every shard must have been built on (a
+    /// clone of) `schema`; the offset table is re-derived from the shard
+    /// lengths, so the result is structurally identical to the catalog
+    /// that was persisted.
+    ///
+    /// # Panics
+    /// Panics when `shards` is empty (a catalog always has at least one
+    /// shard — the loader rejects a zero-shard manifest as corrupt
+    /// before calling this).
+    pub(crate) fn from_persisted_shards(
+        shards: Vec<Arc<RecordStore>>,
+        schema: Arc<PropertyInterner>,
+    ) -> ShardedStore {
+        assert!(!shards.is_empty(), "a catalog has at least one shard");
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        offsets.push(0);
+        for store in &shards {
+            offsets.push(offsets.last().expect("non-empty") + store.len());
+        }
+        ShardedStore {
+            shards,
+            offsets,
+            schema,
+        }
+    }
+
     /// An empty shard builder whose schema **continues** this catalog's:
     /// every property keeps its id, new properties extend the sequence.
     /// Columnarise a delta batch into it (directly, or through a

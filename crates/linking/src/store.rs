@@ -312,6 +312,130 @@ impl RecordStore {
         (0..column.bounds.len().saturating_sub(1)).map(move |i| column.value(i))
     }
 
+    /// The raw item identifiers, in record order — the persistence
+    /// layer's view (`id_index` is derived state and never serialized).
+    pub(crate) fn persist_ids(&self) -> &[Term] {
+        &self.ids
+    }
+
+    /// Column `column`'s flat parts `(text, bounds, offsets)` exactly as
+    /// stored — what the snapshot writer serializes.
+    pub(crate) fn persist_column(&self, column: usize) -> (&str, &[u32], &[u32]) {
+        let column = &self.columns[column];
+        (&column.text, &column.bounds, &column.offsets)
+    }
+
+    /// The precomputed full-text arena `(text, bounds)` — serialized
+    /// rather than recomputed on load so a restored store is
+    /// byte-identical without re-deriving the sorted property order.
+    pub(crate) fn persist_full_text(&self) -> (&str, &[u32]) {
+        (&self.full_text, &self.full_text_bounds)
+    }
+
+    /// Reassemble a store from persisted parts, validating every
+    /// structural invariant the accessors above rely on — a snapshot
+    /// file that passed its checksums can still be adversarially
+    /// malformed, and indexing must never panic on it. `id_index` is
+    /// rebuilt and the token/key caches start cold (they are derived
+    /// state). Errors are human-readable descriptions of the violated
+    /// invariant; the caller wraps them into a
+    /// [`PersistError`](crate::persist::PersistError).
+    pub(crate) fn from_persisted_parts(
+        interner: Arc<PropertyInterner>,
+        ids: Vec<Term>,
+        columns: Vec<(String, Vec<u32>, Vec<u32>)>,
+        full_text: String,
+        full_text_bounds: Vec<u32>,
+    ) -> Result<RecordStore, String> {
+        // `bounds` must tile `text` exactly, on character boundaries,
+        // monotonically — `Column::value` slices without checking.
+        fn check_arena(text: &str, bounds: &[u32], what: &str) -> Result<(), String> {
+            if bounds.first() != Some(&0) {
+                return Err(format!("{what}: bounds must start at 0"));
+            }
+            if bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{what}: bounds are not monotonic"));
+            }
+            if *bounds.last().unwrap() as usize != text.len() {
+                return Err(format!(
+                    "{what}: bounds end at {} but the arena holds {} bytes",
+                    bounds.last().unwrap(),
+                    text.len()
+                ));
+            }
+            if let Some(b) = bounds.iter().find(|&&b| !text.is_char_boundary(b as usize)) {
+                return Err(format!("{what}: bound {b} splits a character"));
+            }
+            Ok(())
+        }
+        let record_count = ids.len();
+        let count_u32 =
+            |n: usize, what: &str| u32::try_from(n).map_err(|_| format!("{what} exceeds u32::MAX"));
+        count_u32(record_count, "record count")?;
+        if columns.len() > interner.len() {
+            return Err(format!(
+                "{} columns but the schema has only {} properties",
+                columns.len(),
+                interner.len()
+            ));
+        }
+        if full_text_bounds.len() != record_count + 1 {
+            return Err(format!(
+                "full text has {} bounds for {record_count} records",
+                full_text_bounds.len()
+            ));
+        }
+        check_arena(&full_text, &full_text_bounds, "full text")?;
+        let mut built = Vec::with_capacity(columns.len());
+        for (c, (text, bounds, offsets)) in columns.into_iter().enumerate() {
+            let what = format!("column {c}");
+            if bounds.is_empty() {
+                return Err(format!("{what}: empty bounds"));
+            }
+            check_arena(&text, &bounds, &what)?;
+            let value_count = count_u32(bounds.len() - 1, &what)?;
+            if offsets.len() != record_count + 1 {
+                return Err(format!(
+                    "{what}: {} offsets for {record_count} records",
+                    offsets.len()
+                ));
+            }
+            if offsets.first() != Some(&0) {
+                return Err(format!("{what}: offsets must start at 0"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{what}: offsets are not monotonic"));
+            }
+            if *offsets.last().unwrap() != value_count {
+                return Err(format!(
+                    "{what}: offsets end at {} but the column holds {value_count} values",
+                    offsets.last().unwrap()
+                ));
+            }
+            built.push(Column {
+                text,
+                bounds,
+                offsets,
+            });
+        }
+        let id_index = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.clone(), i as u32))
+            .collect();
+        Ok(RecordStore {
+            interner,
+            ids,
+            id_index,
+            columns: built,
+            full_text,
+            full_text_bounds,
+            token_index: OnceLock::new(),
+            full_token_index: OnceLock::new(),
+            key_indexes: Mutex::new(HashMap::new()),
+        })
+    }
+
     /// Number of attribute values on `record`.
     pub fn value_count(&self, record: usize) -> usize {
         self.columns.iter().map(|c| c.range(record).len()).sum()

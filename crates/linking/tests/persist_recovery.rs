@@ -1,0 +1,613 @@
+//! Crash-safety and round-trip guards for the persistence layer
+//! ([`classilink_linking::persist`]):
+//!
+//! * **Byte-identical spill.** Property-based: arbitrary catalogs —
+//!   empty catalogs, empty shards, multi-valued and Unicode-heavy
+//!   records, every term kind — survive spill → load → re-spill with
+//!   the restored store equal to the original and the second snapshot
+//!   directory **byte-for-byte identical** to the first (content
+//!   addressing makes the file set deterministic).
+//! * **Bit-identical linking.** `run_sharded` over a restored catalog
+//!   equals the in-memory run — scores compared as raw `f64` bits —
+//!   for every built-in blocker (cartesian, standard key, sorted
+//!   neighbourhood, bigram, classification rules), and probes through a
+//!   [`Linker`] restored with [`Linker::open`] equal probes through the
+//!   linker that was snapshotted.
+//! * **Corruption recovery.** A chaos sweep over
+//!   {truncate, bit-flip, delete} × {newest manifest, newest-only shard
+//!   file} asserts the loader never panics, never returns a half-loaded
+//!   catalog, and always falls back to the previous durable generation;
+//!   when *every* generation is corrupt it fails with a structured
+//!   [`PersistError::NoUsableGeneration`].
+//! * **Hygiene.** Orphaned temp/data files are swept on open (unknown
+//!   files are left alone), incremental snapshots reuse the previous
+//!   generation's shard files, and retention keeps exactly the two
+//!   newest generations.
+
+use classilink_core::{LearnerConfig, PropertySelection, RuleClassifier, RuleLearner};
+use classilink_datagen::scenario::{generate, GeneratedScenario, ScenarioConfig};
+use classilink_datagen::vocab;
+use classilink_linking::blocking::{
+    BigramBlocker, Blocker, BlockingKey, CartesianBlocker, RuleBasedBlocker,
+    SortedNeighborhoodBlocker, StandardBlocker,
+};
+use classilink_linking::pipeline::Link;
+use classilink_linking::record::Record;
+use classilink_linking::{
+    CatalogSnapshot, LinkError, LinkagePipeline, Linker, PersistError, ProbeScratch,
+    RecordComparator, ShardedStore, SimilarityMeasure,
+};
+use classilink_rdf::{Literal, Term};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const EXT_PN: &str = "http://provider.example.org/vocab#partNumber";
+const LOC_PN: &str = "http://catalog.example.org/vocab#partNumber";
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A unique, initially-absent scratch directory (left behind only when
+/// the test fails, for post-mortem).
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "classilink_persist_{}_{}_{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `(file name, bytes)` for every file in `dir`, sorted by name.
+fn dir_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("snapshot directory")
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            (
+                entry.file_name().into_string().expect("utf-8 file name"),
+                fs::read(entry.path()).expect("file bytes"),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn file_names(dir: &Path) -> HashSet<String> {
+    dir_files(dir).into_iter().map(|(name, _)| name).collect()
+}
+
+// --- fault injectors (filesystem-level corruption) -------------------
+
+fn truncate(path: &Path) {
+    let bytes = fs::read(path).expect("read target");
+    fs::write(path, &bytes[..bytes.len() / 2]).expect("truncate target");
+}
+
+fn bit_flip(path: &Path) {
+    let mut bytes = fs::read(path).expect("read target");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(path, bytes).expect("flip target");
+}
+
+fn delete(path: &Path) {
+    fs::remove_file(path).expect("delete target");
+}
+
+// --- datasets --------------------------------------------------------
+
+fn external_record(i: usize) -> Record {
+    let mut record = Record::new(Term::iri(format!("http://provider.example.org/item/{i}")));
+    record.add(EXT_PN, format!("PN-{:02}X", i % 8));
+    record
+}
+
+fn local_record(i: usize) -> Record {
+    let mut record = Record::new(Term::iri(format!("http://catalog.example.org/prod/{i}")));
+    record.add(LOC_PN, format!("PN-{:02}X", i % 8));
+    record
+}
+
+fn local_records(range: std::ops::Range<usize>) -> Vec<Record> {
+    range.map(local_record).collect()
+}
+
+/// A base catalog plus the same catalog grown by two appended shards —
+/// the two-generation fixture for the corruption sweep.
+fn base_and_appended() -> (ShardedStore, ShardedStore) {
+    let base = ShardedStore::from_records(&local_records(0..48), 3);
+    let mut delta = base.delta_builder();
+    for (i, record) in local_records(48..60).iter().enumerate() {
+        if i % 6 == 0 {
+            delta.begin_shard();
+        }
+        delta.push(record);
+    }
+    (base.clone(), base.append_shards(delta))
+}
+
+// --- the five-blocker harness (mirrors tests/delta_linking.rs) -------
+
+fn key(prefix: usize) -> BlockingKey {
+    BlockingKey::per_side(
+        vocab::PROVIDER_PART_NUMBER,
+        vocab::LOCAL_PART_NUMBER,
+        prefix,
+    )
+}
+
+fn scenario_comparator() -> RecordComparator {
+    let rule = |left: &str, right: &str, measure, weight| classilink_linking::AttributeRule {
+        left_property: left.to_string(),
+        right_property: right.to_string(),
+        measure,
+        weight,
+    };
+    RecordComparator::new(vec![
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::JaroWinkler,
+            3.0,
+        ),
+        rule(
+            vocab::PROVIDER_PART_NUMBER,
+            vocab::LOCAL_PART_NUMBER,
+            SimilarityMeasure::DiceBigrams,
+            1.0,
+        ),
+        rule(
+            vocab::PROVIDER_MANUFACTURER,
+            vocab::LOCAL_MANUFACTURER,
+            SimilarityMeasure::JaccardTokens,
+            1.0,
+        ),
+    ])
+    .with_thresholds(0.92, 0.6)
+}
+
+fn classifier(scenario: &GeneratedScenario) -> RuleClassifier {
+    let learner = LearnerConfig::default()
+        .with_support_threshold(0.01)
+        .with_properties(PropertySelection::single(vocab::PROVIDER_PART_NUMBER));
+    let outcome = RuleLearner::new(learner.clone())
+        .learn(&scenario.training, &scenario.ontology)
+        .expect("rule learning on the tiny scenario");
+    RuleClassifier::from_outcome(&outcome, &learner).with_min_confidence(0.4)
+}
+
+/// A link as comparable data: terms verbatim, score as raw bits.
+fn bits(link: &Link) -> (String, String, u64) {
+    (
+        format!("{:?}", link.external),
+        format!("{:?}", link.local),
+        link.score.to_bits(),
+    )
+}
+
+// =====================================================================
+// Byte-identical spill → load → re-spill (property-based)
+// =====================================================================
+
+const PROP_POOL: [&str; 4] = [
+    "http://e.org/v#partNumber",
+    "http://e.org/v#manufacturer",
+    "http://e.org/v#label",
+    "http://e.org/v#desc",
+];
+
+/// One generated record: an id discriminator (uniqueness comes from the
+/// record index; the suffix exercises Unicode ids) plus attribute values
+/// drawn from a 4-property pool — repeats make multi-valued attributes.
+type GenRecord = (u8, String, Vec<(u8, String)>);
+
+/// Hand-rolled record strategy (the offline `proptest` stand-in has no
+/// tuple strategies; see shims/README.md).
+struct RecordStrategy;
+
+impl Strategy for RecordStrategy {
+    type Value = GenRecord;
+
+    fn generate(&self, rng: &mut TestRng) -> GenRecord {
+        let kind = rng.next_u64() as u8;
+        let suffix = "\\PC{0,8}".generate(rng);
+        let value_count = (rng.next_u64() % 5) as usize;
+        let values = (0..value_count)
+            .map(|_| {
+                (
+                    (rng.next_u64() % PROP_POOL.len() as u64) as u8,
+                    "\\PC{0,16}".generate(rng),
+                )
+            })
+            .collect();
+        (kind, suffix, values)
+    }
+}
+
+fn catalog_strategy() -> impl Strategy<Value = Vec<Vec<GenRecord>>> {
+    proptest::collection::vec(proptest::collection::vec(RecordStrategy, 0..5), 0..4)
+}
+
+fn build_catalog(shards: &[Vec<GenRecord>]) -> ShardedStore {
+    let mut builder = ShardedStore::builder();
+    builder.begin_shard(); // an empty catalog is still one (empty) shard
+    let mut n = 0usize;
+    for shard in shards {
+        builder.begin_shard();
+        for (kind, suffix, values) in shard {
+            // Unique ids (records are keyed by term), every term kind.
+            let id = match kind % 3 {
+                0 => Term::iri(format!("http://e.org/item/{n}/{suffix}")),
+                1 => Term::blank(format!("b{n}-{suffix}")),
+                _ => Term::Literal(Literal {
+                    value: format!("{n}:{suffix}"),
+                    language: (kind % 2 == 0).then(|| "en".to_string()),
+                    datatype: (kind % 5 == 0).then(|| "http://w3.org/xsd#string".to_string()),
+                }),
+            };
+            n += 1;
+            let mut record = Record::new(id);
+            for (prop, value) in values {
+                record.add(PROP_POOL[*prop as usize % PROP_POOL.len()], value.clone());
+            }
+            builder.push(&record);
+        }
+    }
+    builder.build()
+}
+
+proptest! {
+    /// Spill → load restores an equal catalog; re-spilling the restored
+    /// catalog produces a byte-identical snapshot directory.
+    #[test]
+    fn arbitrary_catalogs_round_trip_byte_identically(shards in catalog_strategy()) {
+        let store = build_catalog(&shards);
+        let dir1 = fresh_dir("prop_a");
+        let dir2 = fresh_dir("prop_b");
+        CatalogSnapshot::write(&dir1, &store).expect("spill");
+        let (loaded, report) = CatalogSnapshot::open(&dir1).expect("load");
+        prop_assert_eq!(&loaded, &store);
+        prop_assert_eq!(report.generation, 1);
+        prop_assert!(!report.recovered_from_fallback);
+        prop_assert_eq!(report.records, store.len());
+        CatalogSnapshot::write(&dir2, &loaded).expect("re-spill");
+        prop_assert_eq!(dir_files(&dir1), dir_files(&dir2));
+        let _ = fs::remove_dir_all(&dir1);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+}
+
+// =====================================================================
+// Bit-identical linking over a restored catalog
+// =====================================================================
+
+#[test]
+fn run_sharded_over_a_restored_catalog_is_bit_identical_for_every_blocker() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let external = scenario.external_store();
+    let locals = scenario.local_store().to_records();
+    let catalog = ShardedStore::from_records(&locals, 3);
+
+    let dir = fresh_dir("five_blockers");
+    CatalogSnapshot::write(&dir, &catalog).expect("spill");
+    let (restored, report) = CatalogSnapshot::open(&dir).expect("load");
+    assert_eq!(restored, catalog);
+    assert_eq!(report.shards, catalog.shard_count());
+
+    let cmp = scenario_comparator();
+    let classifier = classifier(&scenario);
+    let rule_blocker = RuleBasedBlocker::new(&classifier, &scenario.instances, &scenario.ontology)
+        .with_fallback(true);
+    let blockers: [&dyn Blocker; 5] = [
+        &CartesianBlocker,
+        &StandardBlocker::new(key(4)),
+        &SortedNeighborhoodBlocker::new(key(0), 7),
+        &BigramBlocker::new(key(0), 0.5),
+        &rule_blocker,
+    ];
+    for blocker in blockers {
+        let pipeline = LinkagePipeline::new(blocker, &cmp);
+        let memory = pipeline.run_sharded(&external, &catalog);
+        let disk = pipeline.run_sharded(&external, &restored);
+        let to_bits = |links: &[Link]| links.iter().map(bits).collect::<Vec<_>>();
+        let context = blocker.name().to_string();
+        assert_eq!(
+            to_bits(&memory.matches),
+            to_bits(&disk.matches),
+            "{context}: matches diverge after restore"
+        );
+        assert_eq!(
+            to_bits(&memory.possible),
+            to_bits(&disk.possible),
+            "{context}: possible links diverge after restore"
+        );
+        assert_eq!(
+            memory.comparisons, disk.comparisons,
+            "{context}: comparison accounting diverges after restore"
+        );
+        assert!(
+            !memory.matches.is_empty(),
+            "{context}: no links — the guard would be vacuous"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn linker_snapshot_then_open_serves_bit_identical_probes() {
+    let catalog = ShardedStore::from_records(&local_records(0..48), 3);
+    let blocker = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 3));
+    let cmp = RecordComparator::new(vec![classilink_linking::AttributeRule {
+        left_property: EXT_PN.to_string(),
+        right_property: LOC_PN.to_string(),
+        measure: SimilarityMeasure::JaroWinkler,
+        weight: 1.0,
+    }])
+    .with_thresholds(0.95, 0.7);
+    let linker = Linker::new(&blocker, &cmp, catalog);
+
+    let dir = fresh_dir("linker_roundtrip");
+    let receipt = linker.snapshot(&dir).expect("snapshot");
+    assert_eq!(receipt.generation, 1);
+    assert_eq!(receipt.shards_written, 3);
+
+    let (restored, report) = Linker::open(&dir, &blocker, &cmp).expect("open");
+    assert_eq!(report.generation, 1);
+    assert_eq!(report.records, 48);
+
+    let mut live = ProbeScratch::new();
+    let mut cold = ProbeScratch::new();
+    let mut linked = 0usize;
+    for i in 0..40 {
+        let record = external_record(i);
+        let a = linker.probe_with(&record, &mut live);
+        let a = (
+            a.matches.iter().map(bits).collect::<Vec<_>>(),
+            a.possible.iter().map(bits).collect::<Vec<_>>(),
+            a.comparisons,
+        );
+        let b = restored.probe_with(&record, &mut cold);
+        let b = (
+            b.matches.iter().map(bits).collect::<Vec<_>>(),
+            b.possible.iter().map(bits).collect::<Vec<_>>(),
+            b.comparisons,
+        );
+        linked += a.0.len();
+        assert_eq!(a, b, "probe {i} diverges on the restored linker");
+    }
+    assert!(linked > 0, "no probe linked — the guard would be vacuous");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// =====================================================================
+// Corruption recovery
+// =====================================================================
+
+/// The chaos sweep: {truncate, bit-flip, delete} × {newest manifest,
+/// a shard file only the newest generation references}. In every cell
+/// the loader must not panic, must not serve the corrupt generation,
+/// and must restore the previous generation exactly; after the sweep a
+/// re-open is clean (the corruption has been deleted from the
+/// directory).
+#[test]
+fn corrupting_the_newest_generation_falls_back_to_the_previous() {
+    let (base, appended) = base_and_appended();
+    type Fault = (&'static str, fn(&Path));
+    let faults: [Fault; 3] = [
+        ("truncate", truncate),
+        ("bit-flip", bit_flip),
+        ("delete", delete),
+    ];
+    for (fault_name, fault) in faults {
+        for target_kind in ["manifest", "shard"] {
+            let context = format!("{fault_name} × {target_kind}");
+            let dir = fresh_dir("chaos");
+            let gen1 = CatalogSnapshot::write(&dir, &base).expect("snapshot base");
+            let gen1_files = file_names(&dir);
+            let gen2 = CatalogSnapshot::write(&dir, &appended).expect("snapshot appended");
+            assert_eq!((gen1.generation, gen2.generation), (1, 2), "{context}");
+            assert!(gen2.shards_reused >= base.shard_count(), "{context}");
+
+            let target = match target_kind {
+                "manifest" => gen2.manifest.clone(),
+                _ => {
+                    // A data file the appended generation introduced —
+                    // corrupting it must not take generation 1 down.
+                    let new_shard = file_names(&dir)
+                        .into_iter()
+                        .find(|name| name.ends_with(".clshard") && !gen1_files.contains(name))
+                        .expect("the append spilled at least one new shard file");
+                    dir.join(new_shard)
+                }
+            };
+            fault(&target);
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| CatalogSnapshot::open(&dir)))
+                .unwrap_or_else(|_| panic!("{context}: the loader panicked"));
+            let (loaded, report) =
+                outcome.unwrap_or_else(|e| panic!("{context}: no fallback to generation 1: {e}"));
+            assert_eq!(loaded, base, "{context}: wrong catalog restored");
+            assert_eq!(report.generation, 1, "{context}");
+            // Deleting the manifest itself erases generation 2 outright —
+            // generation 1 is then simply the newest, not a fallback.
+            let erased = fault_name == "delete" && target_kind == "manifest";
+            assert_eq!(report.recovered_from_fallback, !erased, "{context}");
+            if !erased {
+                let (discarded_file, reason) = &report.discarded[0];
+                assert_eq!(discarded_file, "MANIFEST-00000002", "{context}");
+                assert!(!reason.is_empty(), "{context}");
+            }
+
+            // The corruption was swept: a second open is clean and
+            // identical, and the bad generation's files are gone.
+            let (again, report) = CatalogSnapshot::open(&dir).expect("clean re-open");
+            assert_eq!(again, base, "{context}: re-open diverges");
+            assert_eq!(report.generation, 1, "{context}");
+            assert!(!report.recovered_from_fallback, "{context}");
+            assert!(report.discarded.is_empty(), "{context}");
+            assert!(
+                !dir.join("MANIFEST-00000002").exists(),
+                "{context}: corrupt manifest survived the sweep"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn when_every_generation_is_corrupt_open_fails_structurally_without_panicking() {
+    let (base, appended) = base_and_appended();
+    let dir = fresh_dir("all_corrupt");
+    CatalogSnapshot::write(&dir, &base).expect("snapshot base");
+    CatalogSnapshot::write(&dir, &appended).expect("snapshot appended");
+    for name in file_names(&dir) {
+        if name.starts_with("MANIFEST-") {
+            bit_flip(&dir.join(name));
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| CatalogSnapshot::open(&dir)))
+        .expect("the loader never panics on corrupt input");
+    match outcome {
+        Err(PersistError::NoUsableGeneration { detail, .. }) => {
+            assert!(detail.contains("MANIFEST-00000002"), "{detail}");
+            assert!(detail.contains("MANIFEST-00000001"), "{detail}");
+        }
+        other => panic!("expected NoUsableGeneration, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_errors_name_the_directory_and_chain_their_sources() {
+    use std::error::Error;
+    let blocker = StandardBlocker::new(BlockingKey::per_side(EXT_PN, LOC_PN, 3));
+    let cmp = RecordComparator::new(vec![classilink_linking::AttributeRule {
+        left_property: EXT_PN.to_string(),
+        right_property: LOC_PN.to_string(),
+        measure: SimilarityMeasure::JaroWinkler,
+        weight: 1.0,
+    }]);
+    let dir = fresh_dir("no_snapshot");
+    let err = match Linker::open(&dir, &blocker, &cmp) {
+        Ok(_) => panic!("opened a snapshot from an empty directory"),
+        Err(err) => err,
+    };
+    assert!(
+        matches!(
+            &err,
+            LinkError::RestoreFailed {
+                source: PersistError::NoSnapshot { .. }
+            }
+        ),
+        "{err:?}"
+    );
+    let text = err.to_string();
+    assert!(text.contains("restore failed"), "{text}");
+    assert!(text.contains("no_snapshot"), "{text}");
+    let source = err.source().expect("RestoreFailed chains its PersistError");
+    assert!(source.to_string().contains("no manifest"), "{source}");
+}
+
+// =====================================================================
+// Hygiene: orphan sweep, incremental reuse, retention
+// =====================================================================
+
+#[test]
+fn orphaned_files_are_swept_on_open_and_unknown_files_are_left_alone() {
+    let catalog = ShardedStore::from_records(&local_records(0..12), 2);
+    let dir = fresh_dir("orphans");
+    CatalogSnapshot::write(&dir, &catalog).expect("snapshot");
+    // A torn data-file spill and a torn manifest commit…
+    fs::write(
+        dir.join("shard-00000000deadbeef.clshard.tmp"),
+        b"torn spill",
+    )
+    .unwrap();
+    fs::write(dir.join("MANIFEST-00000009.tmp"), b"torn commit").unwrap();
+    // …a data file no manifest references…
+    fs::write(dir.join("shard-00000000deadbeef.clshard"), b"orphan").unwrap();
+    // …and an operator's file this module never named.
+    fs::write(dir.join("operator-notes.txt"), b"keep me").unwrap();
+
+    let (loaded, report) = CatalogSnapshot::open(&dir).expect("open");
+    assert_eq!(loaded, catalog);
+    for swept in [
+        "MANIFEST-00000009.tmp",
+        "shard-00000000deadbeef.clshard",
+        "shard-00000000deadbeef.clshard.tmp",
+    ] {
+        assert!(
+            report.swept.iter().any(|name| name == swept),
+            "{swept} not reported swept: {:?}",
+            report.swept
+        );
+        assert!(!dir.join(swept).exists(), "{swept} survived the sweep");
+    }
+    assert!(
+        dir.join("operator-notes.txt").exists(),
+        "the sweep deleted a file it does not own"
+    );
+    assert!(!report.swept.iter().any(|name| name == "operator-notes.txt"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshotting_an_appended_catalog_spills_only_the_new_shards() {
+    let (base, appended) = base_and_appended();
+    let dir = fresh_dir("incremental");
+    let gen1 = CatalogSnapshot::write(&dir, &base).expect("snapshot base");
+    assert_eq!(gen1.shards_written, base.shard_count());
+    assert_eq!(gen1.shards_reused, 0);
+
+    let gen2 = CatalogSnapshot::write(&dir, &appended).expect("snapshot appended");
+    assert_eq!(gen2.generation, 2);
+    assert_eq!(
+        gen2.shards_reused,
+        base.shard_count(),
+        "the surviving shards' files should be reused byte-for-byte"
+    );
+    assert_eq!(
+        gen2.shards_written,
+        appended.shard_count() - base.shard_count()
+    );
+    assert!(
+        gen2.bytes_written < gen2.total_bytes,
+        "an incremental snapshot writes less than it references"
+    );
+
+    let (loaded, report) = CatalogSnapshot::open(&dir).expect("open");
+    assert_eq!(loaded, appended);
+    assert_eq!(report.generation, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_keeps_exactly_the_two_newest_generations() {
+    let catalog = ShardedStore::from_records(&local_records(0..12), 2);
+    let dir = fresh_dir("retention");
+    for expected_gen in 1..=4u64 {
+        let receipt = CatalogSnapshot::write(&dir, &catalog).expect("snapshot");
+        assert_eq!(receipt.generation, expected_gen);
+        if expected_gen == 4 {
+            assert!(
+                receipt.swept.iter().any(|name| name == "MANIFEST-00000002"),
+                "{:?}",
+                receipt.swept
+            );
+        }
+    }
+    let names = file_names(&dir);
+    assert!(!names.contains("MANIFEST-00000001"));
+    assert!(!names.contains("MANIFEST-00000002"));
+    assert!(names.contains("MANIFEST-00000003"));
+    assert!(names.contains("MANIFEST-00000004"));
+    let (_, report) = CatalogSnapshot::open(&dir).expect("open");
+    assert_eq!(report.generation, 4);
+    let _ = fs::remove_dir_all(&dir);
+}
